@@ -1,0 +1,942 @@
+//! Sign–magnitude arbitrary-precision integers.
+//!
+//! The representation is a little-endian vector of `u64` limbs together with a
+//! [`Sign`].  The invariant maintained everywhere is that the limb vector has no
+//! trailing zero limbs and that zero is represented by an empty limb vector with
+//! sign [`Sign::Plus`].  This makes structural equality, ordering and hashing
+//! coincide with numeric equality.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+use std::str::FromStr;
+
+/// Sign of a [`BigInt`].  Zero always carries [`Sign::Plus`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Non-negative.
+    Plus,
+    /// Strictly negative.
+    Minus,
+}
+
+impl Sign {
+    fn flip(self) -> Sign {
+        match self {
+            Sign::Plus => Sign::Minus,
+            Sign::Minus => Sign::Plus,
+        }
+    }
+}
+
+/// An arbitrary-precision signed integer.
+///
+/// ```
+/// use bqc_arith::BigInt;
+/// let a: BigInt = "123456789123456789123456789".parse().unwrap();
+/// let b = BigInt::from(3);
+/// assert_eq!((&a * &b).to_string(), "370370367370370367370370367");
+/// assert_eq!((&a % &b), BigInt::from(0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct BigInt {
+    sign: Sign,
+    /// Little-endian limbs, no trailing zeros.
+    limbs: Vec<u64>,
+}
+
+impl BigInt {
+    /// The integer zero.
+    pub fn zero() -> BigInt {
+        BigInt { sign: Sign::Plus, limbs: Vec::new() }
+    }
+
+    /// The integer one.
+    pub fn one() -> BigInt {
+        BigInt::from(1u64)
+    }
+
+    /// Builds a big integer from a sign and little-endian limbs (normalizing).
+    pub fn from_limbs(sign: Sign, limbs: Vec<u64>) -> BigInt {
+        let mut n = BigInt { sign, limbs };
+        n.normalize();
+        n
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+        if self.limbs.is_empty() {
+            self.sign = Sign::Plus;
+        }
+    }
+
+    /// Returns `true` iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` iff the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        !self.is_zero() && self.sign == Sign::Plus
+    }
+
+    /// Returns `true` iff the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// Returns `true` iff the value equals one.
+    pub fn is_one(&self) -> bool {
+        self.sign == Sign::Plus && self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// The sign of this integer.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// Returns -1, 0 or 1 as a plain integer.
+    pub fn signum(&self) -> i32 {
+        if self.is_zero() {
+            0
+        } else if self.sign == Sign::Plus {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigInt {
+        BigInt { sign: Sign::Plus, limbs: self.limbs.clone() }
+    }
+
+    /// Number of bits in the magnitude (0 for zero).
+    pub fn bit_length(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => 64 * (self.limbs.len() - 1) + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Parses a string in the given radix (2..=36), with optional leading `-`/`+`.
+    pub fn from_str_radix(s: &str, radix: u32) -> Result<BigInt, ParseBigIntError> {
+        assert!((2..=36).contains(&radix), "radix must be in 2..=36");
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(ParseBigIntError::Empty);
+        }
+        let (sign, digits) = match s.as_bytes()[0] {
+            b'-' => (Sign::Minus, &s[1..]),
+            b'+' => (Sign::Plus, &s[1..]),
+            _ => (Sign::Plus, s),
+        };
+        if digits.is_empty() {
+            return Err(ParseBigIntError::Empty);
+        }
+        let mut value = BigInt::zero();
+        let radix_big = BigInt::from(radix as u64);
+        for ch in digits.chars() {
+            if ch == '_' {
+                continue;
+            }
+            let d = ch.to_digit(radix).ok_or(ParseBigIntError::InvalidDigit(ch))?;
+            value = &value * &radix_big + BigInt::from(d as u64);
+        }
+        value.sign = if value.is_zero() { Sign::Plus } else { sign };
+        Ok(value)
+    }
+
+    /// Converts to an `i64` if the value fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => {
+                let mag = self.limbs[0];
+                match self.sign {
+                    Sign::Plus => i64::try_from(mag).ok(),
+                    Sign::Minus => {
+                        if mag <= i64::MAX as u64 + 1 {
+                            Some((mag as i64).wrapping_neg())
+                        } else {
+                            None
+                        }
+                    }
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Converts to a `u64` if the value fits (non-negative and small enough).
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.is_negative() {
+            return None;
+        }
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Approximate conversion to `f64` (may lose precision or overflow to ±inf).
+    pub fn to_f64(&self) -> f64 {
+        let mut value = 0.0f64;
+        for &limb in self.limbs.iter().rev() {
+            value = value * 18_446_744_073_709_551_616.0 + limb as f64;
+        }
+        if self.sign == Sign::Minus {
+            -value
+        } else {
+            value
+        }
+    }
+
+    /// Raises `self` to a small non-negative power.
+    pub fn pow(&self, mut exp: u32) -> BigInt {
+        let mut base = self.clone();
+        let mut acc = BigInt::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+
+    /// Greatest common divisor (always non-negative).
+    pub fn gcd(&self, other: &BigInt) -> BigInt {
+        let mut a = self.abs();
+        let mut b = other.abs();
+        while !b.is_zero() {
+            let r = &a % &b;
+            a = b;
+            b = r.abs();
+        }
+        a
+    }
+
+    /// Least common multiple (always non-negative); `lcm(0, x) == 0`.
+    pub fn lcm(&self, other: &BigInt) -> BigInt {
+        if self.is_zero() || other.is_zero() {
+            return BigInt::zero();
+        }
+        let g = self.gcd(other);
+        (&self.abs() / &g) * other.abs()
+    }
+
+    /// Simultaneous quotient and remainder with truncation toward zero.
+    ///
+    /// The remainder has the sign of the dividend (like Rust's `%` on primitives).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &BigInt) -> (BigInt, BigInt) {
+        assert!(!divisor.is_zero(), "division by zero BigInt");
+        match cmp_mag(&self.limbs, &divisor.limbs) {
+            Ordering::Less => (BigInt::zero(), self.clone()),
+            Ordering::Equal => {
+                let q_sign = if self.sign == divisor.sign { Sign::Plus } else { Sign::Minus };
+                (BigInt::from_limbs(q_sign, vec![1]), BigInt::zero())
+            }
+            Ordering::Greater => {
+                let (q_mag, r_mag) = div_rem_mag(&self.limbs, &divisor.limbs);
+                let q_sign = if self.sign == divisor.sign { Sign::Plus } else { Sign::Minus };
+                let q = BigInt::from_limbs(q_sign, q_mag);
+                let r = BigInt::from_limbs(self.sign, r_mag);
+                (q, r)
+            }
+        }
+    }
+
+    /// Euclidean division: the remainder is always in `[0, |divisor|)`.
+    pub fn div_rem_euclid(&self, divisor: &BigInt) -> (BigInt, BigInt) {
+        let (mut q, mut r) = self.div_rem(divisor);
+        if r.is_negative() {
+            if divisor.is_positive() {
+                q = &q - &BigInt::one();
+                r = &r + divisor;
+            } else {
+                q = &q + &BigInt::one();
+                r = &r - divisor;
+            }
+        }
+        (q, r)
+    }
+
+    fn add_signed(&self, other: &BigInt) -> BigInt {
+        if self.sign == other.sign {
+            BigInt::from_limbs(self.sign, add_mag(&self.limbs, &other.limbs))
+        } else {
+            match cmp_mag(&self.limbs, &other.limbs) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => BigInt::from_limbs(self.sign, sub_mag(&self.limbs, &other.limbs)),
+                Ordering::Less => BigInt::from_limbs(other.sign, sub_mag(&other.limbs, &self.limbs)),
+            }
+        }
+    }
+}
+
+/// Error returned when parsing a [`BigInt`] from a string fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseBigIntError {
+    /// The input contained no digits.
+    Empty,
+    /// The input contained a character that is not a digit in the requested radix.
+    InvalidDigit(char),
+}
+
+impl fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseBigIntError::Empty => write!(f, "empty integer literal"),
+            ParseBigIntError::InvalidDigit(c) => write!(f, "invalid digit {c:?} in integer literal"),
+        }
+    }
+}
+
+impl std::error::Error for ParseBigIntError {}
+
+// ----- magnitude helpers -----------------------------------------------------
+
+fn cmp_mag(a: &[u64], b: &[u64]) -> Ordering {
+    if a.len() != b.len() {
+        return a.len().cmp(&b.len());
+    }
+    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+        match x.cmp(y) {
+            Ordering::Equal => continue,
+            non_eq => return non_eq,
+        }
+    }
+    Ordering::Equal
+}
+
+fn add_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u128;
+    for i in 0..long.len() {
+        let sum = long[i] as u128 + *short.get(i).unwrap_or(&0) as u128 + carry;
+        out.push(sum as u64);
+        carry = sum >> 64;
+    }
+    if carry != 0 {
+        out.push(carry as u64);
+    }
+    out
+}
+
+/// Computes `a - b` assuming `a >= b` (magnitudes).
+fn sub_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
+    debug_assert!(cmp_mag(a, b) != Ordering::Less);
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow = 0u64;
+    for i in 0..a.len() {
+        let bi = *b.get(i).unwrap_or(&0);
+        let (d1, under1) = a[i].overflowing_sub(bi);
+        let (d2, under2) = d1.overflowing_sub(borrow);
+        out.push(d2);
+        borrow = (under1 || under2) as u64;
+    }
+    debug_assert_eq!(borrow, 0);
+    out
+}
+
+fn mul_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &bj) in b.iter().enumerate() {
+            let cur = out[i + j] as u128 + ai as u128 * bj as u128 + carry;
+            out[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let cur = out[k] as u128 + carry;
+            out[k] = cur as u64;
+            carry = cur >> 64;
+            k += 1;
+        }
+    }
+    out
+}
+
+fn shl_bits(a: &[u64], s: u32) -> Vec<u64> {
+    debug_assert!(s < 64);
+    if s == 0 {
+        return a.to_vec();
+    }
+    let mut out = Vec::with_capacity(a.len() + 1);
+    let mut carry = 0u64;
+    for &limb in a {
+        out.push((limb << s) | carry);
+        carry = limb >> (64 - s);
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+fn shr_bits(a: &[u64], s: u32) -> Vec<u64> {
+    debug_assert!(s < 64);
+    if s == 0 {
+        return a.to_vec();
+    }
+    let mut out = vec![0u64; a.len()];
+    for i in 0..a.len() {
+        out[i] = a[i] >> s;
+        if i + 1 < a.len() {
+            out[i] |= a[i + 1] << (64 - s);
+        }
+    }
+    out
+}
+
+/// Knuth algorithm D.  Requires `|a| > |b|` (as magnitudes) and `b` non-empty.
+fn div_rem_mag(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    debug_assert!(!b.is_empty());
+    if b.len() == 1 {
+        let d = b[0] as u128;
+        let mut q = vec![0u64; a.len()];
+        let mut rem: u128 = 0;
+        for i in (0..a.len()).rev() {
+            let cur = (rem << 64) | a[i] as u128;
+            q[i] = (cur / d) as u64;
+            rem = cur % d;
+        }
+        return (q, vec![rem as u64]);
+    }
+
+    // Normalize so that the divisor's top limb has its high bit set.
+    let shift = b.last().unwrap().leading_zeros();
+    let mut u = shl_bits(a, shift);
+    let v = shl_bits(b, shift);
+    let n = v.len();
+    let m = u.len().saturating_sub(n);
+    u.push(0); // extra high limb for the first iteration
+    let mut q = vec![0u64; m + 1];
+
+    for j in (0..=m).rev() {
+        let top = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
+        let mut qhat = top / v[n - 1] as u128;
+        let mut rhat = top % v[n - 1] as u128;
+        loop {
+            if qhat >> 64 != 0
+                || qhat * v[n - 2] as u128 > ((rhat << 64) | u[j + n - 2] as u128)
+            {
+                qhat -= 1;
+                rhat += v[n - 1] as u128;
+                if rhat >> 64 == 0 {
+                    continue;
+                }
+            }
+            break;
+        }
+
+        // Multiply-and-subtract qhat * v from u[j .. j+n].
+        let mut borrow: u128 = 0;
+        for i in 0..n {
+            let p = qhat * v[i] as u128 + borrow;
+            let lo = p as u64;
+            borrow = p >> 64;
+            let (diff, under) = u[j + i].overflowing_sub(lo);
+            u[j + i] = diff;
+            if under {
+                borrow += 1;
+            }
+        }
+        let (diff, under) = u[j + n].overflowing_sub(borrow as u64);
+        u[j + n] = diff;
+
+        if under {
+            // qhat was one too large; add the divisor back.
+            qhat -= 1;
+            let mut carry: u128 = 0;
+            for i in 0..n {
+                let s = u[j + i] as u128 + v[i] as u128 + carry;
+                u[j + i] = s as u64;
+                carry = s >> 64;
+            }
+            u[j + n] = u[j + n].wrapping_add(carry as u64);
+        }
+        q[j] = qhat as u64;
+    }
+
+    let rem = shr_bits(&u[..n], shift);
+    (q, rem)
+}
+
+// ----- conversions ------------------------------------------------------------
+
+macro_rules! impl_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> BigInt {
+                BigInt::from_limbs(Sign::Plus, vec![v as u64])
+            }
+        }
+    )*};
+}
+
+impl_from_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> BigInt {
+                let sign = if v < 0 { Sign::Minus } else { Sign::Plus };
+                let mag = (v as i128).unsigned_abs() as u64;
+                BigInt::from_limbs(sign, vec![mag])
+            }
+        }
+    )*};
+}
+
+impl_from_signed!(i8, i16, i32, i64, isize);
+
+impl From<i128> for BigInt {
+    fn from(v: i128) -> BigInt {
+        let sign = if v < 0 { Sign::Minus } else { Sign::Plus };
+        let mag = v.unsigned_abs();
+        BigInt::from_limbs(sign, vec![mag as u64, (mag >> 64) as u64])
+    }
+}
+
+impl From<u128> for BigInt {
+    fn from(v: u128) -> BigInt {
+        BigInt::from_limbs(Sign::Plus, vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl FromStr for BigInt {
+    type Err = ParseBigIntError;
+    fn from_str(s: &str) -> Result<BigInt, ParseBigIntError> {
+        BigInt::from_str_radix(s, 10)
+    }
+}
+
+impl Default for BigInt {
+    fn default() -> BigInt {
+        BigInt::zero()
+    }
+}
+
+// ----- equality / ordering / hashing -------------------------------------------
+
+impl PartialEq for BigInt {
+    fn eq(&self, other: &BigInt) -> bool {
+        self.sign == other.sign && self.limbs == other.limbs
+    }
+}
+
+impl Eq for BigInt {}
+
+impl Hash for BigInt {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.sign.hash(state);
+        self.limbs.hash(state);
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &BigInt) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &BigInt) -> Ordering {
+        match (self.sign, other.sign) {
+            (Sign::Plus, Sign::Minus) => Ordering::Greater,
+            (Sign::Minus, Sign::Plus) => Ordering::Less,
+            (Sign::Plus, Sign::Plus) => cmp_mag(&self.limbs, &other.limbs),
+            (Sign::Minus, Sign::Minus) => cmp_mag(&other.limbs, &self.limbs),
+        }
+    }
+}
+
+// ----- operators ----------------------------------------------------------------
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait<BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+impl Add<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        self.add_signed(rhs)
+    }
+}
+forward_binop!(Add, add);
+
+impl Sub<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        let negated = BigInt { sign: rhs.sign.flip(), limbs: rhs.limbs.clone() };
+        let mut n = self.add_signed(&negated);
+        n.normalize();
+        n
+    }
+}
+forward_binop!(Sub, sub);
+
+impl Mul<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        if self.is_zero() || rhs.is_zero() {
+            return BigInt::zero();
+        }
+        let sign = if self.sign == rhs.sign { Sign::Plus } else { Sign::Minus };
+        BigInt::from_limbs(sign, mul_mag(&self.limbs, &rhs.limbs))
+    }
+}
+forward_binop!(Mul, mul);
+
+impl Div<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn div(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).0
+    }
+}
+forward_binop!(Div, div);
+
+impl Rem<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn rem(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).1
+    }
+}
+forward_binop!(Rem, rem);
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        if self.is_zero() {
+            BigInt::zero()
+        } else {
+            BigInt { sign: self.sign.flip(), limbs: self.limbs.clone() }
+        }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        (&self).neg()
+    }
+}
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: &BigInt) {
+        *self = &*self + rhs;
+    }
+}
+
+impl AddAssign<BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: BigInt) {
+        *self = &*self + &rhs;
+    }
+}
+
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, rhs: &BigInt) {
+        *self = &*self - rhs;
+    }
+}
+
+impl SubAssign<BigInt> for BigInt {
+    fn sub_assign(&mut self, rhs: BigInt) {
+        *self = &*self - &rhs;
+    }
+}
+
+impl MulAssign<&BigInt> for BigInt {
+    fn mul_assign(&mut self, rhs: &BigInt) {
+        *self = &*self * rhs;
+    }
+}
+
+impl MulAssign<BigInt> for BigInt {
+    fn mul_assign(&mut self, rhs: BigInt) {
+        *self = &*self * &rhs;
+    }
+}
+
+// ----- formatting -----------------------------------------------------------------
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.to_decimal_string();
+        f.pad_integral(!self.is_negative(), "", s.trim_start_matches('-'))
+    }
+}
+
+impl BigInt {
+    /// Decimal string rendering, used by `Display`.
+    fn to_decimal_string(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let chunk = BigInt::from(CHUNK);
+        let mut mag = self.abs();
+        let mut parts: Vec<u64> = Vec::new();
+        while !mag.is_zero() {
+            let (q, r) = mag.div_rem(&chunk);
+            parts.push(r.to_u64().unwrap_or(0));
+            mag = q;
+        }
+        let mut s = String::new();
+        if self.sign == Sign::Minus {
+            s.push('-');
+        }
+        s.push_str(&parts.last().unwrap().to_string());
+        for part in parts.iter().rev().skip(1) {
+            s.push_str(&format!("{part:019}"));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn big(v: i128) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigInt::zero().is_zero());
+        assert!(BigInt::one().is_one());
+        assert_eq!(BigInt::zero(), BigInt::from(0));
+        assert_eq!(BigInt::zero().signum(), 0);
+        assert_eq!(BigInt::one().signum(), 1);
+        assert_eq!(big(-5).signum(), -1);
+    }
+
+    #[test]
+    fn small_arithmetic() {
+        assert_eq!(big(2) + big(3), big(5));
+        assert_eq!(big(2) - big(3), big(-1));
+        assert_eq!(big(-2) * big(3), big(-6));
+        assert_eq!(big(7) / big(2), big(3));
+        assert_eq!(big(7) % big(2), big(1));
+        assert_eq!(big(-7) / big(2), big(-3));
+        assert_eq!(big(-7) % big(2), big(-1));
+        assert_eq!(big(7) / big(-2), big(-3));
+        assert_eq!(big(7) % big(-2), big(1));
+    }
+
+    #[test]
+    fn euclidean_division() {
+        let (q, r) = big(-7).div_rem_euclid(&big(2));
+        assert_eq!((q, r), (big(-4), big(1)));
+        let (q, r) = big(-7).div_rem_euclid(&big(-2));
+        assert_eq!((q, r), (big(4), big(1)));
+        let (q, r) = big(7).div_rem_euclid(&big(-2));
+        assert_eq!((q, r), (big(-3), big(1)));
+    }
+
+    #[test]
+    fn multi_limb_multiplication() {
+        let a = BigInt::from(u64::MAX);
+        let b = &a * &a;
+        // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+        let expected = BigInt::from(u128::MAX) - BigInt::from(u64::MAX) - BigInt::from(u64::MAX)
+            + BigInt::from(0u64)
+            + BigInt::one()
+            - BigInt::one();
+        // Simpler: compute through u128 directly.
+        let direct = BigInt::from((u64::MAX as u128) * (u64::MAX as u128));
+        assert_eq!(b, direct);
+        let _ = expected;
+    }
+
+    #[test]
+    fn multi_limb_division_roundtrip() {
+        let a = BigInt::from_str_radix("340282366920938463463374607431768211456789", 10).unwrap();
+        let b = BigInt::from_str_radix("98765432123456789", 10).unwrap();
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(&q * &b + &r, a);
+        assert!(r < b);
+        assert!(!r.is_negative());
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let cases = [
+            "0",
+            "1",
+            "-1",
+            "18446744073709551616",
+            "-340282366920938463463374607431768211455",
+            "99999999999999999999999999999999999999999999",
+        ];
+        for case in cases {
+            let parsed: BigInt = case.parse().unwrap();
+            assert_eq!(parsed.to_string(), case.trim_start_matches('+'));
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!("".parse::<BigInt>(), Err(ParseBigIntError::Empty));
+        assert_eq!("-".parse::<BigInt>(), Err(ParseBigIntError::Empty));
+        assert!(matches!("12x".parse::<BigInt>(), Err(ParseBigIntError::InvalidDigit('x'))));
+        assert_eq!(BigInt::from_str_radix("ff", 16).unwrap(), big(255));
+        assert_eq!(BigInt::from_str_radix("-101", 2).unwrap(), big(-5));
+        assert_eq!("1_000_000".parse::<BigInt>().unwrap(), big(1_000_000));
+    }
+
+    #[test]
+    fn gcd_lcm() {
+        assert_eq!(big(12).gcd(&big(18)), big(6));
+        assert_eq!(big(-12).gcd(&big(18)), big(6));
+        assert_eq!(big(0).gcd(&big(7)), big(7));
+        assert_eq!(big(12).lcm(&big(18)), big(36));
+        assert_eq!(big(0).lcm(&big(7)), big(0));
+    }
+
+    #[test]
+    fn pow_small() {
+        assert_eq!(big(2).pow(10), big(1024));
+        assert_eq!(big(3).pow(0), big(1));
+        assert_eq!(big(-2).pow(3), big(-8));
+        assert_eq!(big(10).pow(30).to_string(), format!("1{}", "0".repeat(30)));
+    }
+
+    #[test]
+    fn bit_length() {
+        assert_eq!(BigInt::zero().bit_length(), 0);
+        assert_eq!(big(1).bit_length(), 1);
+        assert_eq!(big(255).bit_length(), 8);
+        assert_eq!(big(256).bit_length(), 9);
+        assert_eq!(BigInt::from(1u128 << 100).bit_length(), 101);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(big(-5) < big(-4));
+        assert!(big(-5) < big(0));
+        assert!(big(3) < big(10));
+        assert!(BigInt::from(u128::MAX) > BigInt::from(u64::MAX));
+        assert!(-BigInt::from(u128::MAX) < -BigInt::from(u64::MAX));
+    }
+
+    #[test]
+    fn to_primitive_conversions() {
+        assert_eq!(big(42).to_i64(), Some(42));
+        assert_eq!(big(-42).to_i64(), Some(-42));
+        assert_eq!(BigInt::from(i64::MIN as i128).to_i64(), Some(i64::MIN));
+        assert_eq!(BigInt::from(i64::MAX as i128 + 1).to_i64(), None);
+        assert_eq!(big(42).to_u64(), Some(42));
+        assert_eq!(big(-1).to_u64(), None);
+        assert!((big(1_000_000).to_f64() - 1_000_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn to_f64_large() {
+        let huge = BigInt::from(10u64).pow(40);
+        let approx = huge.to_f64();
+        assert!((approx / 1e40 - 1.0).abs() < 1e-10);
+        assert_eq!((-huge).to_f64(), -approx);
+    }
+
+    #[test]
+    fn decimal_string_matches_display() {
+        let v: BigInt = "-123456789012345678901234567890".parse().unwrap();
+        assert_eq!(v.to_decimal_string(), format!("{v}"));
+    }
+
+    proptest! {
+        #[test]
+        fn add_matches_i128(a in -10_000_000_000_000i128..10_000_000_000_000, b in -10_000_000_000_000i128..10_000_000_000_000) {
+            prop_assert_eq!(BigInt::from(a) + BigInt::from(b), BigInt::from(a + b));
+        }
+
+        #[test]
+        fn sub_matches_i128(a in -10_000_000_000_000i128..10_000_000_000_000, b in -10_000_000_000_000i128..10_000_000_000_000) {
+            prop_assert_eq!(BigInt::from(a) - BigInt::from(b), BigInt::from(a - b));
+        }
+
+        #[test]
+        fn mul_matches_i128(a in -3_000_000_000i128..3_000_000_000, b in -3_000_000_000i128..3_000_000_000) {
+            prop_assert_eq!(BigInt::from(a) * BigInt::from(b), BigInt::from(a * b));
+        }
+
+        #[test]
+        fn div_rem_matches_i128(a in -10_000_000_000_000i128..10_000_000_000_000, b in -1_000_000i128..1_000_000) {
+            prop_assume!(b != 0);
+            let (q, r) = BigInt::from(a).div_rem(&BigInt::from(b));
+            prop_assert_eq!(q, BigInt::from(a / b));
+            prop_assert_eq!(r, BigInt::from(a % b));
+        }
+
+        #[test]
+        fn div_rem_reconstructs(a_str in "[1-9][0-9]{0,50}", b_str in "[1-9][0-9]{0,25}") {
+            let a: BigInt = a_str.parse().unwrap();
+            let b: BigInt = b_str.parse().unwrap();
+            let (q, r) = a.div_rem(&b);
+            prop_assert_eq!(&q * &b + &r, a);
+            prop_assert!(r < b);
+        }
+
+        #[test]
+        fn parse_display_roundtrip(s in "-?[1-9][0-9]{0,60}") {
+            let v: BigInt = s.parse().unwrap();
+            prop_assert_eq!(v.to_string(), s);
+        }
+
+        #[test]
+        fn ordering_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+            prop_assert_eq!(BigInt::from(a).cmp(&BigInt::from(b)), a.cmp(&b));
+        }
+
+        #[test]
+        fn gcd_divides_both(a in 1i64..1_000_000_000, b in 1i64..1_000_000_000) {
+            let g = BigInt::from(a).gcd(&BigInt::from(b));
+            prop_assert!((BigInt::from(a) % &g).is_zero());
+            prop_assert!((BigInt::from(b) % &g).is_zero());
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! # bqc-arith — exact arithmetic substrate
+//!
+//! Arbitrary-precision signed integers ([`BigInt`]) and rationals ([`Rational`])
+//! used by the exact linear-programming solver and the decision procedures of
+//! the *Bag Query Containment and Information Theory* reproduction.
+//!
+//! The decision procedure of Theorem 3.1 in the paper reduces containment to the
+//! validity of a max-linear information inequality over the polymatroid cone
+//! `Γ_n`, which is a linear-programming feasibility question with integer input
+//! coefficients.  Deciding such a question with floating point would require an
+//! arbitrary acceptance threshold; instead every pivot of the simplex solver in
+//! `bqc-lp` is carried out exactly over [`Rational`].
+//!
+//! The implementation is deliberately self-contained (no external bignum crate)
+//! and favours clarity over raw throughput: the magnitudes appearing in the
+//! Shannon-cone LPs are modest, and all rationals are kept reduced.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use bqc_arith::{BigInt, Rational};
+//!
+//! let a = BigInt::from(1u64 << 62) * BigInt::from(12345);
+//! let b = BigInt::from_str_radix("123456789012345678901234567890", 10).unwrap();
+//! assert!(b > a);
+//!
+//! let third = Rational::new(BigInt::from(1), BigInt::from(3));
+//! let sum = &third + &third + &third;
+//! assert_eq!(sum, Rational::from_integer(1));
+//! ```
+
+mod bigint;
+mod rational;
+
+pub use bigint::{BigInt, Sign};
+pub use rational::Rational;
+
+/// Convenience constructor for a rational from an integer pair.
+///
+/// Panics if `den == 0`.
+pub fn ratio(num: i64, den: i64) -> Rational {
+    Rational::new(BigInt::from(num), BigInt::from(den))
+}
+
+/// Convenience constructor for an integer-valued rational.
+pub fn int(value: i64) -> Rational {
+    Rational::from_integer(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_int_agree() {
+        assert_eq!(ratio(4, 2), int(2));
+        assert_eq!(ratio(-6, 4), ratio(-3, 2));
+        assert_eq!(int(0), Rational::zero());
+    }
+}

@@ -1,0 +1,570 @@
+//! Exact rational numbers built on [`BigInt`].
+//!
+//! Every [`Rational`] is kept in canonical form: the denominator is strictly
+//! positive and `gcd(|numerator|, denominator) = 1`.  This guarantees that
+//! structural equality, ordering and hashing coincide with numeric equality,
+//! which the LP solver relies on.
+
+use crate::bigint::{BigInt, Sign};
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number `numerator / denominator` with `denominator > 0`.
+///
+/// ```
+/// use bqc_arith::{BigInt, Rational};
+/// let a = Rational::new(BigInt::from(2), BigInt::from(4));
+/// assert_eq!(a.to_string(), "1/2");
+/// assert_eq!(&a + &a, Rational::from_integer(1));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: BigInt,
+    den: BigInt,
+}
+
+impl Rational {
+    /// Creates a rational from a numerator and denominator, reducing to
+    /// canonical form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn new(num: BigInt, den: BigInt) -> Rational {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        let mut r = Rational { num, den };
+        r.reduce();
+        r
+    }
+
+    /// The rational zero.
+    pub fn zero() -> Rational {
+        Rational { num: BigInt::zero(), den: BigInt::one() }
+    }
+
+    /// The rational one.
+    pub fn one() -> Rational {
+        Rational { num: BigInt::one(), den: BigInt::one() }
+    }
+
+    /// Creates an integer-valued rational.
+    pub fn from_integer<T: Into<BigInt>>(value: T) -> Rational {
+        Rational { num: value.into(), den: BigInt::one() }
+    }
+
+    /// Creates a rational from an `i64` pair, reducing.
+    pub fn from_pair(num: i64, den: i64) -> Rational {
+        Rational::new(BigInt::from(num), BigInt::from(den))
+    }
+
+    fn reduce(&mut self) {
+        if self.den.is_negative() {
+            self.num = -&self.num;
+            self.den = -&self.den;
+        }
+        if self.num.is_zero() {
+            self.den = BigInt::one();
+            return;
+        }
+        let g = self.num.gcd(&self.den);
+        if !g.is_one() {
+            self.num = &self.num / &g;
+            self.den = &self.den / &g;
+        }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (always strictly positive).
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// Returns `true` iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Returns `true` iff the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// Returns `true` iff the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Returns `true` iff the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// Returns -1, 0 or 1.
+    pub fn signum(&self) -> i32 {
+        self.num.signum()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Rational {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rational::new(self.den.clone(), self.num.clone())
+    }
+
+    /// Largest integer `<= self`.
+    pub fn floor(&self) -> BigInt {
+        let (q, _) = self.num.div_rem_euclid(&self.den);
+        q
+    }
+
+    /// Smallest integer `>= self`.
+    pub fn ceil(&self) -> BigInt {
+        -((-self).floor())
+    }
+
+    /// Approximate conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        // Scale so that both parts are representable with good precision.
+        let num_bits = self.num.bit_length() as i64;
+        let den_bits = self.den.bit_length() as i64;
+        if num_bits < 500 && den_bits < 500 {
+            return self.num.to_f64() / self.den.to_f64();
+        }
+        // For very large operands, shift both down by a common power of two.
+        let shift = (num_bits.max(den_bits) - 500).max(0) as u32;
+        let scale = BigInt::from(2u64).pow(shift.min(100_000));
+        (&self.num / &scale).to_f64() / (&self.den / &scale).to_f64()
+    }
+
+    /// Raises the rational to an integer power (negative powers invert).
+    ///
+    /// # Panics
+    ///
+    /// Panics when raising zero to a negative power.
+    pub fn pow(&self, exp: i32) -> Rational {
+        if exp >= 0 {
+            Rational { num: self.num.pow(exp as u32), den: self.den.pow(exp as u32) }
+        } else {
+            self.recip().pow(-exp)
+        }
+    }
+
+    /// Minimum of two rationals.
+    pub fn min(self, other: Rational) -> Rational {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Maximum of two rationals.
+    pub fn max(self, other: Rational) -> Rational {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Rational {
+        Rational::zero()
+    }
+}
+
+impl From<BigInt> for Rational {
+    fn from(v: BigInt) -> Rational {
+        Rational { num: v, den: BigInt::one() }
+    }
+}
+
+macro_rules! impl_from_prim {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Rational {
+            fn from(v: $t) -> Rational {
+                Rational { num: BigInt::from(v), den: BigInt::one() }
+            }
+        }
+    )*};
+}
+
+impl_from_prim!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// Error returned when parsing a [`Rational`] fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseRationalError {
+    /// The numerator or denominator was not a valid integer literal.
+    BadInteger(String),
+    /// The denominator was zero.
+    ZeroDenominator,
+}
+
+impl fmt::Display for ParseRationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseRationalError::BadInteger(part) => write!(f, "invalid integer part {part:?}"),
+            ParseRationalError::ZeroDenominator => write!(f, "zero denominator"),
+        }
+    }
+}
+
+impl std::error::Error for ParseRationalError {}
+
+impl FromStr for Rational {
+    type Err = ParseRationalError;
+
+    /// Parses `"a"`, `"a/b"` or a decimal literal such as `"1.25"`.
+    fn from_str(s: &str) -> Result<Rational, ParseRationalError> {
+        let s = s.trim();
+        if let Some((num, den)) = s.split_once('/') {
+            let num: BigInt =
+                num.trim().parse().map_err(|_| ParseRationalError::BadInteger(num.to_string()))?;
+            let den: BigInt =
+                den.trim().parse().map_err(|_| ParseRationalError::BadInteger(den.to_string()))?;
+            if den.is_zero() {
+                return Err(ParseRationalError::ZeroDenominator);
+            }
+            return Ok(Rational::new(num, den));
+        }
+        if let Some((whole, frac)) = s.split_once('.') {
+            let negative = whole.trim_start().starts_with('-');
+            let whole_val: BigInt = if whole.is_empty() || whole == "-" || whole == "+" {
+                BigInt::zero()
+            } else {
+                whole.parse().map_err(|_| ParseRationalError::BadInteger(whole.to_string()))?
+            };
+            let frac_digits = frac.trim();
+            let frac_val: BigInt = if frac_digits.is_empty() {
+                BigInt::zero()
+            } else {
+                frac_digits
+                    .parse()
+                    .map_err(|_| ParseRationalError::BadInteger(frac_digits.to_string()))?
+            };
+            let scale = BigInt::from(10u64).pow(frac_digits.len() as u32);
+            let mag = whole_val.abs() * &scale + frac_val;
+            let signed = if negative { -mag } else { mag };
+            return Ok(Rational::new(signed, scale));
+        }
+        let v: BigInt = s.parse().map_err(|_| ParseRationalError::BadInteger(s.to_string()))?;
+        Ok(Rational::from(v))
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Rational) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Rational) -> Ordering {
+        // Compare a/b vs c/d with b, d > 0 by cross-multiplication.
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+macro_rules! forward_rat_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait<Rational> for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: Rational) -> Rational {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&Rational> for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: &Rational) -> Rational {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<Rational> for &Rational {
+            type Output = Rational;
+            fn $method(self, rhs: Rational) -> Rational {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+impl Add<&Rational> for &Rational {
+    type Output = Rational;
+    fn add(self, rhs: &Rational) -> Rational {
+        Rational::new(&self.num * &rhs.den + &rhs.num * &self.den, &self.den * &rhs.den)
+    }
+}
+forward_rat_binop!(Add, add);
+
+impl Sub<&Rational> for &Rational {
+    type Output = Rational;
+    fn sub(self, rhs: &Rational) -> Rational {
+        Rational::new(&self.num * &rhs.den - &rhs.num * &self.den, &self.den * &rhs.den)
+    }
+}
+forward_rat_binop!(Sub, sub);
+
+impl Mul<&Rational> for &Rational {
+    type Output = Rational;
+    fn mul(self, rhs: &Rational) -> Rational {
+        Rational::new(&self.num * &rhs.num, &self.den * &rhs.den)
+    }
+}
+forward_rat_binop!(Mul, mul);
+
+impl Div<&Rational> for &Rational {
+    type Output = Rational;
+    fn div(self, rhs: &Rational) -> Rational {
+        assert!(!rhs.is_zero(), "division by zero Rational");
+        Rational::new(&self.num * &rhs.den, &self.den * &rhs.num)
+    }
+}
+forward_rat_binop!(Div, div);
+
+impl Neg for &Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational { num: -&self.num, den: self.den.clone() }
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        (&self).neg()
+    }
+}
+
+impl AddAssign<&Rational> for Rational {
+    fn add_assign(&mut self, rhs: &Rational) {
+        *self = &*self + rhs;
+    }
+}
+
+impl AddAssign<Rational> for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = &*self + &rhs;
+    }
+}
+
+impl SubAssign<&Rational> for Rational {
+    fn sub_assign(&mut self, rhs: &Rational) {
+        *self = &*self - rhs;
+    }
+}
+
+impl SubAssign<Rational> for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = &*self - &rhs;
+    }
+}
+
+impl MulAssign<&Rational> for Rational {
+    fn mul_assign(&mut self, rhs: &Rational) {
+        *self = &*self * rhs;
+    }
+}
+
+impl MulAssign<Rational> for Rational {
+    fn mul_assign(&mut self, rhs: Rational) {
+        *self = &*self * &rhs;
+    }
+}
+
+impl DivAssign<&Rational> for Rational {
+    fn div_assign(&mut self, rhs: &Rational) {
+        *self = &*self / rhs;
+    }
+}
+
+impl DivAssign<Rational> for Rational {
+    fn div_assign(&mut self, rhs: Rational) {
+        *self = &*self / &rhs;
+    }
+}
+
+impl Sum for Rational {
+    fn sum<I: Iterator<Item = Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::zero(), |acc, x| acc + x)
+    }
+}
+
+impl<'a> Sum<&'a Rational> for Rational {
+    fn sum<I: Iterator<Item = &'a Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::zero(), |acc, x| acc + x)
+    }
+}
+
+// Keep the unused import warning away when Sign is only used in debug assertions.
+#[allow(unused)]
+fn _sign_witness(s: Sign) -> Sign {
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rat(n: i64, d: i64) -> Rational {
+        Rational::from_pair(n, d)
+    }
+
+    #[test]
+    fn canonical_form() {
+        assert_eq!(rat(2, 4), rat(1, 2));
+        assert_eq!(rat(-2, -4), rat(1, 2));
+        assert_eq!(rat(2, -4), rat(-1, 2));
+        assert_eq!(rat(0, -7), Rational::zero());
+        assert!(rat(3, -6).denom().is_positive());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(BigInt::one(), BigInt::zero());
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(rat(1, 2) + rat(1, 3), rat(5, 6));
+        assert_eq!(rat(1, 2) - rat(1, 3), rat(1, 6));
+        assert_eq!(rat(2, 3) * rat(3, 4), rat(1, 2));
+        assert_eq!(rat(2, 3) / rat(4, 3), rat(1, 2));
+        assert_eq!(-rat(2, 3), rat(-2, 3));
+        assert_eq!(rat(1, 3) / rat(-1, 6), rat(-2, 1));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(rat(1, 3) < rat(1, 2));
+        assert!(rat(-1, 2) < rat(-1, 3));
+        assert!(rat(7, 1) > rat(13, 2));
+        assert_eq!(rat(2, 6).cmp(&rat(1, 3)), Ordering::Equal);
+        assert_eq!(rat(1, 2).max(rat(2, 3)), rat(2, 3));
+        assert_eq!(rat(1, 2).min(rat(2, 3)), rat(1, 2));
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(rat(7, 2).floor(), BigInt::from(3));
+        assert_eq!(rat(7, 2).ceil(), BigInt::from(4));
+        assert_eq!(rat(-7, 2).floor(), BigInt::from(-4));
+        assert_eq!(rat(-7, 2).ceil(), BigInt::from(-3));
+        assert_eq!(rat(4, 2).floor(), BigInt::from(2));
+        assert_eq!(rat(4, 2).ceil(), BigInt::from(2));
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!("3/4".parse::<Rational>().unwrap(), rat(3, 4));
+        assert_eq!("-3/4".parse::<Rational>().unwrap(), rat(-3, 4));
+        assert_eq!("6/4".parse::<Rational>().unwrap().to_string(), "3/2");
+        assert_eq!("5".parse::<Rational>().unwrap(), rat(5, 1));
+        assert_eq!("1.25".parse::<Rational>().unwrap(), rat(5, 4));
+        assert_eq!("-0.5".parse::<Rational>().unwrap(), rat(-1, 2));
+        assert_eq!("2.".parse::<Rational>().unwrap(), rat(2, 1));
+        assert!("1/0".parse::<Rational>().is_err());
+        assert!("a/b".parse::<Rational>().is_err());
+        assert_eq!(rat(7, 1).to_string(), "7");
+        assert_eq!(rat(-7, 3).to_string(), "-7/3");
+    }
+
+    #[test]
+    fn recip_pow() {
+        assert_eq!(rat(3, 4).recip(), rat(4, 3));
+        assert_eq!(rat(-3, 4).recip(), rat(-4, 3));
+        assert_eq!(rat(2, 3).pow(3), rat(8, 27));
+        assert_eq!(rat(2, 3).pow(-2), rat(9, 4));
+        assert_eq!(rat(5, 7).pow(0), Rational::one());
+    }
+
+    #[test]
+    fn to_f64() {
+        assert!((rat(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((rat(-7, 2).to_f64() + 3.5).abs() < 1e-12);
+        let big = Rational::new(BigInt::from(10u64).pow(200), BigInt::from(10u64).pow(199));
+        assert!((big.to_f64() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sums() {
+        let values = vec![rat(1, 2), rat(1, 3), rat(1, 6)];
+        let total: Rational = values.iter().sum();
+        assert_eq!(total, Rational::one());
+        let total_owned: Rational = values.into_iter().sum();
+        assert_eq!(total_owned, Rational::one());
+    }
+
+    proptest! {
+        #[test]
+        fn add_commutes(a in -1000i64..1000, b in 1i64..1000, c in -1000i64..1000, d in 1i64..1000) {
+            prop_assert_eq!(rat(a, b) + rat(c, d), rat(c, d) + rat(a, b));
+        }
+
+        #[test]
+        fn mul_distributes(a in -100i64..100, b in 1i64..100, c in -100i64..100, d in 1i64..100, e in -100i64..100, f in 1i64..100) {
+            let x = rat(a, b);
+            let y = rat(c, d);
+            let z = rat(e, f);
+            prop_assert_eq!(&x * &(&y + &z), &x * &y + &x * &z);
+        }
+
+        #[test]
+        fn sub_then_add_roundtrips(a in -1000i64..1000, b in 1i64..1000, c in -1000i64..1000, d in 1i64..1000) {
+            let x = rat(a, b);
+            let y = rat(c, d);
+            prop_assert_eq!(&(&x - &y) + &y, x);
+        }
+
+        #[test]
+        fn div_then_mul_roundtrips(a in -1000i64..1000, b in 1i64..1000, c in -1000i64..1000, d in 1i64..1000) {
+            prop_assume!(c != 0);
+            let x = rat(a, b);
+            let y = rat(c, d);
+            prop_assert_eq!(&(&x / &y) * &y, x);
+        }
+
+        #[test]
+        fn cmp_matches_f64(a in -1000i64..1000, b in 1i64..1000, c in -1000i64..1000, d in 1i64..1000) {
+            let exact = rat(a, b).cmp(&rat(c, d));
+            let approx = (a as f64 / b as f64).partial_cmp(&(c as f64 / d as f64)).unwrap();
+            // f64 is exact for these small values.
+            prop_assert_eq!(exact, approx);
+        }
+
+        #[test]
+        fn floor_le_value_lt_floor_plus_one(a in -10_000i64..10_000, b in 1i64..1000) {
+            let x = rat(a, b);
+            let fl = Rational::from(x.floor());
+            prop_assert!(fl <= x);
+            prop_assert!(x < &fl + &Rational::one());
+        }
+    }
+}

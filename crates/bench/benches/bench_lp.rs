@@ -1,0 +1,87 @@
+//! Experiment E11: the exact rational simplex solver on Shannon-cone
+//! feasibility programs and on dense random LPs.
+
+use bqc_arith::{int, Rational};
+use bqc_entropy::elemental_inequalities;
+use bqc_lp::{ConstraintOp, LpProblem, Sense, VarBound};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds the LP "is there a polymatroid with h(V) >= 1 and all singletons = s?"
+/// — a feasibility problem whose size matches the prover's programs.
+fn shannon_cone_lp(n: usize) -> LpProblem {
+    let mut lp = LpProblem::new(Sense::Minimize);
+    let mut columns = vec![None; 1 << n];
+    for mask in 1u32..(1 << n) {
+        columns[mask as usize] =
+            Some(lp.add_variable(format!("h{mask}"), VarBound::NonNegative));
+    }
+    for constraint in elemental_inequalities(n) {
+        let coeffs: Vec<_> = constraint
+            .terms
+            .iter()
+            .filter_map(|(mask, coeff)| columns[*mask as usize].map(|v| (v, coeff.clone())))
+            .collect();
+        lp.add_constraint(coeffs, ConstraintOp::Ge, Rational::zero());
+    }
+    let full = (1usize << n) - 1;
+    lp.add_constraint(
+        vec![(columns[full].unwrap(), Rational::one())],
+        ConstraintOp::Ge,
+        int(1),
+    );
+    lp
+}
+
+fn random_lp(variables: usize, constraints: usize, seed: u64) -> LpProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut lp = LpProblem::new(Sense::Maximize);
+    let vars: Vec<_> = (0..variables)
+        .map(|i| lp.add_variable(format!("x{i}"), VarBound::NonNegative))
+        .collect();
+    lp.set_objective(vars.iter().map(|&v| (v, int(rng.gen_range(1..5)))).collect::<Vec<_>>());
+    for _ in 0..constraints {
+        let coeffs: Vec<_> =
+            vars.iter().map(|&v| (v, int(rng.gen_range(0..4)))).collect();
+        lp.add_constraint(coeffs, ConstraintOp::Le, int(rng.gen_range(5..20)));
+    }
+    lp
+}
+
+fn bench_shannon_cone(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp/shannon_cone_feasibility");
+    group.sample_size(10);
+    for n in [3usize, 4, 5] {
+        let lp = shannon_cone_lp(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| assert!(lp.solve().is_optimal()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_random_lps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp/random_dense");
+    group.sample_size(10);
+    for size in [10usize, 20, 30] {
+        let lp = random_lp(size, size, size as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                let solution = lp.solve();
+                assert!(solution.is_optimal());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_shannon_cone, bench_random_lps
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Experiment E13: the Lemma 3.7 constructions (modularization and
+//! normalization) on random polymatroids of growing arity.
+
+use bqc_bench::{random_capped_polymatroid, random_normal_polymatroid};
+use bqc_entropy::{modularize, normalize};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_normalize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("normalize/lemma_3_7_2");
+    group.sample_size(20);
+    for n in [3usize, 5, 7] {
+        let capped = random_capped_polymatroid(n, 11);
+        group.bench_with_input(BenchmarkId::new("capped", n), &n, |b, _| {
+            b.iter(|| normalize(&capped))
+        });
+        let normal = random_normal_polymatroid(n, 13);
+        group.bench_with_input(BenchmarkId::new("already_normal", n), &n, |b, _| {
+            b.iter(|| normalize(&normal))
+        });
+    }
+    group.finish();
+}
+
+fn bench_modularize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("normalize/lemma_3_7_1");
+    group.sample_size(20);
+    for n in [3usize, 5, 7, 9] {
+        let h = random_capped_polymatroid(n, 17);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| modularize(&h))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_normalize, bench_modularize
+}
+criterion_main!(benches);

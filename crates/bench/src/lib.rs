@@ -1,0 +1,126 @@
+//! Workload generators shared by the benchmark harness.
+//!
+//! The paper has no empirical tables (it is a PODS theory paper), so the
+//! benchmark suite regenerates the *algorithmic* experiments catalogued in
+//! EXPERIMENTS.md: scaling of the Theorem 3.1 decision procedure, of the
+//! Shannon-cone LP prover, of homomorphism counting (backtracking vs.
+//! junction-tree DP), of the exact simplex, of witness extraction, and of the
+//! Lemma 3.7 normalization.  This crate holds the deterministic workload
+//! generators those benchmarks (and some stress tests) share.
+
+use bqc_arith::{int, Rational};
+use bqc_entropy::{all_masks, SetFunction};
+use bqc_relational::{Atom, ConjunctiveQuery, Structure, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A directed cycle `R(0,1), R(1,2), …, R(n−1,0)` as a Boolean query.
+pub fn cycle_query(n: usize) -> ConjunctiveQuery {
+    assert!(n >= 2);
+    let atoms = (0..n)
+        .map(|i| Atom::new("R", [format!("x{i}"), format!("x{}", (i + 1) % n)]))
+        .collect();
+    ConjunctiveQuery::boolean(format!("cycle{n}"), atoms).expect("valid cycle query")
+}
+
+/// A directed path `R(0,1), …, R(n−1,n)` as a Boolean query (acyclic, chordal,
+/// simple junction tree).
+pub fn path_query(n: usize) -> ConjunctiveQuery {
+    assert!(n >= 1);
+    let atoms = (0..n)
+        .map(|i| Atom::new("R", [format!("y{i}"), format!("y{}", i + 1)]))
+        .collect();
+    ConjunctiveQuery::boolean(format!("path{n}"), atoms).expect("valid path query")
+}
+
+/// An out-star `R(c,1), …, R(c,n)` as a Boolean query.
+pub fn star_query(n: usize) -> ConjunctiveQuery {
+    assert!(n >= 1);
+    let atoms = (0..n).map(|i| Atom::new("R", ["c".to_string(), format!("l{i}")])).collect();
+    ConjunctiveQuery::boolean(format!("star{n}"), atoms).expect("valid star query")
+}
+
+/// A random directed graph database with `vertices` vertices and `edges`
+/// (not necessarily distinct) edges, deterministic in `seed`.
+pub fn random_graph(vertices: i64, edges: usize, seed: u64) -> Structure {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Structure::empty();
+    for _ in 0..edges {
+        let a = rng.gen_range(0..vertices);
+        let b = rng.gen_range(0..vertices);
+        db.add_fact("R", vec![Value::int(a), Value::int(b)]);
+    }
+    db
+}
+
+/// A random exact polymatroid over `n` named variables, built as a random
+/// non-negative combination of step functions (hence normal, hence a
+/// polymatroid), deterministic in `seed`.
+pub fn random_normal_polymatroid(n: usize, seed: u64) -> SetFunction {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vars: Vec<String> = (0..n).map(|i| format!("V{i}")).collect();
+    let mut h = SetFunction::zero(vars.clone());
+    let full = h.full_mask();
+    let mut result = SetFunction::zero(vars.clone());
+    for w in all_masks(n) {
+        if w == full {
+            continue;
+        }
+        let coeff = int(rng.gen_range(0..4));
+        if coeff.is_zero() {
+            continue;
+        }
+        let step = bqc_entropy::step_function(vars.clone(), w).scale(&coeff);
+        result = result.add(&step);
+    }
+    // Ensure the function is not identically zero.
+    if result.value(full).is_zero() {
+        result = result.add(&bqc_entropy::step_function(vars, 0));
+    }
+    h = result;
+    h
+}
+
+/// A random (generally non-normal) exact polymatroid: the minimum of a random
+/// modular function and a constant cap, `h(X) = min(Σ_{i∈X} w_i, cap)` — a
+/// rank function of a (weighted) uniform-matroid-like structure.
+pub fn random_capped_polymatroid(n: usize, seed: u64) -> SetFunction {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vars: Vec<String> = (0..n).map(|i| format!("V{i}")).collect();
+    let weights: Vec<i64> = (0..n).map(|_| rng.gen_range(1..4)).collect();
+    let cap: i64 = rng.gen_range(2..2 + weights.iter().sum::<i64>().max(2));
+    let mut h = SetFunction::zero(vars);
+    for mask in all_masks(n) {
+        let total: i64 =
+            (0..n).filter(|i| mask & (1 << i) != 0).map(|i| weights[i]).sum();
+        h.set_value(mask, Rational::from(total.min(cap)));
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqc_entropy::{is_normal, is_polymatroid};
+
+    #[test]
+    fn generators_produce_valid_objects() {
+        assert_eq!(cycle_query(3).num_vars(), 3);
+        assert_eq!(path_query(3).num_vars(), 4);
+        assert_eq!(star_query(4).num_vars(), 5);
+        assert_eq!(random_graph(5, 10, 1).vocabulary().arity_of("R"), Some(2));
+        for seed in 0..5 {
+            let normal = random_normal_polymatroid(4, seed);
+            assert!(is_polymatroid(&normal));
+            assert!(is_normal(&normal));
+            let capped = random_capped_polymatroid(4, seed);
+            assert!(is_polymatroid(&capped));
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(random_graph(6, 12, 7), random_graph(6, 12, 7));
+        assert_eq!(random_normal_polymatroid(3, 9), random_normal_polymatroid(3, 9));
+    }
+}

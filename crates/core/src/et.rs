@@ -1,0 +1,233 @@
+//! The "remarkable formula" `E_T` (Eq. 7) and its equivalent forms.
+//!
+//! Fix a tree decomposition `(T, χ)` of a query and root every component.
+//! The paper associates to it the conditional linear expression
+//!
+//! ```text
+//!     E_T(h) = Σ_{t ∈ nodes(T)} h( χ(t) | χ(t) ∩ χ(parent(t)) )
+//! ```
+//!
+//! which is independent of the chosen roots and can equivalently be written as
+//! `Σ_t h(χ(t)) − Σ_{(t1,t2) ∈ edges(T)} h(χ(t1) ∩ χ(t2))` (the form used in
+//! the running-intersection argument) or as the inclusion–exclusion expression
+//! of Eq. (32), originally due to Tony Lee [22].  `E_T` is *simple* exactly
+//! when the decomposition is simple, which is what feeds Theorem 3.6.
+
+use bqc_entropy::{ConditionalExpr, EntropyExpr, VarSet};
+use bqc_hypergraph::TreeDecomposition;
+use bqc_arith::Rational;
+use std::collections::BTreeSet;
+
+/// Builds `E_T` as a conditional linear expression (Eq. 7), rooting each
+/// component at its smallest node index (the result does not depend on this
+/// choice).
+pub fn et_expression(td: &TreeDecomposition) -> ConditionalExpr {
+    let parent = td.rooted();
+    let mut expr = ConditionalExpr::new();
+    for (node, bag) in td.bags().iter().enumerate() {
+        let y: VarSet = bag.iter().cloned().collect();
+        let x: VarSet = match parent[node] {
+            Some(p) => bag.intersection(&td.bags()[p]).cloned().collect(),
+            None => BTreeSet::new(),
+        };
+        expr.add(Rational::one(), y, x);
+    }
+    expr
+}
+
+/// The node/edge form: `Σ_t h(χ(t)) − Σ_{(t1,t2)} h(χ(t1) ∩ χ(t2))`.
+pub fn et_node_edge_form(td: &TreeDecomposition) -> EntropyExpr {
+    let mut expr = EntropyExpr::zero();
+    for bag in td.bags() {
+        expr.add_term(Rational::one(), bag.iter().cloned());
+    }
+    for &edge in td.edges() {
+        expr.add_term(-Rational::one(), td.separator(edge).into_iter());
+    }
+    expr
+}
+
+/// The inclusion–exclusion form of Eq. (32):
+/// `E_T = Σ_{∅ ≠ S ⊆ nodes(T)} (−1)^{|S|+1} · CC(T ∩ S) · h(χ(S))`,
+/// where `χ(S)` is the intersection of the bags in `S` and `CC(T ∩ S)` counts
+/// the connected components of the subforest induced by the nodes whose bags
+/// meet `⋃_{t ∈ S} χ(t)`.
+///
+/// This form is exponential in the number of nodes and exists mainly to
+/// cross-validate `E_T` (and to mirror Lee's original presentation); use
+/// [`et_expression`] for computation.
+pub fn et_inclusion_exclusion(td: &TreeDecomposition) -> EntropyExpr {
+    let nodes = td.num_nodes();
+    assert!(nodes < 20, "inclusion–exclusion form is exponential; too many nodes");
+    let mut expr = EntropyExpr::zero();
+    for subset in 1u32..(1 << nodes) {
+        let members: Vec<usize> = (0..nodes).filter(|i| subset & (1 << i) != 0).collect();
+        // χ(S) = intersection of the member bags.
+        let mut intersection: BTreeSet<String> = td.bags()[members[0]].clone();
+        for &m in &members[1..] {
+            intersection = intersection.intersection(&td.bags()[m]).cloned().collect();
+        }
+        if intersection.is_empty() {
+            continue; // h(∅) = 0 contributes nothing
+        }
+        // Union of the member bags, then the induced subforest of nodes whose
+        // bags intersect that union.
+        let union: BTreeSet<String> =
+            members.iter().flat_map(|&m| td.bags()[m].iter().cloned()).collect();
+        let touched: Vec<usize> = (0..nodes)
+            .filter(|&t| td.bags()[t].iter().any(|v| union.contains(v)))
+            .collect();
+        let cc = connected_components_of(td, &touched);
+        let sign = if members.len() % 2 == 1 { 1 } else { -1 };
+        expr.add_term(Rational::from(sign * cc as i64), intersection.into_iter());
+    }
+    expr
+}
+
+fn connected_components_of(td: &TreeDecomposition, nodes: &[usize]) -> usize {
+    let node_set: BTreeSet<usize> = nodes.iter().copied().collect();
+    let mut seen: BTreeSet<usize> = BTreeSet::new();
+    let mut components = 0;
+    for &start in nodes {
+        if seen.contains(&start) {
+            continue;
+        }
+        components += 1;
+        let mut stack = vec![start];
+        seen.insert(start);
+        while let Some(current) = stack.pop() {
+            for &(a, b) in td.edges() {
+                let next = if a == current {
+                    b
+                } else if b == current {
+                    a
+                } else {
+                    continue;
+                };
+                if node_set.contains(&next) && seen.insert(next) {
+                    stack.push(next);
+                }
+            }
+        }
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqc_arith::int;
+    use bqc_entropy::SetFunction;
+    use bqc_hypergraph::Bag;
+
+    fn bag(items: &[&str]) -> Bag {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// The chain decomposition {Y1,Y3} - {Y1,Y2} - {Y2,Y4} from Example 3.5.
+    fn chain_td() -> TreeDecomposition {
+        TreeDecomposition::new(
+            vec![bag(&["Y1", "Y3"]), bag(&["Y1", "Y2"]), bag(&["Y2", "Y4"])],
+            vec![(0, 1), (1, 2)],
+        )
+    }
+
+    fn random_polymatroid_like(vars: &[&str]) -> SetFunction {
+        // A handcrafted polymatroid on up to 4 variables: h(X) = min(|X| + 1, 3)
+        // except h(∅) = 0 — monotone and submodular.
+        let names: Vec<String> = vars.iter().map(|s| s.to_string()).collect();
+        let mut h = SetFunction::zero(names);
+        for mask in bqc_entropy::all_masks(vars.len()) {
+            if mask == 0 {
+                continue;
+            }
+            let value = (mask.count_ones() as i64 + 1).min(3);
+            h.set_value(mask, int(value));
+        }
+        assert!(bqc_entropy::is_polymatroid(&h));
+        h
+    }
+
+    #[test]
+    fn et_for_example_4_3() {
+        // T = {Y1,Y2} - {Y1,Y3}: E_T = h(Y1Y2) + h(Y3|Y1) = h(Y1Y2) + h(Y1Y3) - h(Y1).
+        let td = TreeDecomposition::new(vec![bag(&["Y1", "Y2"]), bag(&["Y1", "Y3"])], vec![(0, 1)]);
+        let et = et_expression(&td);
+        assert!(et.is_simple());
+        let flat = et.flatten();
+        assert_eq!(flat, et_node_edge_form(&td));
+        let h = random_polymatroid_like(&["Y1", "Y2", "Y3"]);
+        // h(Y1Y2) + h(Y1Y3) - h(Y1) = 3 + 3 - 2 = 4.
+        assert_eq!(flat.evaluate(&h), int(4));
+    }
+
+    #[test]
+    fn three_forms_agree_on_chains() {
+        let td = chain_td();
+        let et = et_expression(&td).flatten();
+        let node_edge = et_node_edge_form(&td);
+        let inclusion_exclusion = et_inclusion_exclusion(&td);
+        assert_eq!(et, node_edge);
+        let h = random_polymatroid_like(&["Y1", "Y2", "Y3", "Y4"]);
+        assert_eq!(et.evaluate(&h), inclusion_exclusion.evaluate(&h));
+    }
+
+    #[test]
+    fn et_is_root_independent() {
+        // Compare against the node/edge form, which has no root at all, for a
+        // star-shaped decomposition where different DFS orders give different
+        // parents.
+        let td = TreeDecomposition::new(
+            vec![bag(&["A", "B"]), bag(&["B", "C"]), bag(&["B", "D"]), bag(&["B", "E"])],
+            vec![(1, 0), (2, 1), (3, 1)],
+        );
+        assert_eq!(et_expression(&td).flatten(), et_node_edge_form(&td));
+    }
+
+    #[test]
+    fn simplicity_of_et_tracks_decomposition() {
+        assert!(et_expression(&chain_td()).is_simple());
+        let wide = TreeDecomposition::new(
+            vec![bag(&["A", "B", "C"]), bag(&["B", "C", "D"])],
+            vec![(0, 1)],
+        );
+        assert!(!et_expression(&wide).is_simple());
+    }
+
+    #[test]
+    fn disconnected_decomposition_is_unconditioned() {
+        let td = TreeDecomposition::new(vec![bag(&["A", "B"]), bag(&["C", "D"])], vec![]);
+        let et = et_expression(&td);
+        assert!(et.is_unconditioned());
+        let flat = et.flatten();
+        // h(AB) + h(CD).
+        assert_eq!(flat.num_terms(), 2);
+        assert_eq!(flat, et_node_edge_form(&td));
+    }
+
+    #[test]
+    fn lee_acyclic_join_characterization_direction() {
+        // For a relation that *does* decompose along T, E_T(h) = h(V).  Take two
+        // independent bits B1, B2 and the decomposition {B1} - ∅ - ... simply
+        // {B1,B2} split as {B1}, {B2} with no shared variables.
+        let td = TreeDecomposition::new(vec![bag(&["B1"]), bag(&["B2"])], vec![]);
+        let h = SetFunction::from_values(
+            vec!["B1".into(), "B2".into()],
+            vec![int(0), int(1), int(1), int(2)],
+        );
+        assert_eq!(et_expression(&td).flatten().evaluate(&h), int(2));
+        assert_eq!(h.value(h.full_mask()), &int(2));
+    }
+
+    #[test]
+    fn inclusion_exclusion_on_two_node_tree() {
+        // Bags {A,B}, {B,C} with edge: Eq.(32) gives h(AB) + h(BC) - h(B).
+        let td = TreeDecomposition::new(vec![bag(&["A", "B"]), bag(&["B", "C"])], vec![(0, 1)]);
+        let expr = et_inclusion_exclusion(&td);
+        let mut expected = EntropyExpr::zero();
+        expected.add_term(int(1), ["A", "B"]);
+        expected.add_term(int(1), ["B", "C"]);
+        expected.add_term(int(-1), ["B"]);
+        assert_eq!(expr, expected);
+    }
+}

@@ -1,0 +1,419 @@
+//! Linear expressions of entropic terms.
+//!
+//! The paper manipulates two closely related syntactic objects:
+//!
+//! * a plain *linear expression* `E(h) = Σ_X c_X · h(X)` (the body of an
+//!   information inequality, Eq. 2) — [`EntropyExpr`];
+//! * a *conditional linear expression* `E(h) = Σ d_{Y|X} · h(Y|X)` with
+//!   `d_{Y|X} ≥ 0` (Section 3.2), whose structure matters for Theorem 3.6:
+//!   the expression is *unconditioned* when every `X = ∅` and *simple* when
+//!   every `|X| ≤ 1` — [`ConditionalExpr`].
+//!
+//! Both kinds can be composed with a variable substitution `φ` (written
+//! `E ∘ φ` in the paper, Section 4), evaluated on exact [`SetFunction`]s or on
+//! floating-point [`RealSetFunction`]s, and flattened to sparse coefficient
+//! form for the LP-based validity checker in `bqc-iip`.
+
+use crate::setfn::{RealSetFunction, SetFunction};
+use bqc_arith::Rational;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A set of variable names (a term `h(S)` refers to such a set).
+pub type VarSet = BTreeSet<String>;
+
+/// A linear expression `Σ_S c_S · h(S)` over named variables.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EntropyExpr {
+    terms: BTreeMap<VarSet, Rational>,
+}
+
+impl EntropyExpr {
+    /// The zero expression.
+    pub fn zero() -> EntropyExpr {
+        EntropyExpr::default()
+    }
+
+    /// A single term `coeff · h(set)`.
+    pub fn term(coeff: Rational, set: impl IntoIterator<Item = impl Into<String>>) -> EntropyExpr {
+        let mut e = EntropyExpr::zero();
+        e.add_term(coeff, set);
+        e
+    }
+
+    /// Adds `coeff · h(set)` to the expression.  Terms over the empty set are
+    /// dropped (`h(∅) = 0`), and cancelling terms are removed.
+    pub fn add_term(
+        &mut self,
+        coeff: Rational,
+        set: impl IntoIterator<Item = impl Into<String>>,
+    ) {
+        let set: VarSet = set.into_iter().map(Into::into).collect();
+        if set.is_empty() || coeff.is_zero() {
+            return;
+        }
+        let entry = self.terms.entry(set.clone()).or_insert_with(Rational::zero);
+        *entry = &*entry + &coeff;
+        if entry.is_zero() {
+            self.terms.remove(&set);
+        }
+    }
+
+    /// Adds a conditional term `coeff · h(Y|X) = coeff·h(X∪Y) − coeff·h(X)`.
+    pub fn add_conditional(&mut self, coeff: Rational, y: &VarSet, x: &VarSet) {
+        let union: VarSet = x.union(y).cloned().collect();
+        self.add_term(coeff.clone(), union);
+        self.add_term(-coeff, x.clone());
+    }
+
+    /// The sparse terms `(S, c_S)`.
+    pub fn terms(&self) -> impl Iterator<Item = (&VarSet, &Rational)> {
+        self.terms.iter()
+    }
+
+    /// Number of non-zero terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` iff the expression is identically zero.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// All variables mentioned by the expression.
+    pub fn variables(&self) -> VarSet {
+        self.terms.keys().flatten().cloned().collect()
+    }
+
+    /// Sum of two expressions.
+    pub fn add(&self, other: &EntropyExpr) -> EntropyExpr {
+        let mut result = self.clone();
+        for (set, coeff) in &other.terms {
+            result.add_term(coeff.clone(), set.iter().cloned());
+        }
+        result
+    }
+
+    /// Scales the expression by a rational.
+    pub fn scale(&self, factor: &Rational) -> EntropyExpr {
+        let mut result = EntropyExpr::zero();
+        for (set, coeff) in &self.terms {
+            result.add_term(coeff * factor, set.iter().cloned());
+        }
+        result
+    }
+
+    /// Negation.
+    pub fn negate(&self) -> EntropyExpr {
+        self.scale(&-Rational::one())
+    }
+
+    /// Applies a variable substitution `φ` to every term:
+    /// `h(S) ↦ h(φ(S))` (Section 4, "E ∘ φ").  Variables missing from the map
+    /// are kept unchanged.
+    pub fn compose(&self, phi: &BTreeMap<String, String>) -> EntropyExpr {
+        let mut result = EntropyExpr::zero();
+        for (set, coeff) in &self.terms {
+            let image: VarSet =
+                set.iter().map(|v| phi.get(v).cloned().unwrap_or_else(|| v.clone())).collect();
+            result.add_term(coeff.clone(), image);
+        }
+        result
+    }
+
+    /// Evaluates the expression on an exact set function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression mentions a variable outside `h`'s universe.
+    pub fn evaluate(&self, h: &SetFunction) -> Rational {
+        let mut acc = Rational::zero();
+        for (set, coeff) in &self.terms {
+            let mask = h.mask_of(set.iter().map(|s| s.as_str()));
+            acc += coeff * h.value(mask);
+        }
+        acc
+    }
+
+    /// Evaluates the expression on a floating-point set function.
+    pub fn evaluate_f64(&self, h: &RealSetFunction) -> f64 {
+        let mut acc = 0.0;
+        for (set, coeff) in &self.terms {
+            acc += coeff.to_f64() * h.value_of(set.iter().map(|s| s.as_str()));
+        }
+        acc
+    }
+}
+
+impl fmt::Display for EntropyExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, (set, coeff)) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            let names: Vec<&str> = set.iter().map(|s| s.as_str()).collect();
+            write!(f, "{}·h({})", coeff, names.join(""))?;
+        }
+        Ok(())
+    }
+}
+
+/// A conditional linear expression `Σ d_{Y|X} · h(Y|X)` with `d ≥ 0`.
+///
+/// The structural classification ([`ConditionalExpr::is_simple`] /
+/// [`ConditionalExpr::is_unconditioned`]) is what Theorem 3.6 keys on.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ConditionalExpr {
+    terms: Vec<(Rational, VarSet, VarSet)>,
+}
+
+impl ConditionalExpr {
+    /// The empty expression.
+    pub fn new() -> ConditionalExpr {
+        ConditionalExpr::default()
+    }
+
+    /// Adds a term `coeff · h(y | x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coefficient is negative (conditional linear expressions
+    /// have non-negative coefficients by definition).
+    pub fn add(&mut self, coeff: Rational, y: VarSet, x: VarSet) {
+        assert!(!coeff.is_negative(), "conditional expressions have non-negative coefficients");
+        if coeff.is_zero() {
+            return;
+        }
+        self.terms.push((coeff, y, x));
+    }
+
+    /// The terms `(d, Y, X)`.
+    pub fn terms(&self) -> &[(Rational, VarSet, VarSet)] {
+        &self.terms
+    }
+
+    /// `true` iff every condition `X` is empty.
+    pub fn is_unconditioned(&self) -> bool {
+        self.terms.iter().all(|(_, _, x)| x.is_empty())
+    }
+
+    /// `true` iff every condition `X` has at most one variable ("simple").
+    pub fn is_simple(&self) -> bool {
+        self.terms.iter().all(|(_, _, x)| x.len() <= 1)
+    }
+
+    /// All variables mentioned.
+    pub fn variables(&self) -> VarSet {
+        self.terms.iter().flat_map(|(_, y, x)| y.iter().chain(x.iter())).cloned().collect()
+    }
+
+    /// Applies a variable substitution to both `Y` and `X` of every term.
+    pub fn compose(&self, phi: &BTreeMap<String, String>) -> ConditionalExpr {
+        let map = |set: &VarSet| -> VarSet {
+            set.iter().map(|v| phi.get(v).cloned().unwrap_or_else(|| v.clone())).collect()
+        };
+        ConditionalExpr {
+            terms: self.terms.iter().map(|(c, y, x)| (c.clone(), map(y), map(x))).collect(),
+        }
+    }
+
+    /// Flattens into a plain linear expression.
+    pub fn flatten(&self) -> EntropyExpr {
+        let mut expr = EntropyExpr::zero();
+        for (coeff, y, x) in &self.terms {
+            expr.add_conditional(coeff.clone(), y, x);
+        }
+        expr
+    }
+
+    /// Evaluates on an exact set function.
+    pub fn evaluate(&self, h: &SetFunction) -> Rational {
+        self.flatten().evaluate(h)
+    }
+}
+
+impl fmt::Display for ConditionalExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, (coeff, y, x)) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            let y_names: Vec<&str> = y.iter().map(|s| s.as_str()).collect();
+            if x.is_empty() {
+                write!(f, "{}·h({})", coeff, y_names.join(""))?;
+            } else {
+                let x_names: Vec<&str> = x.iter().map(|s| s.as_str()).collect();
+                write!(f, "{}·h({}|{})", coeff, y_names.join(""), x_names.join(""))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds a [`VarSet`] from string-likes — a small convenience for tests and
+/// callers.
+pub fn varset(names: impl IntoIterator<Item = impl Into<String>>) -> VarSet {
+    names.into_iter().map(Into::into).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqc_arith::{int, ratio};
+
+    fn independent_bits() -> SetFunction {
+        SetFunction::from_values(
+            vec!["X".into(), "Y".into(), "Z".into()],
+            vec![int(0), int(1), int(1), int(2), int(1), int(2), int(2), int(3)],
+        )
+    }
+
+    #[test]
+    fn build_and_evaluate() {
+        // E = 3 h(X) + 4 h(YZ) - 6 h(Z)  (Example 4.1 flavor).
+        let mut e = EntropyExpr::zero();
+        e.add_term(int(3), ["X"]);
+        e.add_term(int(4), ["Y", "Z"]);
+        e.add_term(int(-6), ["Z"]);
+        let h = independent_bits();
+        assert_eq!(e.evaluate(&h), int(3 + 8 - 6));
+        assert_eq!(e.num_terms(), 3);
+        assert_eq!(e.variables(), varset(["X", "Y", "Z"]));
+    }
+
+    #[test]
+    fn terms_cancel_and_empty_set_is_dropped() {
+        let mut e = EntropyExpr::zero();
+        e.add_term(int(2), ["X"]);
+        e.add_term(int(-2), ["X"]);
+        e.add_term(int(5), Vec::<String>::new());
+        assert!(e.is_zero());
+    }
+
+    #[test]
+    fn conditional_terms_expand() {
+        // h(Y|X) on independent bits = 1.
+        let mut e = EntropyExpr::zero();
+        e.add_conditional(int(1), &varset(["Y"]), &varset(["X"]));
+        assert_eq!(e.evaluate(&independent_bits()), int(1));
+        assert_eq!(e.num_terms(), 2);
+    }
+
+    #[test]
+    fn composition_merges_variables() {
+        // Example 4.1: E = 3h(Y1) + 4h(Y2Y3) − 6h(Y3), φ(Y1)=X1, φ(Y2)=φ(Y3)=X2
+        // gives E∘φ = 3h(X1) − 2h(X2).
+        let mut e = EntropyExpr::zero();
+        e.add_term(int(3), ["Y1"]);
+        e.add_term(int(4), ["Y2", "Y3"]);
+        e.add_term(int(-6), ["Y3"]);
+        let phi: BTreeMap<String, String> = [
+            ("Y1".to_string(), "X1".to_string()),
+            ("Y2".to_string(), "X2".to_string()),
+            ("Y3".to_string(), "X2".to_string()),
+        ]
+        .into_iter()
+        .collect();
+        let composed = e.compose(&phi);
+        assert_eq!(composed.num_terms(), 2);
+        let mut expected = EntropyExpr::zero();
+        expected.add_term(int(3), ["X1"]);
+        expected.add_term(int(-2), ["X2"]);
+        assert_eq!(composed, expected);
+    }
+
+    #[test]
+    fn add_scale_negate() {
+        let a = EntropyExpr::term(int(1), ["X"]);
+        let b = EntropyExpr::term(int(2), ["Y"]);
+        let sum = a.add(&b);
+        assert_eq!(sum.num_terms(), 2);
+        let scaled = sum.scale(&ratio(1, 2));
+        assert_eq!(scaled.evaluate(&independent_bits()), ratio(3, 2));
+        let negated = scaled.negate();
+        assert_eq!(negated.evaluate(&independent_bits()), ratio(-3, 2));
+    }
+
+    #[test]
+    fn conditional_expr_classification() {
+        let mut simple = ConditionalExpr::new();
+        simple.add(int(1), varset(["Y1", "Y2"]), varset([] as [&str; 0]));
+        simple.add(int(1), varset(["Y3"]), varset(["Y1"]));
+        assert!(simple.is_simple());
+        assert!(!simple.is_unconditioned());
+
+        let mut unconditioned = ConditionalExpr::new();
+        unconditioned.add(int(2), varset(["A"]), varset([] as [&str; 0]));
+        assert!(unconditioned.is_unconditioned());
+        assert!(unconditioned.is_simple());
+
+        let mut not_simple = ConditionalExpr::new();
+        not_simple.add(int(1), varset(["C"]), varset(["A", "B"]));
+        assert!(!not_simple.is_simple());
+        assert!(!not_simple.is_unconditioned());
+    }
+
+    #[test]
+    fn conditional_expr_flatten_and_compose() {
+        // E_T for the tree {Y1,Y2} - {Y1,Y3}: h(Y1Y2) + h(Y3|Y1).
+        let mut et = ConditionalExpr::new();
+        et.add(int(1), varset(["Y1", "Y2"]), varset([] as [&str; 0]));
+        et.add(int(1), varset(["Y3"]), varset(["Y1"]));
+        let flat = et.flatten();
+        // = h(Y1Y2) + h(Y1Y3) - h(Y1).
+        assert_eq!(flat.num_terms(), 3);
+        let phi: BTreeMap<String, String> = [
+            ("Y1".to_string(), "X1".to_string()),
+            ("Y2".to_string(), "X2".to_string()),
+            ("Y3".to_string(), "X2".to_string()),
+        ]
+        .into_iter()
+        .collect();
+        let composed = et.compose(&phi);
+        assert!(composed.is_simple());
+        // flatten(compose) == compose(flatten)
+        assert_eq!(composed.flatten(), flat.compose(&phi));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_conditional_coefficient_panics() {
+        let mut e = ConditionalExpr::new();
+        e.add(int(-1), varset(["X"]), varset([] as [&str; 0]));
+    }
+
+    #[test]
+    fn display_forms() {
+        let mut e = EntropyExpr::zero();
+        e.add_term(int(2), ["X", "Y"]);
+        e.add_term(int(-1), ["X"]);
+        let text = e.to_string();
+        assert!(text.contains("h(XY)"));
+        assert!(text.contains("-1·h(X)"));
+        assert_eq!(EntropyExpr::zero().to_string(), "0");
+
+        let mut c = ConditionalExpr::new();
+        c.add(int(1), varset(["Z"]), varset(["X"]));
+        assert_eq!(c.to_string(), "1·h(Z|X)");
+    }
+
+    #[test]
+    fn evaluate_f64_matches_exact_on_integers() {
+        let h = independent_bits();
+        let real = RealSetFunction::from_values(
+            h.vars().to_vec(),
+            h.to_f64(),
+        );
+        let mut e = EntropyExpr::zero();
+        e.add_term(int(3), ["X", "Y"]);
+        e.add_term(int(-2), ["Z"]);
+        assert!((e.evaluate_f64(&real) - e.evaluate(&h).to_f64()).abs() < 1e-12);
+    }
+}

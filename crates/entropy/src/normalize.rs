@@ -1,0 +1,259 @@
+//! The constructive Lemma 3.7 (Appendix C): dominating a polymatroid from
+//! below by a modular / normal function.
+//!
+//! * [`modularize`] implements item (1): for any polymatroid `h` there is a
+//!   modular `h′ ≤ h` with `h′(V) = h(V)` (the chain construction
+//!   `h′(X) = Σ_{i∈X} h({i} | {1,…,i−1})`).
+//! * [`normalize`] implements item (2) / Theorem C.3: a *normal* `h′ ≤ h`
+//!   with `h′(V) = h(V)` **and** `h′({i}) = h({i})` for every variable.  The
+//!   construction recurses on the lattice split `L = L_1 ∪ L_2` (subsets
+//!   without / with the last variable), normalizes the conditional
+//!   polymatroid on `L_2`, and replaces the `L_1` part by the max-construction
+//!   of Lemma C.2 applied to the mutual informations `I({i}; {n})`.
+//!
+//! These constructions are the engine behind Theorem 3.6 ("essentially
+//! Shannon") and therefore behind the witness extraction of the decision
+//! procedure: an LP counterexample in `Γ_n` is pushed down to `N_n`, whose
+//! elements are entropies of normal relations, i.e. of actual databases.
+
+use crate::setfn::{all_masks, Mask, SetFunction};
+use bqc_arith::Rational;
+
+/// Item (1) of Lemma 3.7: the modular function
+/// `h′(X) = Σ_{i ∈ X} h({i} | {x_1,…,x_{i−1}})`, which satisfies `h′ ≤ h` and
+/// `h′(V) = h(V)`.
+pub fn modularize(h: &SetFunction) -> SetFunction {
+    let n = h.num_vars();
+    let mut singleton_weights: Vec<Rational> = Vec::with_capacity(n);
+    let mut prefix: Mask = 0;
+    for i in 0..n {
+        let bit = 1 << i;
+        singleton_weights.push(h.conditional(bit, prefix));
+        prefix |= bit;
+    }
+    let mut result = SetFunction::zero(h.vars().to_vec());
+    for mask in all_masks(n) {
+        let mut value = Rational::zero();
+        for (i, w) in singleton_weights.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                value += w;
+            }
+        }
+        result.set_value(mask, value);
+    }
+    result
+}
+
+/// Lemma C.2: the "max construction".  Given non-negative `a_1, …, a_n`, the
+/// function `h(X) = max{ a_i : i ∈ X }` (0 on the empty set) is a normal
+/// polymatroid.
+pub fn max_construction(vars: Vec<String>, values: &[Rational]) -> SetFunction {
+    assert_eq!(vars.len(), values.len(), "one value per variable");
+    let mut h = SetFunction::zero(vars);
+    for mask in all_masks(values.len()) {
+        if mask == 0 {
+            continue;
+        }
+        let mut best = Rational::zero();
+        for (i, v) in values.iter().enumerate() {
+            if mask & (1 << i) != 0 && v > &best {
+                best = v.clone();
+            }
+        }
+        h.set_value(mask, best);
+    }
+    h
+}
+
+/// Item (2) of Lemma 3.7 / Theorem C.3: a normal polymatroid `h′` with
+/// `h′ ≤ h`, `h′(V) = h(V)` and `h′({i}) = h({i})` for every `i`.
+///
+/// The input must be a polymatroid; the output is guaranteed (and, under
+/// `debug_assertions`, checked) to be a normal polymatroid with the three
+/// listed properties.
+pub fn normalize(h: &SetFunction) -> SetFunction {
+    let result = normalize_inner(h);
+    #[cfg(debug_assertions)]
+    {
+        use crate::shannon::is_polymatroid;
+        use crate::stepfn::is_normal;
+        debug_assert!(is_polymatroid(&result), "normalization must return a polymatroid");
+        debug_assert!(is_normal(&result), "normalization must return a normal function");
+        debug_assert!(result.dominated_by(h), "normalization must not increase any value");
+        debug_assert_eq!(result.value(h.full_mask()), h.value(h.full_mask()));
+    }
+    result
+}
+
+fn normalize_inner(h: &SetFunction) -> SetFunction {
+    let n = h.num_vars();
+    if n <= 1 {
+        // With a single variable every polymatroid is h({1}) · h_∅, hence normal.
+        return h.clone();
+    }
+    let vars = h.vars().to_vec();
+    let last = n - 1;
+    let last_bit: Mask = 1 << last;
+    let hn = h.value(last_bit).clone();
+
+    // The conditional polymatroid on L2 (subsets containing the last variable),
+    // identified with the lattice over the first n-1 variables:
+    //     h2(S) = h(S ∪ {n}) − h({n}).
+    let sub_vars: Vec<String> = vars[..last].to_vec();
+    let mut h2 = SetFunction::zero(sub_vars.clone());
+    for s in all_masks(last) {
+        h2.set_value(s, h.value(s | last_bit) - &hn);
+    }
+    let h2_normal = normalize_inner(&h2);
+
+    // The L1 part: h1(X) = I(X ; {n}) is handled by the max construction on the
+    // singleton mutual informations I({i} ; {n}).
+    let singleton_mi: Vec<Rational> =
+        (0..last).map(|i| h.mutual_information(1 << i, last_bit, 0)).collect();
+    let h1_normal = max_construction(sub_vars, &singleton_mi);
+
+    // Combine (Eqs. 42 and 43):
+    //   X ∌ n : h′(X) = h1′(X) + h2′(X)
+    //   X ∋ n : h′(X) = h({n}) + h2′(X ∖ {n})
+    let mut result = SetFunction::zero(vars);
+    for mask in all_masks(n) {
+        if mask == 0 {
+            continue;
+        }
+        let value = if mask & last_bit == 0 {
+            h1_normal.value(mask) + h2_normal.value(mask)
+        } else {
+            let rest = mask & !last_bit;
+            &hn + h2_normal.value(rest)
+        };
+        result.set_value(mask, value);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shannon::{is_modular, is_polymatroid};
+    use crate::stepfn::is_normal;
+    use bqc_arith::{int, ratio};
+
+    fn names(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn parity() -> SetFunction {
+        SetFunction::from_values(
+            names(&["X", "Y", "Z"]),
+            vec![int(0), int(1), int(1), int(2), int(1), int(2), int(2), int(2)],
+        )
+    }
+
+    fn check_lemma_3_7_2(h: &SetFunction) {
+        let normalized = normalize(h);
+        assert!(is_polymatroid(&normalized));
+        assert!(is_normal(&normalized));
+        assert!(normalized.dominated_by(h));
+        assert_eq!(normalized.value(h.full_mask()), h.value(h.full_mask()));
+        for i in 0..h.num_vars() {
+            assert_eq!(normalized.value(1 << i), h.value(1 << i), "singleton {i} must be preserved");
+        }
+    }
+
+    #[test]
+    fn modularize_parity() {
+        let h = parity();
+        let modular = modularize(&h);
+        assert!(is_modular(&modular));
+        assert!(modular.dominated_by(&h));
+        assert_eq!(modular.value(h.full_mask()), h.value(h.full_mask()));
+        // Item (1) does not preserve singletons in general: here h'(Z) = 0 < 1.
+        assert_eq!(modular.value_of(["Z"]), &int(0));
+    }
+
+    #[test]
+    fn normalize_parity_matches_example_c4() {
+        // Example C.4 normalizes the parity function; the result preserves the
+        // singletons and the top, and is normal.
+        let h = parity();
+        check_lemma_3_7_2(&h);
+        let normalized = normalize(&h);
+        // The paper's figure gives h'(12) = 1 (the bag containing X,Y drops to 1).
+        // Our recursion eliminates the last variable (Z), producing a symmetric
+        // variant; the defining properties are what matters, but we also pin the
+        // concrete values to guard against regressions.
+        assert_eq!(normalized.value_of(["X", "Y", "Z"]), &int(2));
+        assert_eq!(normalized.value_of(["X"]), &int(1));
+        assert_eq!(normalized.value_of(["Y"]), &int(1));
+        assert_eq!(normalized.value_of(["Z"]), &int(1));
+    }
+
+    #[test]
+    fn normalize_already_normal_functions() {
+        // Step functions and modular functions stay within the bounds.
+        let step = crate::stepfn::step_function(names(&["A", "B", "C"]), 0b010);
+        check_lemma_3_7_2(&step);
+        let modular = crate::stepfn::modular_function(
+            names(&["A", "B", "C"]),
+            &[int(1), ratio(3, 2), int(2)],
+        );
+        check_lemma_3_7_2(&modular);
+    }
+
+    #[test]
+    fn normalize_two_variable_polymatroids() {
+        // On two variables every polymatroid is already normal, and the
+        // construction must preserve it exactly (it preserves singletons and the
+        // top, which determine everything on n = 2).
+        let h = SetFunction::from_values(
+            names(&["X", "Y"]),
+            vec![int(0), int(2), int(3), int(4)],
+        );
+        check_lemma_3_7_2(&h);
+        let normalized = normalize(&h);
+        assert_eq!(normalized, h);
+    }
+
+    #[test]
+    fn normalize_four_variable_polymatroid() {
+        // The uniform matroid of rank 2 on 4 variables: h(X) = min(|X|, 2).
+        let vars = names(&["A", "B", "C", "D"]);
+        let mut h = SetFunction::zero(vars);
+        for mask in all_masks(4) {
+            let size = mask.count_ones().min(2) as i64;
+            h.set_value(mask, int(size));
+        }
+        assert!(is_polymatroid(&h));
+        check_lemma_3_7_2(&h);
+    }
+
+    #[test]
+    fn max_construction_is_normal_polymatroid() {
+        // Lemma C.2 with a mix of values, including zero and equal entries.
+        let h = max_construction(names(&["A", "B", "C"]), &[int(0), int(2), int(2)]);
+        assert!(is_polymatroid(&h));
+        assert!(is_normal(&h));
+        assert_eq!(h.value_of(["A"]), &int(0));
+        assert_eq!(h.value_of(["A", "B"]), &int(2));
+        assert_eq!(h.value_of(["B", "C"]), &int(2));
+    }
+
+    #[test]
+    fn normalize_preserves_fractional_values() {
+        let h = SetFunction::from_values(
+            names(&["X", "Y", "Z"]),
+            vec![
+                int(0),
+                ratio(1, 2),
+                ratio(1, 2),
+                ratio(3, 4),
+                ratio(1, 2),
+                ratio(3, 4),
+                ratio(3, 4),
+                ratio(3, 4),
+            ],
+        );
+        assert!(is_polymatroid(&h));
+        check_lemma_3_7_2(&h);
+    }
+}

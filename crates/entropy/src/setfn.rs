@@ -1,0 +1,470 @@
+//! Exact set functions `h : 2^V → ℚ` over a named variable universe.
+//!
+//! Entropic functions, polymatroids, modular and normal functions are all set
+//! functions over the subsets of a variable set `V = {X_1, …, X_n}`
+//! (Section 2.3).  [`SetFunction`] stores one exact rational per subset,
+//! indexed by bitmask, together with the variable names, and provides the
+//! derived quantities used throughout the paper: conditional entropy
+//! `h(Y|X) = h(XY) − h(X)`, conditional mutual information, and the Möbius
+//! inverse `g` of Eq. (33) (equivalently, Yeung's I-measure up to sign).
+
+use bqc_arith::Rational;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A subset of the variable universe, as a bitmask over the variable indices.
+pub type Mask = u32;
+
+/// Iterates over all `2^n` subset masks of an `n`-element universe.
+pub fn all_masks(n: usize) -> impl Iterator<Item = Mask> {
+    assert!(n < 31, "variable universes beyond 30 variables are not supported");
+    0..(1u32 << n)
+}
+
+/// Number of elements in a mask.
+pub fn mask_len(mask: Mask) -> usize {
+    mask.count_ones() as usize
+}
+
+/// `true` iff `a ⊆ b`.
+pub fn mask_subset(a: Mask, b: Mask) -> bool {
+    a & !b == 0
+}
+
+/// An exact set function over named variables with `h(∅) = 0`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SetFunction {
+    vars: Vec<String>,
+    values: Vec<Rational>,
+}
+
+impl SetFunction {
+    /// Creates the all-zero set function over the given variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if variable names repeat or if there are more than 30 variables.
+    pub fn zero(vars: Vec<String>) -> SetFunction {
+        let distinct: BTreeSet<&String> = vars.iter().collect();
+        assert_eq!(distinct.len(), vars.len(), "duplicate variable names");
+        assert!(vars.len() < 31, "too many variables");
+        let values = vec![Rational::zero(); 1 << vars.len()];
+        SetFunction { vars, values }
+    }
+
+    /// Creates a set function from explicit per-mask values (`values[mask]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != 2^n` or `values[0] != 0`.
+    pub fn from_values(vars: Vec<String>, values: Vec<Rational>) -> SetFunction {
+        assert_eq!(values.len(), 1 << vars.len(), "need one value per subset");
+        assert!(values[0].is_zero(), "h(∅) must be 0");
+        let mut f = SetFunction::zero(vars);
+        f.values = values;
+        f
+    }
+
+    /// The variable names, in index order.
+    pub fn vars(&self) -> &[String] {
+        &self.vars
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// The mask containing every variable.
+    pub fn full_mask(&self) -> Mask {
+        ((1u64 << self.vars.len()) - 1) as Mask
+    }
+
+    /// The bit index of a variable name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is unknown.
+    pub fn index_of(&self, name: &str) -> usize {
+        self.vars
+            .iter()
+            .position(|v| v == name)
+            .unwrap_or_else(|| panic!("unknown variable {name}"))
+    }
+
+    /// Converts a set of names into a mask.
+    pub fn mask_of<'a>(&self, names: impl IntoIterator<Item = &'a str>) -> Mask {
+        let mut mask = 0;
+        for name in names {
+            mask |= 1 << self.index_of(name);
+        }
+        mask
+    }
+
+    /// Converts a mask back into the set of names.
+    pub fn names_of(&self, mask: Mask) -> BTreeSet<String> {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, v)| v.clone())
+            .collect()
+    }
+
+    /// The value `h(S)` for a mask `S`.
+    pub fn value(&self, mask: Mask) -> &Rational {
+        &self.values[mask as usize]
+    }
+
+    /// Sets `h(S)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when setting `h(∅)` to a non-zero value.
+    pub fn set_value(&mut self, mask: Mask, value: Rational) {
+        if mask == 0 {
+            assert!(value.is_zero(), "h(∅) must remain 0");
+        }
+        self.values[mask as usize] = value;
+    }
+
+    /// The value `h(S)` for a set of names.
+    pub fn value_of<'a>(&self, names: impl IntoIterator<Item = &'a str>) -> &Rational {
+        self.value(self.mask_of(names))
+    }
+
+    /// Conditional entropy `h(Y | X) = h(X ∪ Y) − h(X)`.
+    pub fn conditional(&self, y: Mask, x: Mask) -> Rational {
+        self.value(x | y) - self.value(x)
+    }
+
+    /// Conditional mutual information
+    /// `I(A ; B | X) = h(A ∪ X) + h(B ∪ X) − h(A ∪ B ∪ X) − h(X)`.
+    pub fn mutual_information(&self, a: Mask, b: Mask, x: Mask) -> Rational {
+        self.value(a | x) + self.value(b | x) - self.value(a | b | x) - self.value(x)
+    }
+
+    /// Pointwise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable universes differ.
+    pub fn add(&self, other: &SetFunction) -> SetFunction {
+        assert_eq!(self.vars, other.vars, "mismatched variable universes");
+        let values =
+            self.values.iter().zip(&other.values).map(|(a, b)| a + b).collect();
+        SetFunction { vars: self.vars.clone(), values }
+    }
+
+    /// Pointwise scaling by a non-negative rational.
+    pub fn scale(&self, factor: &Rational) -> SetFunction {
+        let values = self.values.iter().map(|v| v * factor).collect();
+        SetFunction { vars: self.vars.clone(), values }
+    }
+
+    /// Pointwise comparison: `true` iff `self(S) ≤ other(S)` for every `S`.
+    pub fn dominated_by(&self, other: &SetFunction) -> bool {
+        assert_eq!(self.vars, other.vars, "mismatched variable universes");
+        self.values.iter().zip(&other.values).all(|(a, b)| a <= b)
+    }
+
+    /// The Möbius inverse `g` of Eq. (33):
+    /// `g(X) = Σ_{Y ⊇ X} (−1)^{|Y − X|} h(Y)`, satisfying
+    /// `h(X) = Σ_{Y ⊇ X} g(Y)`.
+    pub fn mobius_inverse(&self) -> Vec<Rational> {
+        let n = self.vars.len();
+        let full = self.full_mask();
+        let mut g = vec![Rational::zero(); 1 << n];
+        for x in all_masks(n) {
+            let complement = full & !x;
+            // Iterate over supersets Y ⊇ X by adding subsets of the complement.
+            let mut acc = Rational::zero();
+            let mut extra: Mask = 0;
+            loop {
+                let y = x | extra;
+                let term = self.value(y);
+                if mask_len(extra) % 2 == 0 {
+                    acc += term;
+                } else {
+                    acc -= term;
+                }
+                if extra == complement {
+                    break;
+                }
+                extra = (extra.wrapping_sub(complement)) & complement;
+            }
+            g[x as usize] = acc;
+        }
+        g
+    }
+
+    /// Reconstructs a set function from its Möbius inverse
+    /// (`h(X) = Σ_{Y ⊇ X} g(Y)`).
+    pub fn from_mobius(vars: Vec<String>, g: &[Rational]) -> SetFunction {
+        let n = vars.len();
+        assert_eq!(g.len(), 1 << n, "need one Möbius coefficient per subset");
+        let full: Mask = ((1u64 << n) - 1) as Mask;
+        let mut values = vec![Rational::zero(); 1 << n];
+        for x in all_masks(n) {
+            let complement = full & !x;
+            let mut acc = Rational::zero();
+            let mut extra: Mask = 0;
+            loop {
+                acc += &g[(x | extra) as usize];
+                if extra == complement {
+                    break;
+                }
+                extra = (extra.wrapping_sub(complement)) & complement;
+            }
+            values[x as usize] = acc;
+        }
+        SetFunction::from_values(vars, values)
+    }
+
+    /// Restricts the function to a sub-universe given by `keep` (a mask),
+    /// producing a set function over the retained variables.
+    pub fn restrict(&self, keep: Mask) -> SetFunction {
+        let kept: Vec<usize> =
+            (0..self.vars.len()).filter(|i| keep & (1 << i) != 0).collect();
+        let vars: Vec<String> = kept.iter().map(|&i| self.vars[i].clone()).collect();
+        let mut result = SetFunction::zero(vars);
+        for sub in all_masks(kept.len()) {
+            let mut original: Mask = 0;
+            for (new_bit, &old_bit) in kept.iter().enumerate() {
+                if sub & (1 << new_bit) != 0 {
+                    original |= 1 << old_bit;
+                }
+            }
+            result.set_value(sub, self.value(original).clone());
+        }
+        result
+    }
+
+    /// Approximate f64 view (for reporting).
+    pub fn to_f64(&self) -> Vec<f64> {
+        self.values.iter().map(|v| v.to_f64()).collect()
+    }
+}
+
+impl fmt::Display for SetFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for mask in all_masks(self.vars.len()) {
+            if mask == 0 {
+                continue;
+            }
+            let names: Vec<String> = self.names_of(mask).into_iter().collect();
+            writeln!(f, "h({}) = {}", names.join(""), self.value(mask))?;
+        }
+        Ok(())
+    }
+}
+
+/// A floating-point set function, used for empirical entropies of relations
+/// (whose values are logarithms and generally irrational).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RealSetFunction {
+    vars: Vec<String>,
+    values: Vec<f64>,
+}
+
+impl RealSetFunction {
+    /// Creates a real set function from per-mask values.
+    pub fn from_values(vars: Vec<String>, values: Vec<f64>) -> RealSetFunction {
+        assert_eq!(values.len(), 1 << vars.len(), "need one value per subset");
+        RealSetFunction { vars, values }
+    }
+
+    /// The variable names.
+    pub fn vars(&self) -> &[String] {
+        &self.vars
+    }
+
+    /// Value at a mask.
+    pub fn value(&self, mask: Mask) -> f64 {
+        self.values[mask as usize]
+    }
+
+    /// Mask from names.
+    pub fn mask_of<'a>(&self, names: impl IntoIterator<Item = &'a str>) -> Mask {
+        let mut mask = 0;
+        for name in names {
+            let index = self
+                .vars
+                .iter()
+                .position(|v| v == name)
+                .unwrap_or_else(|| panic!("unknown variable {name}"));
+            mask |= 1 << index;
+        }
+        mask
+    }
+
+    /// Value by names.
+    pub fn value_of<'a>(&self, names: impl IntoIterator<Item = &'a str>) -> f64 {
+        self.value(self.mask_of(names))
+    }
+
+    /// Conditional entropy `h(Y|X)`.
+    pub fn conditional(&self, y: Mask, x: Mask) -> f64 {
+        self.value(x | y) - self.value(x)
+    }
+
+    /// Checks the polymatroid axioms up to a numerical tolerance.
+    pub fn is_approx_polymatroid(&self, tolerance: f64) -> bool {
+        let n = self.vars.len();
+        let full = ((1u64 << n) - 1) as Mask;
+        if self.values[0].abs() > tolerance {
+            return false;
+        }
+        for i in 0..n {
+            if self.value(full) - self.value(full & !(1 << i)) < -tolerance {
+                return false;
+            }
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                for x in all_masks(n) {
+                    if x & (1 << i) != 0 || x & (1 << j) != 0 {
+                        continue;
+                    }
+                    let lhs = self.value(x | (1 << i)) + self.value(x | (1 << j));
+                    let rhs = self.value(x | (1 << i) | (1 << j)) + self.value(x);
+                    if lhs - rhs < -tolerance {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqc_arith::int;
+
+    fn names(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn mask_helpers() {
+        assert_eq!(all_masks(3).count(), 8);
+        assert_eq!(mask_len(0b101), 2);
+        assert!(mask_subset(0b001, 0b011));
+        assert!(!mask_subset(0b100, 0b011));
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let mut h = SetFunction::zero(names(&["X", "Y"]));
+        assert_eq!(h.num_vars(), 2);
+        assert_eq!(h.full_mask(), 0b11);
+        h.set_value(0b01, int(1));
+        h.set_value(0b10, int(1));
+        h.set_value(0b11, int(2));
+        assert_eq!(h.value_of(["X"]), &int(1));
+        assert_eq!(h.value_of(["X", "Y"]), &int(2));
+        assert_eq!(h.names_of(0b11).len(), 2);
+        assert_eq!(h.mask_of(["Y"]), 0b10);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn unknown_variable_panics() {
+        let h = SetFunction::zero(names(&["X"]));
+        h.value_of(["Z"]);
+    }
+
+    #[test]
+    fn conditional_and_mutual_information() {
+        // Two independent fair bits: h(X)=h(Y)=1, h(XY)=2.
+        let h = SetFunction::from_values(
+            names(&["X", "Y"]),
+            vec![int(0), int(1), int(1), int(2)],
+        );
+        assert_eq!(h.conditional(0b10, 0b01), int(1));
+        assert_eq!(h.mutual_information(0b01, 0b10, 0), int(0));
+        // Perfectly correlated bits: h(X)=h(Y)=h(XY)=1.
+        let h = SetFunction::from_values(
+            names(&["X", "Y"]),
+            vec![int(0), int(1), int(1), int(1)],
+        );
+        assert_eq!(h.conditional(0b10, 0b01), int(0));
+        assert_eq!(h.mutual_information(0b01, 0b10, 0), int(1));
+    }
+
+    #[test]
+    fn add_scale_dominate() {
+        let a = SetFunction::from_values(names(&["X"]), vec![int(0), int(2)]);
+        let b = SetFunction::from_values(names(&["X"]), vec![int(0), int(3)]);
+        assert_eq!(a.add(&b).value(1), &int(5));
+        assert_eq!(a.scale(&bqc_arith::ratio(1, 2)).value(1), &int(1));
+        assert!(a.dominated_by(&b));
+        assert!(!b.dominated_by(&a));
+    }
+
+    #[test]
+    fn mobius_inverse_of_parity_matches_paper() {
+        // Appendix B: the parity function has g(∅)=1, g(X)=g(Y)=g(Z)=−1,
+        // g(pairs)=0, g(XYZ)=2.
+        let h = SetFunction::from_values(
+            names(&["X", "Y", "Z"]),
+            vec![int(0), int(1), int(1), int(2), int(1), int(2), int(2), int(2)],
+        );
+        let g = h.mobius_inverse();
+        assert_eq!(g[0], int(1));
+        assert_eq!(g[0b001], int(-1));
+        assert_eq!(g[0b010], int(-1));
+        assert_eq!(g[0b100], int(-1));
+        assert_eq!(g[0b011], int(0));
+        assert_eq!(g[0b101], int(0));
+        assert_eq!(g[0b110], int(0));
+        assert_eq!(g[0b111], int(2));
+        // Σ_Y g(Y) = h(∅) = 0.
+        let total: Rational = g.iter().sum();
+        assert_eq!(total, int(0));
+    }
+
+    #[test]
+    fn mobius_roundtrip() {
+        let h = SetFunction::from_values(
+            names(&["A", "B", "C"]),
+            vec![int(0), int(3), int(2), int(4), int(5), int(7), int(6), int(8)],
+        );
+        let g = h.mobius_inverse();
+        let back = SetFunction::from_mobius(names(&["A", "B", "C"]), &g);
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn restriction() {
+        let h = SetFunction::from_values(
+            names(&["X", "Y", "Z"]),
+            vec![int(0), int(1), int(1), int(2), int(1), int(2), int(2), int(2)],
+        );
+        let restricted = h.restrict(0b011); // keep X, Y
+        assert_eq!(restricted.vars(), &["X", "Y"]);
+        assert_eq!(restricted.value_of(["X", "Y"]), &int(2));
+        assert_eq!(restricted.value_of(["Y"]), &int(1));
+    }
+
+    #[test]
+    fn real_set_function_checks() {
+        // Entropy of two i.i.d. fair bits.
+        let h = RealSetFunction::from_values(names(&["X", "Y"]), vec![0.0, 1.0, 1.0, 2.0]);
+        assert!(h.is_approx_polymatroid(1e-9));
+        assert_eq!(h.value_of(["X", "Y"]), 2.0);
+        assert_eq!(h.conditional(0b10, 0b01), 1.0);
+        // A non-monotone function is rejected.
+        let bad = RealSetFunction::from_values(names(&["X", "Y"]), vec![0.0, 1.0, 1.0, 0.5]);
+        assert!(!bad.is_approx_polymatroid(1e-9));
+    }
+
+    #[test]
+    fn display_contains_values() {
+        let h = SetFunction::from_values(names(&["X", "Y"]), vec![int(0), int(1), int(1), int(2)]);
+        let text = h.to_string();
+        assert!(text.contains("h(XY) = 2"));
+    }
+}

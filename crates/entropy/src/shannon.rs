@@ -1,0 +1,196 @@
+//! The Shannon (polymatroid) cone `Γ_n` and its elemental inequalities.
+//!
+//! A function `h : 2^V → ℝ_+` with `h(∅) = 0` is a *polymatroid* when it is
+//! monotone and submodular (Eq. 5).  The set `Γ_n` of polymatroids is a
+//! polyhedral cone, generated (in its dual description) by the *elemental*
+//! Shannon inequalities:
+//!
+//! * monotonicity: `h(V) − h(V ∖ {i}) ≥ 0` for every variable `i`;
+//! * submodularity: `h(X ∪ {i}) + h(X ∪ {j}) − h(X ∪ {i,j}) − h(X) ≥ 0`
+//!   for all `i < j` and all `X ⊆ V ∖ {i, j}`.
+//!
+//! Every Shannon inequality is a non-negative combination of these, which is
+//! exactly what the LP-based validity checker in `bqc-iip` relies on.
+
+use crate::setfn::{all_masks, Mask, SetFunction};
+use bqc_arith::Rational;
+
+/// A single linear constraint `Σ coeff·h(mask) ≥ 0` in sparse form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ElementalInequality {
+    /// Sparse list of `(subset mask, coefficient)` pairs.
+    pub terms: Vec<(Mask, Rational)>,
+    /// Human-readable description.
+    pub label: String,
+}
+
+impl ElementalInequality {
+    /// Evaluates the constraint's left-hand side on a set function.
+    pub fn evaluate(&self, h: &SetFunction) -> Rational {
+        let mut acc = Rational::zero();
+        for (mask, coeff) in &self.terms {
+            acc += coeff * h.value(*mask);
+        }
+        acc
+    }
+}
+
+/// Generates the elemental Shannon inequalities for an `n`-variable universe.
+///
+/// The count is `n + C(n,2)·2^{n−2}` for `n ≥ 2` (plus just the `n`
+/// monotonicity constraints for `n ≤ 1`).
+pub fn elemental_inequalities(n: usize) -> Vec<ElementalInequality> {
+    let mut constraints = Vec::new();
+    let full: Mask = ((1u64 << n) - 1) as Mask;
+    // Monotonicity at the top: h(V) - h(V \ {i}) >= 0.
+    for i in 0..n {
+        constraints.push(ElementalInequality {
+            terms: vec![(full, Rational::one()), (full & !(1 << i), -Rational::one())],
+            label: format!("mono({i})"),
+        });
+    }
+    // Elemental submodularity: h(Xi) + h(Xj) - h(Xij) - h(X) >= 0.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            for x in all_masks(n) {
+                if x & (1 << i) != 0 || x & (1 << j) != 0 {
+                    continue;
+                }
+                let xi = x | (1 << i);
+                let xj = x | (1 << j);
+                let xij = x | (1 << i) | (1 << j);
+                constraints.push(ElementalInequality {
+                    terms: vec![
+                        (xi, Rational::one()),
+                        (xj, Rational::one()),
+                        (xij, -Rational::one()),
+                        (x, -Rational::one()),
+                    ],
+                    label: format!("submod({i},{j}|{x:b})"),
+                });
+            }
+        }
+    }
+    constraints
+}
+
+/// Expected number of elemental inequalities for `n` variables.
+pub fn elemental_count(n: usize) -> usize {
+    if n < 2 {
+        n
+    } else {
+        n + n * (n - 1) / 2 * (1 << (n - 2))
+    }
+}
+
+/// Checks whether an exact set function is a polymatroid (monotone,
+/// submodular, `h(∅) = 0`, non-negative).
+pub fn is_polymatroid(h: &SetFunction) -> bool {
+    if !h.value(0).is_zero() {
+        return false;
+    }
+    // Non-negativity and monotonicity follow from the elemental inequalities
+    // plus h(∅) = 0, but checking monotonicity for every pair (X, X∪{i}) keeps
+    // the predicate meaningful on its own.
+    let n = h.num_vars();
+    for x in all_masks(n) {
+        for i in 0..n {
+            if x & (1 << i) == 0 && h.value(x | (1 << i)) < h.value(x) {
+                return false;
+            }
+        }
+    }
+    elemental_inequalities(n).iter().all(|c| !c.evaluate(h).is_negative())
+}
+
+/// Checks whether a set function is modular:
+/// `h(X ∪ Y) + h(X ∩ Y) = h(X) + h(Y)` for all `X, Y` — equivalently
+/// `h(X) = Σ_{i ∈ X} h({i})`.
+pub fn is_modular(h: &SetFunction) -> bool {
+    let n = h.num_vars();
+    for x in all_masks(n) {
+        let mut sum = Rational::zero();
+        for i in 0..n {
+            if x & (1 << i) != 0 {
+                sum += h.value(1 << i);
+            }
+        }
+        if &sum != h.value(x) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqc_arith::{int, ratio};
+
+    fn names(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn parity() -> SetFunction {
+        SetFunction::from_values(
+            names(&["X", "Y", "Z"]),
+            vec![int(0), int(1), int(1), int(2), int(1), int(2), int(2), int(2)],
+        )
+    }
+
+    #[test]
+    fn constraint_counts() {
+        assert_eq!(elemental_inequalities(1).len(), elemental_count(1));
+        assert_eq!(elemental_inequalities(2).len(), elemental_count(2));
+        assert_eq!(elemental_inequalities(3).len(), elemental_count(3));
+        assert_eq!(elemental_inequalities(4).len(), elemental_count(4));
+        assert_eq!(elemental_count(3), 3 + 3 * 2);
+        assert_eq!(elemental_count(4), 4 + 6 * 4);
+    }
+
+    #[test]
+    fn parity_is_a_polymatroid() {
+        assert!(is_polymatroid(&parity()));
+        assert!(!is_modular(&parity()));
+    }
+
+    #[test]
+    fn independent_bits_are_modular() {
+        let h = SetFunction::from_values(
+            names(&["X", "Y"]),
+            vec![int(0), int(1), int(2), int(3)],
+        );
+        assert!(is_polymatroid(&h));
+        assert!(is_modular(&h));
+    }
+
+    #[test]
+    fn violations_are_detected() {
+        // Non-monotone.
+        let h = SetFunction::from_values(names(&["X", "Y"]), vec![int(0), int(2), int(1), int(1)]);
+        assert!(!is_polymatroid(&h));
+        // Supermodular (violates submodularity): h(X)=h(Y)=1, h(XY)=3.
+        let h = SetFunction::from_values(names(&["X", "Y"]), vec![int(0), int(1), int(1), int(3)]);
+        assert!(!is_polymatroid(&h));
+        assert!(!is_modular(&h));
+    }
+
+    #[test]
+    fn elemental_evaluation() {
+        let h = parity();
+        for c in elemental_inequalities(3) {
+            assert!(!c.evaluate(&h).is_negative(), "constraint {} violated", c.label);
+        }
+    }
+
+    #[test]
+    fn fractional_polymatroid() {
+        // h(X) = h(Y) = 1/2, h(XY) = 3/4: submodular and monotone.
+        let h = SetFunction::from_values(
+            names(&["X", "Y"]),
+            vec![int(0), ratio(1, 2), ratio(1, 2), ratio(3, 4)],
+        );
+        assert!(is_polymatroid(&h));
+        assert!(!is_modular(&h));
+    }
+}

@@ -1,0 +1,369 @@
+//! Undirected graphs over string-named vertices.
+//!
+//! The graphs handled here are Gaifman graphs of conjunctive queries: a vertex
+//! per query variable and an edge between two variables whenever they co-occur
+//! in an atom.  The operations the paper needs are chordality testing (via
+//! maximum-cardinality search and perfect elimination orderings), maximal
+//! cliques of chordal graphs, and connected components.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Vertex identifier (a variable name).
+pub type Vertex = String;
+
+/// A finite simple undirected graph.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Graph {
+    adjacency: BTreeMap<Vertex, BTreeSet<Vertex>>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Graph {
+        Graph::default()
+    }
+
+    /// Adds an isolated vertex (no-op if already present).
+    pub fn add_vertex(&mut self, v: impl Into<Vertex>) {
+        self.adjacency.entry(v.into()).or_default();
+    }
+
+    /// Adds an undirected edge, creating the endpoints if necessary.
+    /// Self-loops are ignored (Gaifman graphs are simple).
+    pub fn add_edge(&mut self, a: impl Into<Vertex>, b: impl Into<Vertex>) {
+        let a = a.into();
+        let b = b.into();
+        if a == b {
+            self.add_vertex(a);
+            return;
+        }
+        self.adjacency.entry(a.clone()).or_default().insert(b.clone());
+        self.adjacency.entry(b).or_default().insert(a);
+    }
+
+    /// Builds a graph from a list of cliques (e.g. atom variable sets): every
+    /// pair of vertices inside the same clique becomes an edge.
+    pub fn from_cliques<I, S>(cliques: I) -> Graph
+    where
+        I: IntoIterator<Item = S>,
+        S: IntoIterator<Item = Vertex>,
+    {
+        let mut graph = Graph::new();
+        for clique in cliques {
+            let members: Vec<Vertex> = clique.into_iter().collect();
+            for v in &members {
+                graph.add_vertex(v.clone());
+            }
+            for i in 0..members.len() {
+                for j in (i + 1)..members.len() {
+                    graph.add_edge(members[i].clone(), members[j].clone());
+                }
+            }
+        }
+        graph
+    }
+
+    /// The vertices, in lexicographic order.
+    pub fn vertices(&self) -> impl Iterator<Item = &Vertex> {
+        self.adjacency.keys()
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.adjacency.values().map(|n| n.len()).sum::<usize>() / 2
+    }
+
+    /// Neighbours of a vertex (empty if the vertex is unknown).
+    pub fn neighbors(&self, v: &str) -> BTreeSet<Vertex> {
+        self.adjacency.get(v).cloned().unwrap_or_default()
+    }
+
+    /// `true` iff the edge `{a, b}` exists.
+    pub fn has_edge(&self, a: &str, b: &str) -> bool {
+        self.adjacency.get(a).is_some_and(|n| n.contains(b))
+    }
+
+    /// `true` iff every pair of distinct vertices in `set` is adjacent.
+    pub fn is_clique(&self, set: &BTreeSet<Vertex>) -> bool {
+        let members: Vec<&Vertex> = set.iter().collect();
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                if !self.has_edge(members[i], members[j]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Connected components, each as a set of vertices.
+    pub fn connected_components(&self) -> Vec<BTreeSet<Vertex>> {
+        let mut seen: BTreeSet<&Vertex> = BTreeSet::new();
+        let mut components = Vec::new();
+        for start in self.adjacency.keys() {
+            if seen.contains(start) {
+                continue;
+            }
+            let mut component = BTreeSet::new();
+            let mut stack = vec![start];
+            while let Some(v) = stack.pop() {
+                if !seen.insert(v) {
+                    continue;
+                }
+                component.insert(v.clone());
+                for n in &self.adjacency[v] {
+                    if !seen.contains(n) {
+                        stack.push(n);
+                    }
+                }
+            }
+            components.push(component);
+        }
+        components
+    }
+
+    /// Maximum-cardinality search: returns a visit order `v_1, …, v_n` where
+    /// each `v_i` maximizes the number of already-visited neighbours.  The
+    /// reverse of this order is a perfect elimination ordering iff the graph
+    /// is chordal.
+    pub fn maximum_cardinality_search(&self) -> Vec<Vertex> {
+        let mut weight: BTreeMap<&Vertex, usize> =
+            self.adjacency.keys().map(|v| (v, 0)).collect();
+        let mut visited: BTreeSet<&Vertex> = BTreeSet::new();
+        let mut order = Vec::with_capacity(self.adjacency.len());
+        while visited.len() < self.adjacency.len() {
+            let chosen: &Vertex = weight
+                .iter()
+                .filter(|(v, _)| !visited.contains(*v))
+                .max_by(|(v1, w1), (v2, w2)| w1.cmp(w2).then(v2.cmp(v1)))
+                .map(|(v, _)| *v)
+                .expect("unvisited vertex exists");
+            visited.insert(chosen);
+            order.push(chosen.clone());
+            for n in &self.adjacency[chosen] {
+                if !visited.contains(n) {
+                    *weight.get_mut(n).expect("neighbor is a vertex") += 1;
+                }
+            }
+        }
+        order
+    }
+
+    /// Chordality test: the graph is chordal iff for every vertex `v` (in MCS
+    /// visit order) its already-visited neighbours form a clique once the
+    /// latest-visited such neighbour is removed — equivalently, the
+    /// already-visited neighbourhood of `v` is contained in the closed
+    /// neighbourhood of its "parent".
+    pub fn is_chordal(&self) -> bool {
+        let order = self.maximum_cardinality_search();
+        for (i, v) in order.iter().enumerate() {
+            // Neighbours of v that were visited before v, in visit order.
+            let prior: Vec<&Vertex> =
+                order[..i].iter().filter(|u| self.has_edge(v, u)).collect();
+            if prior.len() <= 1 {
+                continue;
+            }
+            let parent = *prior.last().expect("non-empty prior neighbourhood");
+            for u in &prior[..prior.len() - 1] {
+                if !self.has_edge(u, parent) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Maximal cliques of a **chordal** graph, computed from the MCS order:
+    /// each vertex contributes the clique `{v} ∪ (earlier neighbours)`, and
+    /// cliques contained in another are dropped.
+    ///
+    /// Returns `None` if the graph is not chordal.
+    pub fn maximal_cliques_chordal(&self) -> Option<Vec<BTreeSet<Vertex>>> {
+        if !self.is_chordal() {
+            return None;
+        }
+        let order = self.maximum_cardinality_search();
+        let mut candidates: Vec<BTreeSet<Vertex>> = Vec::new();
+        for (i, v) in order.iter().enumerate() {
+            let mut clique: BTreeSet<Vertex> =
+                order[..i].iter().filter(|u| self.has_edge(v, u)).cloned().collect();
+            clique.insert(v.clone());
+            candidates.push(clique);
+        }
+        let mut maximal: Vec<BTreeSet<Vertex>> = Vec::new();
+        for candidate in &candidates {
+            let contained = candidates
+                .iter()
+                .any(|other| other != candidate && candidate.is_subset(other));
+            let duplicate = maximal.iter().any(|m| m == candidate);
+            if !contained && !duplicate {
+                maximal.push(candidate.clone());
+            }
+        }
+        Some(maximal)
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (v, neighbors) in &self.adjacency {
+            write!(f, "{v}:")?;
+            for n in neighbors {
+                write!(f, " {n}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[&str]) -> BTreeSet<Vertex> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn cycle(n: usize) -> Graph {
+        let mut g = Graph::new();
+        for i in 0..n {
+            g.add_edge(format!("v{i}"), format!("v{}", (i + 1) % n));
+        }
+        g
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let mut g = Graph::new();
+        g.add_edge("a", "b");
+        g.add_edge("b", "c");
+        g.add_vertex("d");
+        g.add_edge("a", "a"); // ignored self loop
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge("a", "b"));
+        assert!(g.has_edge("b", "a"));
+        assert!(!g.has_edge("a", "c"));
+        assert_eq!(g.neighbors("b"), set(&["a", "c"]));
+        assert_eq!(g.neighbors("zzz"), BTreeSet::new());
+    }
+
+    #[test]
+    fn from_cliques_builds_gaifman_graph() {
+        let g = Graph::from_cliques(vec![set(&["x", "y", "z"]), set(&["z", "w"])]);
+        assert!(g.has_edge("x", "y"));
+        assert!(g.has_edge("y", "z"));
+        assert!(g.has_edge("z", "w"));
+        assert!(!g.has_edge("x", "w"));
+        assert!(g.is_clique(&set(&["x", "y", "z"])));
+        assert!(!g.is_clique(&set(&["x", "y", "w"])));
+    }
+
+    #[test]
+    fn connected_components() {
+        let mut g = cycle(3);
+        g.add_edge("a", "b");
+        g.add_vertex("solo");
+        let components = g.connected_components();
+        assert_eq!(components.len(), 3);
+        let sizes: Vec<usize> = components.iter().map(|c| c.len()).collect();
+        assert!(sizes.contains(&3) && sizes.contains(&2) && sizes.contains(&1));
+    }
+
+    #[test]
+    fn chordality_of_cycles() {
+        // Triangles are chordal; longer cycles are not.
+        assert!(cycle(3).is_chordal());
+        assert!(!cycle(4).is_chordal());
+        assert!(!cycle(5).is_chordal());
+        assert!(!cycle(6).is_chordal());
+    }
+
+    #[test]
+    fn chordality_of_trees_and_completes() {
+        // Every tree is chordal.
+        let mut tree = Graph::new();
+        tree.add_edge("r", "a");
+        tree.add_edge("r", "b");
+        tree.add_edge("a", "c");
+        tree.add_edge("a", "d");
+        assert!(tree.is_chordal());
+        // Complete graphs are chordal.
+        let complete = Graph::from_cliques(vec![set(&["1", "2", "3", "4", "5"])]);
+        assert!(complete.is_chordal());
+        // A 4-cycle plus one chord is chordal.
+        let mut squared = cycle(4);
+        squared.add_edge("v0", "v2");
+        assert!(squared.is_chordal());
+    }
+
+    #[test]
+    fn empty_and_single_vertex_graphs_are_chordal() {
+        assert!(Graph::new().is_chordal());
+        let mut g = Graph::new();
+        g.add_vertex("x");
+        assert!(g.is_chordal());
+    }
+
+    #[test]
+    fn mcs_visits_every_vertex_once() {
+        let g = cycle(5);
+        let order = g.maximum_cardinality_search();
+        assert_eq!(order.len(), 5);
+        let distinct: BTreeSet<&Vertex> = order.iter().collect();
+        assert_eq!(distinct.len(), 5);
+    }
+
+    #[test]
+    fn maximal_cliques_of_chordal_graphs() {
+        // Path a-b-c: maximal cliques {a,b}, {b,c}.
+        let mut path = Graph::new();
+        path.add_edge("a", "b");
+        path.add_edge("b", "c");
+        let cliques = path.maximal_cliques_chordal().unwrap();
+        assert_eq!(cliques.len(), 2);
+        assert!(cliques.contains(&set(&["a", "b"])));
+        assert!(cliques.contains(&set(&["b", "c"])));
+
+        // Triangle with a pendant: cliques {a,b,c}, {c,d}.
+        let mut g = Graph::from_cliques(vec![set(&["a", "b", "c"])]);
+        g.add_edge("c", "d");
+        let cliques = g.maximal_cliques_chordal().unwrap();
+        assert_eq!(cliques.len(), 2);
+        assert!(cliques.contains(&set(&["a", "b", "c"])));
+        assert!(cliques.contains(&set(&["c", "d"])));
+
+        // Non-chordal graphs return None.
+        assert!(cycle(4).maximal_cliques_chordal().is_none());
+    }
+
+    #[test]
+    fn maximal_cliques_cover_all_edges() {
+        let mut g = Graph::from_cliques(vec![set(&["a", "b", "c"]), set(&["c", "d", "e"])]);
+        g.add_edge("e", "f");
+        let cliques = g.maximal_cliques_chordal().unwrap();
+        for (a, b) in
+            [("a", "b"), ("b", "c"), ("c", "d"), ("d", "e"), ("e", "f"), ("a", "c"), ("c", "e")]
+        {
+            assert!(
+                cliques.iter().any(|c| c.contains(a) && c.contains(b)),
+                "edge ({a},{b}) not covered by any clique"
+            );
+        }
+    }
+
+    #[test]
+    fn display_renders_adjacency() {
+        let mut g = Graph::new();
+        g.add_edge("a", "b");
+        let text = g.to_string();
+        assert!(text.contains("a: b"));
+    }
+}

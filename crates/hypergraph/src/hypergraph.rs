@@ -1,0 +1,243 @@
+//! Hypergraphs and α-acyclicity.
+//!
+//! A conjunctive query's hypergraph has one hyperedge per atom (the atom's
+//! variable set).  The paper's Definition 2.6 calls a query *acyclic* when it
+//! has a tree decomposition whose bags are exactly atom variable sets; this is
+//! the classic α-acyclicity of Fagin [10], which this module decides with the
+//! GYO (Graham / Yu–Özsoyoğlu) reduction and, independently, by building a
+//! join tree with a maximum-weight spanning forest and validating it.
+
+use crate::graph::{Graph, Vertex};
+use crate::treedecomp::{maximum_weight_spanning_forest, TreeDecomposition};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A hypergraph over string vertices: a list of hyperedges.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Hypergraph {
+    edges: Vec<BTreeSet<Vertex>>,
+}
+
+impl Hypergraph {
+    /// Creates a hypergraph from hyperedges (empty edges are dropped).
+    pub fn new(edges: Vec<BTreeSet<Vertex>>) -> Hypergraph {
+        Hypergraph { edges: edges.into_iter().filter(|e| !e.is_empty()).collect() }
+    }
+
+    /// The hyperedges.
+    pub fn edges(&self) -> &[BTreeSet<Vertex>] {
+        &self.edges
+    }
+
+    /// All vertices.
+    pub fn vertices(&self) -> BTreeSet<Vertex> {
+        self.edges.iter().flatten().cloned().collect()
+    }
+
+    /// Number of hyperedges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The Gaifman (primal) graph: vertices of the hypergraph, an edge between
+    /// two vertices whenever they share a hyperedge.
+    pub fn gaifman_graph(&self) -> Graph {
+        let mut graph = Graph::from_cliques(self.edges.iter().cloned());
+        for v in self.vertices() {
+            graph.add_vertex(v);
+        }
+        graph
+    }
+
+    /// GYO reduction: repeatedly (a) remove vertices that occur in exactly one
+    /// hyperedge, and (b) remove hyperedges contained in another hyperedge.
+    /// The hypergraph is α-acyclic iff the reduction terminates with at most
+    /// one (possibly empty) hyperedge.
+    pub fn is_alpha_acyclic(&self) -> bool {
+        let mut edges: Vec<BTreeSet<Vertex>> = self.edges.clone();
+        loop {
+            let mut changed = false;
+
+            // (a) Remove isolated vertices (appearing in exactly one edge).
+            let mut counts: std::collections::BTreeMap<&Vertex, usize> =
+                std::collections::BTreeMap::new();
+            for edge in &edges {
+                for v in edge {
+                    *counts.entry(v).or_insert(0) += 1;
+                }
+            }
+            let isolated: BTreeSet<Vertex> = counts
+                .iter()
+                .filter(|(_, &count)| count == 1)
+                .map(|(v, _)| (*v).clone())
+                .collect();
+            if !isolated.is_empty() {
+                for edge in &mut edges {
+                    let before = edge.len();
+                    edge.retain(|v| !isolated.contains(v));
+                    if edge.len() != before {
+                        changed = true;
+                    }
+                }
+            }
+
+            // (b) Remove edges contained in another edge (and empty edges).
+            let mut kept: Vec<BTreeSet<Vertex>> = Vec::new();
+            for (i, edge) in edges.iter().enumerate() {
+                if edge.is_empty() {
+                    changed = true;
+                    continue;
+                }
+                let contained = edges.iter().enumerate().any(|(j, other)| {
+                    i != j && edge.is_subset(other) && (edge != other || j < i)
+                });
+                if contained {
+                    changed = true;
+                } else {
+                    kept.push(edge.clone());
+                }
+            }
+            edges = kept;
+
+            if edges.len() <= 1 {
+                return true;
+            }
+            if !changed {
+                return false;
+            }
+        }
+    }
+
+    /// Builds a join tree: a tree decomposition whose bags are exactly the
+    /// hyperedges.  Returns `None` when the hypergraph is not α-acyclic.
+    pub fn join_tree(&self) -> Option<TreeDecomposition> {
+        if self.edges.is_empty() {
+            return Some(TreeDecomposition::new(Vec::new(), Vec::new()));
+        }
+        let td = maximum_weight_spanning_forest(self.edges.clone());
+        if td.has_running_intersection() {
+            Some(td)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Hypergraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for edge in &self.edges {
+            write!(f, "{{")?;
+            for (i, v) in edge.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{v}")?;
+            }
+            write!(f, "}} ")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(items: &[&str]) -> BTreeSet<Vertex> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn path_is_acyclic() {
+        let h = Hypergraph::new(vec![edge(&["x", "y"]), edge(&["y", "z"]), edge(&["z", "w"])]);
+        assert!(h.is_alpha_acyclic());
+        let jt = h.join_tree().unwrap();
+        assert!(jt.is_valid_for(h.edges()));
+        assert_eq!(jt.num_nodes(), 3);
+    }
+
+    #[test]
+    fn triangle_of_binary_edges_is_cyclic() {
+        let h = Hypergraph::new(vec![edge(&["x", "y"]), edge(&["y", "z"]), edge(&["z", "x"])]);
+        assert!(!h.is_alpha_acyclic());
+        assert!(h.join_tree().is_none());
+    }
+
+    #[test]
+    fn triangle_covered_by_ternary_edge_is_acyclic() {
+        // α-acyclicity is not hereditary: adding the big edge makes it acyclic.
+        let h = Hypergraph::new(vec![
+            edge(&["x", "y"]),
+            edge(&["y", "z"]),
+            edge(&["z", "x"]),
+            edge(&["x", "y", "z"]),
+        ]);
+        assert!(h.is_alpha_acyclic());
+        let jt = h.join_tree().unwrap();
+        assert!(jt.is_valid_for(h.edges()));
+    }
+
+    #[test]
+    fn star_and_single_edges() {
+        let star = Hypergraph::new(vec![
+            edge(&["c", "a"]),
+            edge(&["c", "b"]),
+            edge(&["c", "d"]),
+        ]);
+        assert!(star.is_alpha_acyclic());
+        let single = Hypergraph::new(vec![edge(&["x", "y", "z"])]);
+        assert!(single.is_alpha_acyclic());
+        let empty = Hypergraph::new(vec![]);
+        assert!(empty.is_alpha_acyclic());
+        assert_eq!(empty.join_tree().unwrap().num_nodes(), 0);
+    }
+
+    #[test]
+    fn disconnected_hypergraph() {
+        let h = Hypergraph::new(vec![edge(&["a", "b"]), edge(&["c", "d"])]);
+        assert!(h.is_alpha_acyclic());
+        let jt = h.join_tree().unwrap();
+        assert!(jt.edges().is_empty());
+        assert!(jt.is_totally_disconnected());
+    }
+
+    #[test]
+    fn cyclic_example_from_example_5_2() {
+        // Q2 of Example 5.2 is acyclic: S1(U1) S2(U2) S3(U3) S4(U4),
+        // R0(Y0...), R1(Y0,Y1...), R2(Y1,Y2...) form a chain plus isolated unary edges.
+        let h = Hypergraph::new(vec![
+            edge(&["u1"]),
+            edge(&["u2"]),
+            edge(&["u3"]),
+            edge(&["u4"]),
+            edge(&["y01", "y02", "y03"]),
+            edge(&["y01", "y02", "y11", "y12", "y13"]),
+            edge(&["y12", "y13", "y21", "y22", "y23"]),
+        ]);
+        assert!(h.is_alpha_acyclic());
+        let jt = h.join_tree().unwrap();
+        assert!(jt.is_valid_for(h.edges()));
+    }
+
+    #[test]
+    fn gaifman_graph_is_primal_graph() {
+        let h = Hypergraph::new(vec![edge(&["x", "y", "z"]), edge(&["z", "w"])]);
+        let g = h.gaifman_graph();
+        assert!(g.has_edge("x", "y"));
+        assert!(g.has_edge("z", "w"));
+        assert!(!g.has_edge("x", "w"));
+        assert_eq!(g.num_vertices(), 4);
+    }
+
+    #[test]
+    fn duplicate_edges_do_not_break_acyclicity() {
+        let h = Hypergraph::new(vec![edge(&["x", "y"]), edge(&["x", "y"]), edge(&["y", "z"])]);
+        assert!(h.is_alpha_acyclic());
+    }
+
+    #[test]
+    fn display() {
+        let h = Hypergraph::new(vec![edge(&["a", "b"])]);
+        assert_eq!(h.to_string().trim(), "{a,b}");
+    }
+}

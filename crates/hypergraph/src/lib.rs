@@ -1,0 +1,50 @@
+//! # bqc-hypergraph — graphs, hypergraphs and tree decompositions
+//!
+//! The structural side of *Bag Query Containment and Information Theory*
+//! (PODS 2020): Gaifman graphs, α-acyclicity (GYO reduction and join trees),
+//! chordality (maximum-cardinality search), maximal cliques, junction trees
+//! and the two structural restrictions the decision procedure of Theorem 3.1
+//! relies on — *simple* and *totally disconnected* tree decompositions.
+//!
+//! ```
+//! use bqc_hypergraph::{Graph, junction_tree};
+//!
+//! // Example 3.5's containing query has Gaifman graph y1-y2, y1-y3, y2-y4.
+//! let mut g = Graph::new();
+//! g.add_edge("y1", "y2");
+//! g.add_edge("y1", "y3");
+//! g.add_edge("y2", "y4");
+//! assert!(g.is_chordal());
+//! let jt = junction_tree(&g).unwrap();
+//! assert!(jt.is_simple());
+//! ```
+
+pub mod graph;
+pub mod hypergraph;
+pub mod treedecomp;
+
+pub use graph::{Graph, Vertex};
+pub use hypergraph::Hypergraph;
+pub use treedecomp::{junction_tree, maximum_weight_spanning_forest, Bag, TreeDecomposition};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn chordal_query_with_simple_junction_tree() {
+        // The chain {y1,y3} - {y1,y2} - {y2,y4} from Example 3.5.
+        let edges: Vec<BTreeSet<String>> = vec![
+            ["y1", "y2"].iter().map(|s| s.to_string()).collect(),
+            ["y1", "y3"].iter().map(|s| s.to_string()).collect(),
+            ["y2", "y4"].iter().map(|s| s.to_string()).collect(),
+        ];
+        let h = Hypergraph::new(edges.clone());
+        assert!(h.is_alpha_acyclic());
+        let graph = h.gaifman_graph();
+        let jt = junction_tree(&graph).unwrap();
+        assert!(jt.is_simple());
+        assert!(jt.is_valid_for(&edges));
+    }
+}

@@ -1,0 +1,452 @@
+//! Tree decompositions, junction trees and join trees.
+//!
+//! Definition 2.6 of the paper: a tree decomposition of a query `Q` is a
+//! forest `T` together with a bag `χ(t) ⊆ vars(Q)` per node such that (a) for
+//! every variable the nodes whose bags contain it form a connected subtree
+//! (*running intersection*), and (b) every atom's variables are contained in
+//! some bag (*coverage*).  A *junction tree* is a tree decomposition whose
+//! bags are exactly the maximal cliques of the Gaifman graph; it exists iff
+//! the graph is chordal.  A decomposition is *simple* when adjacent bags share
+//! at most one variable, and *totally disconnected* when they share none.
+
+use crate::graph::{Graph, Vertex};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A bag of a tree decomposition: a set of variables.
+pub type Bag = BTreeSet<Vertex>;
+
+/// A tree decomposition (in general a forest) with explicit bags.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreeDecomposition {
+    bags: Vec<Bag>,
+    /// Undirected forest edges between bag indices.
+    edges: Vec<(usize, usize)>,
+}
+
+impl TreeDecomposition {
+    /// Creates a decomposition from bags and forest edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a non-existent bag, or if the edges do not
+    /// form a forest (i.e. they contain a cycle).
+    pub fn new(bags: Vec<Bag>, edges: Vec<(usize, usize)>) -> TreeDecomposition {
+        for &(a, b) in &edges {
+            assert!(a < bags.len() && b < bags.len(), "edge ({a},{b}) out of range");
+            assert_ne!(a, b, "self-loop edge in tree decomposition");
+        }
+        let td = TreeDecomposition { bags, edges };
+        assert!(td.is_forest(), "tree decomposition edges contain a cycle");
+        td
+    }
+
+    /// A decomposition with a single bag and no edges.
+    pub fn single_bag(bag: Bag) -> TreeDecomposition {
+        TreeDecomposition { bags: vec![bag], edges: Vec::new() }
+    }
+
+    /// The bags.
+    pub fn bags(&self) -> &[Bag] {
+        &self.bags
+    }
+
+    /// The forest edges (pairs of bag indices).
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.bags.len()
+    }
+
+    /// The union of all bags.
+    pub fn all_vertices(&self) -> BTreeSet<Vertex> {
+        self.bags.iter().flatten().cloned().collect()
+    }
+
+    /// Width of the decomposition (largest bag size minus one).
+    pub fn width(&self) -> usize {
+        self.bags.iter().map(|b| b.len()).max().unwrap_or(0).saturating_sub(1)
+    }
+
+    fn adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.bags.len()];
+        for &(a, b) in &self.edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        adj
+    }
+
+    fn is_forest(&self) -> bool {
+        // A graph is a forest iff every connected component has |E| = |V| - 1,
+        // equivalently no DFS back edge.
+        let adj = self.adjacency();
+        let mut seen = vec![false; self.bags.len()];
+        for start in 0..self.bags.len() {
+            if seen[start] {
+                continue;
+            }
+            let mut stack = vec![(start, usize::MAX)];
+            seen[start] = true;
+            let mut edges_in_component = 0usize;
+            let mut nodes_in_component = 0usize;
+            while let Some((node, parent)) = stack.pop() {
+                nodes_in_component += 1;
+                for &next in &adj[node] {
+                    edges_in_component += 1;
+                    if next == parent {
+                        continue;
+                    }
+                    if seen[next] {
+                        return false;
+                    }
+                    seen[next] = true;
+                    stack.push((next, node));
+                }
+            }
+            // Each undirected edge inside the component is counted twice.
+            if edges_in_component / 2 != nodes_in_component - 1 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Checks the running-intersection property: for every vertex, the bags
+    /// containing it induce a connected subgraph of the forest.
+    pub fn has_running_intersection(&self) -> bool {
+        let adj = self.adjacency();
+        let vertices = self.all_vertices();
+        for vertex in &vertices {
+            let holders: Vec<usize> =
+                (0..self.bags.len()).filter(|&i| self.bags[i].contains(vertex)).collect();
+            if holders.len() <= 1 {
+                continue;
+            }
+            let holder_set: BTreeSet<usize> = holders.iter().copied().collect();
+            let mut seen: BTreeSet<usize> = BTreeSet::new();
+            let mut stack = vec![holders[0]];
+            seen.insert(holders[0]);
+            while let Some(node) = stack.pop() {
+                for &next in &adj[node] {
+                    if holder_set.contains(&next) && seen.insert(next) {
+                        stack.push(next);
+                    }
+                }
+            }
+            if seen.len() != holders.len() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Checks the coverage property with respect to a set of hyperedges (atom
+    /// variable sets): every hyperedge must be contained in some bag.
+    pub fn covers(&self, hyperedges: &[BTreeSet<Vertex>]) -> bool {
+        hyperedges.iter().all(|e| self.bags.iter().any(|bag| e.is_subset(bag)))
+    }
+
+    /// `true` iff this is a valid tree decomposition for the given hyperedges.
+    pub fn is_valid_for(&self, hyperedges: &[BTreeSet<Vertex>]) -> bool {
+        self.has_running_intersection() && self.covers(hyperedges)
+    }
+
+    /// A decomposition is *simple* when every pair of adjacent bags shares at
+    /// most one vertex (Section 3.1).
+    pub fn is_simple(&self) -> bool {
+        self.edges.iter().all(|&(a, b)| self.bags[a].intersection(&self.bags[b]).count() <= 1)
+    }
+
+    /// A decomposition is *totally disconnected* when adjacent bags share no
+    /// vertex; equivalently (footnote 5) all its edges can be removed.
+    pub fn is_totally_disconnected(&self) -> bool {
+        self.edges.iter().all(|&(a, b)| self.bags[a].intersection(&self.bags[b]).count() == 0)
+    }
+
+    /// The separator (bag intersection) of a forest edge.
+    pub fn separator(&self, edge: (usize, usize)) -> BTreeSet<Vertex> {
+        self.bags[edge.0].intersection(&self.bags[edge.1]).cloned().collect()
+    }
+
+    /// Roots every connected component at its smallest node index and returns
+    /// the parent of each node (`None` for roots).  The paper's expression
+    /// `E_T` (Eq. 7) is independent of this choice.
+    pub fn rooted(&self) -> Vec<Option<usize>> {
+        let adj = self.adjacency();
+        let mut parent: Vec<Option<usize>> = vec![None; self.bags.len()];
+        let mut seen = vec![false; self.bags.len()];
+        for start in 0..self.bags.len() {
+            if seen[start] {
+                continue;
+            }
+            seen[start] = true;
+            let mut stack = vec![start];
+            while let Some(node) = stack.pop() {
+                for &next in &adj[node] {
+                    if !seen[next] {
+                        seen[next] = true;
+                        parent[next] = Some(node);
+                        stack.push(next);
+                    }
+                }
+            }
+        }
+        parent
+    }
+
+    /// Returns a topological order of the rooted forest: every node appears
+    /// after its parent.
+    pub fn topological_order(&self) -> Vec<usize> {
+        let parent = self.rooted();
+        let mut order: Vec<usize> = Vec::with_capacity(self.bags.len());
+        let mut placed = vec![false; self.bags.len()];
+        // Repeatedly place nodes whose parent is already placed.
+        while order.len() < self.bags.len() {
+            let before = order.len();
+            for node in 0..self.bags.len() {
+                if placed[node] {
+                    continue;
+                }
+                match parent[node] {
+                    None => {
+                        placed[node] = true;
+                        order.push(node);
+                    }
+                    Some(p) if placed[p] => {
+                        placed[node] = true;
+                        order.push(node);
+                    }
+                    _ => {}
+                }
+            }
+            assert!(order.len() > before, "rooted forest must be acyclic");
+        }
+        order
+    }
+}
+
+impl fmt::Display for TreeDecomposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, bag) in self.bags.iter().enumerate() {
+            write!(f, "bag {i}: {{")?;
+            for (j, v) in bag.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{v}")?;
+            }
+            writeln!(f, "}}")?;
+        }
+        for &(a, b) in &self.edges {
+            writeln!(f, "edge {a} -- {b}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds a tree (forest) over the given bags by taking a maximum-weight
+/// spanning forest of their intersection graph (weight = separator size,
+/// only positive-weight edges are used).  For the maximal cliques of a chordal
+/// graph, or the atom sets of an acyclic query, this yields a valid
+/// decomposition by the classic junction-tree theorem.
+pub fn maximum_weight_spanning_forest(bags: Vec<Bag>) -> TreeDecomposition {
+    let mut candidate_edges: Vec<(usize, usize, usize)> = Vec::new();
+    for i in 0..bags.len() {
+        for j in (i + 1)..bags.len() {
+            let weight = bags[i].intersection(&bags[j]).count();
+            if weight > 0 {
+                candidate_edges.push((i, j, weight));
+            }
+        }
+    }
+    candidate_edges.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+
+    // Kruskal with union-find.
+    let mut parent: Vec<usize> = (0..bags.len()).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    let mut edges = Vec::new();
+    for (i, j, _) in candidate_edges {
+        let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+        if ri != rj {
+            parent[ri] = rj;
+            edges.push((i, j));
+        }
+    }
+    TreeDecomposition::new(bags, edges)
+}
+
+/// Computes a junction tree of the graph: bags are the maximal cliques, edges
+/// a maximum-weight spanning forest of the clique graph.  Returns `None` when
+/// the graph is not chordal.
+pub fn junction_tree(graph: &Graph) -> Option<TreeDecomposition> {
+    let cliques = graph.maximal_cliques_chordal()?;
+    Some(maximum_weight_spanning_forest(cliques))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bag(items: &[&str]) -> Bag {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn validity_checks() {
+        // Path decomposition of a 3-path query R(x,y), S(y,z).
+        let td = TreeDecomposition::new(vec![bag(&["x", "y"]), bag(&["y", "z"])], vec![(0, 1)]);
+        let hyperedges = vec![bag(&["x", "y"]), bag(&["y", "z"])];
+        assert!(td.is_valid_for(&hyperedges));
+        assert!(td.is_simple());
+        assert!(!td.is_totally_disconnected());
+        assert_eq!(td.width(), 1);
+        assert_eq!(td.separator((0, 1)), bag(&["y"]));
+    }
+
+    #[test]
+    fn running_intersection_violation_is_detected() {
+        // x appears in bags 0 and 2 but not in the middle bag.
+        let td = TreeDecomposition::new(
+            vec![bag(&["x", "y"]), bag(&["y", "z"]), bag(&["z", "x"])],
+            vec![(0, 1), (1, 2)],
+        );
+        assert!(!td.has_running_intersection());
+    }
+
+    #[test]
+    fn coverage_violation_is_detected() {
+        let td = TreeDecomposition::new(vec![bag(&["x", "y"])], vec![]);
+        assert!(!td.covers(&[bag(&["x", "z"])]));
+        assert!(td.covers(&[bag(&["x"]), bag(&["x", "y"])]));
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cyclic_edges_panic() {
+        TreeDecomposition::new(
+            vec![bag(&["a"]), bag(&["b"]), bag(&["c"])],
+            vec![(0, 1), (1, 2), (2, 0)],
+        );
+    }
+
+    #[test]
+    fn simplicity_and_total_disconnection() {
+        let simple = TreeDecomposition::new(
+            vec![bag(&["y1", "y3"]), bag(&["y1", "y2"]), bag(&["y2", "y4"])],
+            vec![(0, 1), (1, 2)],
+        );
+        assert!(simple.is_simple());
+        assert!(!simple.is_totally_disconnected());
+
+        let not_simple = TreeDecomposition::new(
+            vec![bag(&["a", "b", "c"]), bag(&["b", "c", "d"])],
+            vec![(0, 1)],
+        );
+        assert!(!not_simple.is_simple());
+
+        let disconnected =
+            TreeDecomposition::new(vec![bag(&["a", "b"]), bag(&["c", "d"])], vec![]);
+        assert!(disconnected.is_totally_disconnected());
+        assert!(disconnected.is_simple());
+    }
+
+    #[test]
+    fn rooting_and_topological_order() {
+        let td = TreeDecomposition::new(
+            vec![bag(&["a"]), bag(&["a", "b"]), bag(&["b", "c"]), bag(&["d"])],
+            vec![(0, 1), (1, 2)],
+        );
+        let parent = td.rooted();
+        assert_eq!(parent[0], None);
+        assert_eq!(parent[3], None);
+        assert_eq!(parent[1], Some(0));
+        assert_eq!(parent[2], Some(1));
+        let order = td.topological_order();
+        let position: Vec<usize> = {
+            let mut pos = vec![0; 4];
+            for (i, &node) in order.iter().enumerate() {
+                pos[node] = i;
+            }
+            pos
+        };
+        for (node, p) in parent.iter().enumerate() {
+            if let Some(p) = p {
+                assert!(position[*p] < position[node]);
+            }
+        }
+    }
+
+    #[test]
+    fn junction_tree_of_chordal_graph() {
+        // Example 3.5's Q2 has Gaifman graph y1-y2, y1-y3, y2-y4 (a tree).
+        let graph = Graph::from_cliques(vec![
+            bag(&["y1", "y2"]),
+            bag(&["y1", "y3"]),
+            bag(&["y2", "y4"]),
+        ]);
+        let jt = junction_tree(&graph).unwrap();
+        assert_eq!(jt.num_nodes(), 3);
+        assert!(jt.is_simple());
+        assert!(jt.is_valid_for(&[bag(&["y1", "y2"]), bag(&["y1", "y3"]), bag(&["y2", "y4"])]));
+    }
+
+    #[test]
+    fn junction_tree_of_non_chordal_graph_is_none() {
+        let mut graph = Graph::new();
+        for (a, b) in [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")] {
+            graph.add_edge(a, b);
+        }
+        assert!(junction_tree(&graph).is_none());
+    }
+
+    #[test]
+    fn junction_tree_of_two_cliques() {
+        // Two triangles sharing an edge: cliques {a,b,c}, {b,c,d}; separator {b,c}.
+        let graph = Graph::from_cliques(vec![bag(&["a", "b", "c"]), bag(&["b", "c", "d"])]);
+        let jt = junction_tree(&graph).unwrap();
+        assert_eq!(jt.num_nodes(), 2);
+        assert_eq!(jt.edges().len(), 1);
+        assert_eq!(jt.separator(jt.edges()[0]).len(), 2);
+        assert!(!jt.is_simple());
+        assert!(jt.has_running_intersection());
+    }
+
+    #[test]
+    fn disconnected_graph_yields_forest() {
+        let graph = Graph::from_cliques(vec![bag(&["a", "b"]), bag(&["c", "d"])]);
+        let jt = junction_tree(&graph).unwrap();
+        assert_eq!(jt.num_nodes(), 2);
+        assert!(jt.edges().is_empty());
+        assert!(jt.is_totally_disconnected());
+    }
+
+    #[test]
+    fn spanning_forest_respects_running_intersection_for_acyclic_atoms() {
+        // Acyclic query atoms: {x,y}, {y,z}, {z,w}.
+        let td = maximum_weight_spanning_forest(vec![
+            bag(&["x", "y"]),
+            bag(&["y", "z"]),
+            bag(&["z", "w"]),
+        ]);
+        assert!(td.has_running_intersection());
+        assert_eq!(td.edges().len(), 2);
+    }
+
+    #[test]
+    fn display_lists_bags_and_edges() {
+        let td = TreeDecomposition::new(vec![bag(&["x", "y"]), bag(&["y"])], vec![(0, 1)]);
+        let text = td.to_string();
+        assert!(text.contains("bag 0: {x,y}"));
+        assert!(text.contains("edge 0 -- 1"));
+    }
+}

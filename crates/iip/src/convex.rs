@@ -1,0 +1,222 @@
+//! Theorem 6.1 (Shannon-cone version): a valid max-linear inequality is
+//! witnessed by a convex combination.
+//!
+//! Theorem 6.1 states that `0 ≤ max_ℓ E_ℓ(h)` holds for every (almost-)
+//! entropic `h` iff there are `λ_ℓ ≥ 0`, `Σ λ_ℓ = 1`, such that the single
+//! linear inequality `0 ≤ Σ_ℓ λ_ℓ E_ℓ(h)` is valid.  The theorem is proved for
+//! any closed convex cone (Theorem F.1); this module instantiates it for the
+//! **polymatroid** cone `Γ_n`, where both directions are effectively
+//! computable:
+//!
+//! * a convex combination that is a non-negative combination of elemental
+//!   Shannon inequalities certifies validity over `Γ_n`;
+//! * conversely, if the max-inequality is valid over `Γ_n`, LP duality
+//!   (Farkas) guarantees such a combination exists with rational `λ`.
+//!
+//! The search is a single LP feasibility problem over the unknowns
+//! `λ_ℓ` and the multipliers `μ_k` of the elemental inequalities (plus
+//! multipliers `ν_S ≥ 0` of the variable bounds `h(S) ≥ 0`).
+
+use crate::inequality::MaxInequality;
+use bqc_arith::Rational;
+use bqc_entropy::{all_masks, elemental_inequalities, Mask};
+use bqc_lp::{ConstraintOp, LpProblem, LpStatus, Sense, VarBound};
+
+/// A certificate that `Σ_ℓ λ_ℓ E_ℓ` is a Shannon inequality.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConvexCertificate {
+    /// The convex weights, one per disjunct (non-negative, summing to one).
+    pub lambdas: Vec<Rational>,
+}
+
+/// Searches for convex weights `λ` such that `Σ_ℓ λ_ℓ E_ℓ(h) ≥ 0` holds for
+/// every polymatroid.  By Theorem 6.1 (specialized to `Γ_n`) such weights
+/// exist exactly when the max-inequality is valid over `Γ_n`.
+pub fn find_convex_certificate(inequality: &MaxInequality) -> Option<ConvexCertificate> {
+    let variables = &inequality.variables;
+    let n = variables.len();
+    let index_of = |name: &str| -> usize {
+        variables.iter().position(|v| v == name).expect("variable in universe")
+    };
+
+    // Dense coefficient vectors of the disjuncts, indexed by subset mask.
+    let disjunct_coeffs: Vec<Vec<Rational>> = inequality
+        .disjuncts
+        .iter()
+        .map(|d| {
+            let mut dense = vec![Rational::zero(); 1 << n];
+            for (set, coeff) in d.terms() {
+                let mut mask: Mask = 0;
+                for v in set {
+                    mask |= 1 << index_of(v);
+                }
+                dense[mask as usize] = &dense[mask as usize] + coeff;
+            }
+            dense
+        })
+        .collect();
+
+    let elementals = elemental_inequalities(n);
+
+    let mut lp = LpProblem::new(Sense::Minimize);
+    let lambda: Vec<_> = (0..inequality.disjuncts.len())
+        .map(|l| lp.add_variable(format!("lambda{l}"), VarBound::NonNegative))
+        .collect();
+    let mu: Vec<_> = (0..elementals.len())
+        .map(|k| lp.add_variable(format!("mu{k}"), VarBound::NonNegative))
+        .collect();
+    let nu: Vec<_> = (1usize..(1 << n))
+        .map(|s| lp.add_variable(format!("nu{s}"), VarBound::NonNegative))
+        .collect();
+
+    // Σ λ_ℓ = 1.
+    lp.add_constraint(
+        lambda.iter().map(|&v| (v, Rational::one())).collect::<Vec<_>>(),
+        ConstraintOp::Eq,
+        Rational::one(),
+    );
+
+    // For every non-empty subset S:
+    //   Σ_ℓ λ_ℓ c_{ℓ,S} − Σ_k μ_k a_{k,S} − ν_S = 0.
+    for mask in all_masks(n) {
+        if mask == 0 {
+            continue;
+        }
+        let mut coeffs: Vec<(bqc_lp::VarId, Rational)> = Vec::new();
+        for (l, dense) in disjunct_coeffs.iter().enumerate() {
+            let c = &dense[mask as usize];
+            if !c.is_zero() {
+                coeffs.push((lambda[l], c.clone()));
+            }
+        }
+        for (k, elemental) in elementals.iter().enumerate() {
+            for (m, a) in &elemental.terms {
+                if *m == mask && !a.is_zero() {
+                    coeffs.push((mu[k], -a));
+                }
+            }
+        }
+        coeffs.push((nu[mask as usize - 1], -Rational::one()));
+        lp.add_constraint(coeffs, ConstraintOp::Eq, Rational::zero());
+    }
+
+    let solution = lp.solve();
+    if solution.status != LpStatus::Optimal {
+        return None;
+    }
+    let lambdas = lambda.iter().map(|&v| solution.values[v.0].clone()).collect();
+    Some(ConvexCertificate { lambdas })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inequality::LinearInequality;
+    use crate::prover::check_max_inequality;
+    use bqc_arith::int;
+    use bqc_entropy::EntropyExpr;
+
+    fn vars(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn expr(terms: &[(i64, &[&str])]) -> EntropyExpr {
+        let mut e = EntropyExpr::zero();
+        for (coeff, set) in terms {
+            e.add_term(int(*coeff), set.iter().copied());
+        }
+        e
+    }
+
+    #[test]
+    fn valid_linear_inequality_has_trivial_certificate() {
+        let ineq = LinearInequality::new(
+            vars(&["X", "Y"]),
+            expr(&[(1, &["X"]), (1, &["Y"]), (-1, &["X", "Y"])]),
+        );
+        let cert = find_convex_certificate(&ineq.to_max()).expect("certificate must exist");
+        assert_eq!(cert.lambdas, vec![int(1)]);
+    }
+
+    #[test]
+    fn symmetric_max_inequality_mixes_disjuncts() {
+        // max(h(X)-h(Y), h(Y)-h(X)) >= 0: λ = (1/2, 1/2) gives the zero
+        // expression, which is trivially Shannon.
+        let d1 = expr(&[(1, &["X"]), (-1, &["Y"])]);
+        let d2 = expr(&[(1, &["Y"]), (-1, &["X"])]);
+        let max = MaxInequality::new(vars(&["X", "Y"]), vec![d1, d2]);
+        let cert = find_convex_certificate(&max).expect("certificate must exist");
+        let total: Rational = cert.lambdas.iter().sum();
+        assert_eq!(total, int(1));
+        assert!(cert.lambdas.iter().all(|l| !l.is_negative()));
+        // The combined expression must indeed be Shannon-valid.
+        let mut combined = EntropyExpr::zero();
+        for (l, d) in cert.lambdas.iter().zip(&max.disjuncts) {
+            combined = combined.add(&d.scale(l));
+        }
+        let combined_ineq = LinearInequality::new(vars(&["X", "Y"]), combined);
+        assert!(crate::prover::check_linear_inequality(&combined_ineq).is_valid());
+    }
+
+    #[test]
+    fn example_3_8_has_a_certificate() {
+        // The paper proves Example 3.8 by averaging the three disjuncts with
+        // weight 1/3 each; the LP may find that or any other valid mixture.
+        let universe = vars(&["X1", "X2", "X3"]);
+        let make = |top: &[&str], y: &str, x: &str| {
+            let mut e = EntropyExpr::zero();
+            e.add_term(int(1), top.iter().copied());
+            e.add_conditional(int(1), &bqc_entropy::varset([y]), &bqc_entropy::varset([x]));
+            e.add_term(int(-1), ["X1", "X2", "X3"]);
+            e
+        };
+        let max = MaxInequality::new(
+            universe.clone(),
+            vec![
+                make(&["X1", "X2"], "X2", "X1"),
+                make(&["X2", "X3"], "X3", "X2"),
+                make(&["X1", "X3"], "X1", "X3"),
+            ],
+        );
+        assert!(check_max_inequality(&max).is_valid());
+        let cert = find_convex_certificate(&max).expect("certificate must exist");
+        let total: Rational = cert.lambdas.iter().sum();
+        assert_eq!(total, int(1));
+        // Verify the mixture is Shannon-valid.
+        let mut combined = EntropyExpr::zero();
+        for (l, d) in cert.lambdas.iter().zip(&max.disjuncts) {
+            combined = combined.add(&d.scale(l));
+        }
+        assert!(crate::prover::check_linear_inequality(&LinearInequality::new(universe, combined))
+            .is_valid());
+    }
+
+    #[test]
+    fn invalid_inequalities_have_no_certificate() {
+        let d1 = expr(&[(1, &["X"]), (-1, &["X", "Y"])]);
+        let d2 = expr(&[(1, &["Y"]), (-1, &["X", "Y"])]);
+        let max = MaxInequality::new(vars(&["X", "Y"]), vec![d1, d2]);
+        assert!(!check_max_inequality(&max).is_valid());
+        assert!(find_convex_certificate(&max).is_none());
+    }
+
+    #[test]
+    fn certificate_existence_matches_validity() {
+        // Agreement between the two decision procedures on a small batch.
+        let universe = vars(&["X", "Y", "Z"]);
+        let candidates = vec![
+            expr(&[(1, &["X", "Y"]), (-1, &["X"])]),
+            expr(&[(1, &["X"]), (-1, &["X", "Y", "Z"])]),
+            expr(&[(1, &["X", "Z"]), (1, &["Y", "Z"]), (-1, &["X", "Y", "Z"]), (-1, &["Z"])]),
+            expr(&[(2, &["X"]), (-1, &["Y"]), (-1, &["Z"])]),
+        ];
+        for (i, a) in candidates.iter().enumerate() {
+            for b in candidates.iter().skip(i) {
+                let max = MaxInequality::new(universe.clone(), vec![a.clone(), b.clone()]);
+                let valid = check_max_inequality(&max).is_valid();
+                let has_cert = find_convex_certificate(&max).is_some();
+                assert_eq!(valid, has_cert, "mismatch for disjuncts {a} and {b}");
+            }
+        }
+    }
+}

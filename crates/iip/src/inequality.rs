@@ -1,0 +1,224 @@
+//! Information inequalities and max-information inequalities.
+//!
+//! Problem 2.4 (IIP): given integer coefficients `c_X`, decide whether
+//! `0 ≤ Σ_X c_X h(X)` holds for every entropic function.  Problem 2.5
+//! (Max-IIP): the same with a maximum of `k` linear expressions on the right.
+//! These two types are thin syntactic wrappers around [`EntropyExpr`] that fix
+//! the variable universe explicitly (an inequality may mention `h(V)` for a
+//! universe larger than the variables appearing in its terms).
+
+use bqc_arith::Rational;
+use bqc_entropy::{EntropyExpr, SetFunction};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A linear information inequality `0 ≤ E(h)` over an explicit universe.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinearInequality {
+    /// The variable universe `V` (ordered).
+    pub variables: Vec<String>,
+    /// The expression `E`.
+    pub expr: EntropyExpr,
+}
+
+impl LinearInequality {
+    /// Creates an inequality, checking that every mentioned variable belongs
+    /// to the declared universe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression mentions a variable outside `variables`.
+    pub fn new(variables: Vec<String>, expr: EntropyExpr) -> LinearInequality {
+        let universe: BTreeSet<&String> = variables.iter().collect();
+        for v in expr.variables() {
+            assert!(universe.contains(&v), "expression variable {v} not in the declared universe");
+        }
+        LinearInequality { variables, expr }
+    }
+
+    /// Builds an inequality directly from `(coefficient, subset)` pairs.
+    pub fn from_terms(
+        variables: Vec<String>,
+        terms: impl IntoIterator<Item = (Rational, Vec<String>)>,
+    ) -> LinearInequality {
+        let mut expr = EntropyExpr::zero();
+        for (coeff, set) in terms {
+            expr.add_term(coeff, set);
+        }
+        LinearInequality::new(variables, expr)
+    }
+
+    /// Evaluates the right-hand side on a set function.
+    pub fn evaluate(&self, h: &SetFunction) -> Rational {
+        self.expr.evaluate(h)
+    }
+
+    /// `true` iff the inequality holds on the given set function.
+    pub fn holds_on(&self, h: &SetFunction) -> bool {
+        !self.evaluate(h).is_negative()
+    }
+
+    /// Views this inequality as a single-disjunct max-inequality.
+    pub fn to_max(&self) -> MaxInequality {
+        MaxInequality { variables: self.variables.clone(), disjuncts: vec![self.expr.clone()] }
+    }
+}
+
+impl fmt::Display for LinearInequality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0 <= {}", self.expr)
+    }
+}
+
+/// A max-information inequality `0 ≤ max_ℓ E_ℓ(h)` over an explicit universe.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MaxInequality {
+    /// The variable universe `V` (ordered).
+    pub variables: Vec<String>,
+    /// The disjuncts `E_1, …, E_k`.
+    pub disjuncts: Vec<EntropyExpr>,
+}
+
+impl MaxInequality {
+    /// Creates a max-inequality, checking variable scoping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a disjunct mentions a variable outside the universe, or if
+    /// there are no disjuncts.
+    pub fn new(variables: Vec<String>, disjuncts: Vec<EntropyExpr>) -> MaxInequality {
+        assert!(!disjuncts.is_empty(), "a max-inequality needs at least one disjunct");
+        let universe: BTreeSet<&String> = variables.iter().collect();
+        for d in &disjuncts {
+            for v in d.variables() {
+                assert!(
+                    universe.contains(&v),
+                    "expression variable {v} not in the declared universe"
+                );
+            }
+        }
+        MaxInequality { variables, disjuncts }
+    }
+
+    /// Number of disjuncts `k`.
+    pub fn num_disjuncts(&self) -> usize {
+        self.disjuncts.len()
+    }
+
+    /// Evaluates `max_ℓ E_ℓ(h)`.
+    pub fn evaluate(&self, h: &SetFunction) -> Rational {
+        self.disjuncts
+            .iter()
+            .map(|d| d.evaluate(h))
+            .max()
+            .expect("at least one disjunct")
+    }
+
+    /// `true` iff the inequality holds on the given set function.
+    pub fn holds_on(&self, h: &SetFunction) -> bool {
+        !self.evaluate(h).is_negative()
+    }
+}
+
+impl fmt::Display for MaxInequality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0 <= max(")?;
+        for (i, d) in self.disjuncts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " , ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqc_arith::int;
+
+    fn vars(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn submodularity_xy() -> LinearInequality {
+        // h(X) + h(Y) - h(XY) >= 0 over {X, Y}.
+        LinearInequality::from_terms(
+            vars(&["X", "Y"]),
+            vec![
+                (int(1), vec!["X".into()]),
+                (int(1), vec!["Y".into()]),
+                (int(-1), vec!["X".into(), "Y".into()]),
+            ],
+        )
+    }
+
+    #[test]
+    fn evaluate_linear() {
+        let ineq = submodularity_xy();
+        let independent = SetFunction::from_values(
+            vars(&["X", "Y"]),
+            vec![int(0), int(1), int(1), int(2)],
+        );
+        assert_eq!(ineq.evaluate(&independent), int(0));
+        assert!(ineq.holds_on(&independent));
+        let correlated = SetFunction::from_values(
+            vars(&["X", "Y"]),
+            vec![int(0), int(1), int(1), int(1)],
+        );
+        assert_eq!(ineq.evaluate(&correlated), int(1));
+    }
+
+    #[test]
+    fn evaluate_max() {
+        // 0 <= max( h(X) - h(Y), h(Y) - h(X) ): holds everywhere.
+        let e1 = {
+            let mut e = EntropyExpr::zero();
+            e.add_term(int(1), ["X"]);
+            e.add_term(int(-1), ["Y"]);
+            e
+        };
+        let e2 = e1.negate();
+        let max = MaxInequality::new(vars(&["X", "Y"]), vec![e1, e2]);
+        let skewed = SetFunction::from_values(
+            vars(&["X", "Y"]),
+            vec![int(0), int(3), int(1), int(3)],
+        );
+        assert_eq!(max.evaluate(&skewed), int(2));
+        assert!(max.holds_on(&skewed));
+        assert_eq!(max.num_disjuncts(), 2);
+    }
+
+    #[test]
+    fn universe_can_exceed_mentioned_variables() {
+        let ineq = LinearInequality::from_terms(
+            vars(&["X", "Y", "Z"]),
+            vec![(int(1), vec!["X".into()])],
+        );
+        assert_eq!(ineq.variables.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the declared universe")]
+    fn out_of_universe_variable_panics() {
+        LinearInequality::from_terms(vars(&["X"]), vec![(int(1), vec!["Q".into()])]);
+    }
+
+    #[test]
+    fn linear_to_max_roundtrip() {
+        let ineq = submodularity_xy();
+        let max = ineq.to_max();
+        assert_eq!(max.num_disjuncts(), 1);
+        let h = SetFunction::from_values(vars(&["X", "Y"]), vec![int(0), int(1), int(1), int(1)]);
+        assert_eq!(max.evaluate(&h), ineq.evaluate(&h));
+    }
+
+    #[test]
+    fn display() {
+        let ineq = submodularity_xy();
+        let text = ineq.to_string();
+        assert!(text.starts_with("0 <= "));
+        assert!(ineq.to_max().to_string().contains("max("));
+    }
+}

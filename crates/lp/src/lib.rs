@@ -1,0 +1,60 @@
+//! # bqc-lp — exact linear programming over the rationals
+//!
+//! A self-contained, dense, two-phase primal simplex solver working entirely in
+//! exact rational arithmetic ([`bqc_arith::Rational`]).  It exists because the
+//! decision procedures of *Bag Query Containment and Information Theory*
+//! (PODS 2020) reduce query containment to the validity of (max-)information
+//! inequalities over the polymatroid cone `Γ_n`, which is a linear-programming
+//! feasibility question that must be answered **exactly** — a floating-point
+//! solver would need an arbitrary tolerance to distinguish "valid" from
+//! "invalid by an exponentially small margin".
+//!
+//! The solver uses Bland's anti-cycling rule, so it terminates on every input.
+//! Problem sizes in this crate's intended use are moderate (the Shannon cone on
+//! `n` variables has `2^n` columns and `n + n(n-1)2^{n-3}` elemental rows), and
+//! the dense exact tableau is fast enough for the paper's constructions up to
+//! `n ≈ 10` query variables.
+//!
+//! ## Example
+//!
+//! ```
+//! use bqc_arith::{int, ratio};
+//! use bqc_lp::{ConstraintOp, LpProblem, LpStatus, Sense, VarBound};
+//!
+//! // maximize x + y  subject to  x + 2y <= 4,  3x + y <= 6,  x, y >= 0
+//! let mut lp = LpProblem::new(Sense::Maximize);
+//! let x = lp.add_variable("x", VarBound::NonNegative);
+//! let y = lp.add_variable("y", VarBound::NonNegative);
+//! lp.set_objective(vec![(x, int(1)), (y, int(1))]);
+//! lp.add_constraint(vec![(x, int(1)), (y, int(2))], ConstraintOp::Le, int(4));
+//! lp.add_constraint(vec![(x, int(3)), (y, int(1))], ConstraintOp::Le, int(6));
+//! let sol = lp.solve();
+//! assert_eq!(sol.status, LpStatus::Optimal);
+//! assert_eq!(sol.objective, Some(ratio(14, 5)));
+//! assert_eq!(sol[x], ratio(8, 5));
+//! assert_eq!(sol[y], ratio(6, 5));
+//! ```
+
+mod problem;
+mod simplex;
+
+pub use problem::{
+    ConstraintId, ConstraintOp, LpProblem, LpSolution, LpStatus, Sense, VarBound, VarId,
+};
+pub use simplex::{solve_standard_form, SimplexOutcome};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqc_arith::int;
+
+    #[test]
+    fn trivial_feasibility() {
+        // x >= 1 and x <= 0 is infeasible.
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_variable("x", VarBound::NonNegative);
+        lp.add_constraint(vec![(x, int(1))], ConstraintOp::Ge, int(1));
+        lp.add_constraint(vec![(x, int(1))], ConstraintOp::Le, int(0));
+        assert_eq!(lp.solve().status, LpStatus::Infeasible);
+    }
+}

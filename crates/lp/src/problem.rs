@@ -1,0 +1,399 @@
+//! A small modelling layer on top of the standard-form simplex solver.
+//!
+//! [`LpProblem`] lets callers state problems with named variables, free or
+//! non-negative bounds, `≤` / `≥` / `=` constraints and either optimization
+//! sense.  Internally the problem is rewritten into standard form (free
+//! variables split into differences of non-negatives, inequality rows given
+//! slack/surplus columns) and handed to [`crate::solve_standard_form`].
+
+use crate::simplex::{solve_standard_form, SimplexOutcome};
+use bqc_arith::Rational;
+use std::fmt;
+use std::ops::Index;
+
+/// Identifier of a decision variable in an [`LpProblem`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub usize);
+
+/// Identifier of a constraint in an [`LpProblem`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ConstraintId(pub usize);
+
+/// Optimization sense.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sense {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// Domain of a decision variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VarBound {
+    /// `x ≥ 0`.
+    NonNegative,
+    /// Unrestricted in sign.
+    Free,
+}
+
+/// Relation of a linear constraint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `expr ≤ rhs`
+    Le,
+    /// `expr ≥ rhs`
+    Ge,
+    /// `expr = rhs`
+    Eq,
+}
+
+/// Solver status for an [`LpProblem`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal solution was found.
+    Optimal,
+    /// The constraints admit no solution.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+}
+
+#[derive(Clone, Debug)]
+struct Constraint {
+    coeffs: Vec<(VarId, Rational)>,
+    op: ConstraintOp,
+    rhs: Rational,
+}
+
+#[derive(Clone, Debug)]
+struct Variable {
+    name: String,
+    bound: VarBound,
+}
+
+/// A linear program with named variables.
+///
+/// See the crate-level documentation for a worked example.
+#[derive(Clone, Debug)]
+pub struct LpProblem {
+    sense: Sense,
+    variables: Vec<Variable>,
+    objective: Vec<(VarId, Rational)>,
+    constraints: Vec<Constraint>,
+}
+
+/// The result of [`LpProblem::solve`].
+#[derive(Clone, Debug)]
+pub struct LpSolution {
+    /// Solver status.
+    pub status: LpStatus,
+    /// Optimal objective value in the problem's own sense, if `status` is
+    /// [`LpStatus::Optimal`].
+    pub objective: Option<Rational>,
+    /// One value per declared variable (all zero unless `status` is optimal).
+    pub values: Vec<Rational>,
+}
+
+impl Index<VarId> for LpSolution {
+    type Output = Rational;
+    fn index(&self, id: VarId) -> &Rational {
+        &self.values[id.0]
+    }
+}
+
+impl LpSolution {
+    /// Returns the value assigned to `var` (zero when not optimal).
+    pub fn value(&self, var: VarId) -> &Rational {
+        &self.values[var.0]
+    }
+
+    /// Returns `true` iff the problem was solved to optimality.
+    pub fn is_optimal(&self) -> bool {
+        self.status == LpStatus::Optimal
+    }
+}
+
+impl LpProblem {
+    /// Creates an empty problem with the given optimization sense.
+    pub fn new(sense: Sense) -> LpProblem {
+        LpProblem { sense, variables: Vec::new(), objective: Vec::new(), constraints: Vec::new() }
+    }
+
+    /// Declares a new decision variable and returns its identifier.
+    pub fn add_variable(&mut self, name: impl Into<String>, bound: VarBound) -> VarId {
+        let id = VarId(self.variables.len());
+        self.variables.push(Variable { name: name.into(), bound });
+        id
+    }
+
+    /// Number of declared variables.
+    pub fn num_variables(&self) -> usize {
+        self.variables.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Name of a variable.
+    pub fn variable_name(&self, var: VarId) -> &str {
+        &self.variables[var.0].name
+    }
+
+    /// Sets the objective as a sparse list of `(variable, coefficient)` pairs.
+    pub fn set_objective(&mut self, coeffs: impl IntoIterator<Item = (VarId, Rational)>) {
+        self.objective = coeffs.into_iter().collect();
+    }
+
+    /// Adds a linear constraint `Σ coeff·var  op  rhs`.
+    pub fn add_constraint(
+        &mut self,
+        coeffs: impl IntoIterator<Item = (VarId, Rational)>,
+        op: ConstraintOp,
+        rhs: Rational,
+    ) -> ConstraintId {
+        let id = ConstraintId(self.constraints.len());
+        self.constraints.push(Constraint { coeffs: coeffs.into_iter().collect(), op, rhs });
+        id
+    }
+
+    /// Solves the problem with the exact two-phase simplex method.
+    pub fn solve(&self) -> LpSolution {
+        // Column layout of the standard form:
+        //   for each variable: one column if NonNegative, two (x⁺, x⁻) if Free;
+        //   then one slack/surplus column per inequality constraint.
+        let mut column_of_var: Vec<(usize, Option<usize>)> = Vec::with_capacity(self.variables.len());
+        let mut next_col = 0usize;
+        for var in &self.variables {
+            match var.bound {
+                VarBound::NonNegative => {
+                    column_of_var.push((next_col, None));
+                    next_col += 1;
+                }
+                VarBound::Free => {
+                    column_of_var.push((next_col, Some(next_col + 1)));
+                    next_col += 2;
+                }
+            }
+        }
+        let num_slacks =
+            self.constraints.iter().filter(|c| c.op != ConstraintOp::Eq).count();
+        let n = next_col + num_slacks;
+        let m = self.constraints.len();
+
+        let mut a = vec![vec![Rational::zero(); n]; m];
+        let mut b = vec![Rational::zero(); m];
+        let mut slack_col = next_col;
+        for (i, constraint) in self.constraints.iter().enumerate() {
+            for (var, coeff) in &constraint.coeffs {
+                let (pos, neg) = column_of_var[var.0];
+                a[i][pos] = &a[i][pos] + coeff;
+                if let Some(neg) = neg {
+                    a[i][neg] = &a[i][neg] - coeff;
+                }
+            }
+            match constraint.op {
+                ConstraintOp::Le => {
+                    a[i][slack_col] = Rational::one();
+                    slack_col += 1;
+                }
+                ConstraintOp::Ge => {
+                    a[i][slack_col] = -Rational::one();
+                    slack_col += 1;
+                }
+                ConstraintOp::Eq => {}
+            }
+            b[i] = constraint.rhs.clone();
+        }
+
+        let mut c = vec![Rational::zero(); n];
+        for (var, coeff) in &self.objective {
+            let signed = match self.sense {
+                Sense::Minimize => coeff.clone(),
+                Sense::Maximize => -coeff,
+            };
+            let (pos, neg) = column_of_var[var.0];
+            c[pos] = &c[pos] + &signed;
+            if let Some(neg) = neg {
+                c[neg] = &c[neg] - &signed;
+            }
+        }
+
+        match solve_standard_form(&a, &b, &c) {
+            SimplexOutcome::Infeasible => LpSolution {
+                status: LpStatus::Infeasible,
+                objective: None,
+                values: vec![Rational::zero(); self.variables.len()],
+            },
+            SimplexOutcome::Unbounded => LpSolution {
+                status: LpStatus::Unbounded,
+                objective: None,
+                values: vec![Rational::zero(); self.variables.len()],
+            },
+            SimplexOutcome::Optimal { objective, solution } => {
+                let mut values = Vec::with_capacity(self.variables.len());
+                for (pos, neg) in &column_of_var {
+                    let mut v = solution[*pos].clone();
+                    if let Some(neg) = neg {
+                        v = &v - &solution[*neg];
+                    }
+                    values.push(v);
+                }
+                let objective = match self.sense {
+                    Sense::Minimize => objective,
+                    Sense::Maximize => -objective,
+                };
+                LpSolution { status: LpStatus::Optimal, objective: Some(objective), values }
+            }
+        }
+    }
+
+    /// Convenience: checks whether the constraint system admits any solution
+    /// (ignores the objective).
+    pub fn is_feasible(&self) -> bool {
+        let mut clone = self.clone();
+        clone.objective.clear();
+        clone.solve().status == LpStatus::Optimal
+    }
+}
+
+impl fmt::Display for LpProblem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sense = match self.sense {
+            Sense::Minimize => "minimize",
+            Sense::Maximize => "maximize",
+        };
+        write!(f, "{sense} ")?;
+        if self.objective.is_empty() {
+            write!(f, "0")?;
+        }
+        for (i, (var, coeff)) in self.objective.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{}*{}", coeff, self.variables[var.0].name)?;
+        }
+        writeln!(f)?;
+        for constraint in &self.constraints {
+            write!(f, "  s.t. ")?;
+            for (i, (var, coeff)) in constraint.coeffs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " + ")?;
+                }
+                write!(f, "{}*{}", coeff, self.variables[var.0].name)?;
+            }
+            let op = match constraint.op {
+                ConstraintOp::Le => "<=",
+                ConstraintOp::Ge => ">=",
+                ConstraintOp::Eq => "=",
+            };
+            writeln!(f, " {} {}", op, constraint.rhs)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqc_arith::{int, ratio};
+
+    #[test]
+    fn maximization_with_slacks() {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_variable("x", VarBound::NonNegative);
+        let y = lp.add_variable("y", VarBound::NonNegative);
+        lp.set_objective(vec![(x, int(3)), (y, int(5))]);
+        lp.add_constraint(vec![(x, int(1))], ConstraintOp::Le, int(4));
+        lp.add_constraint(vec![(y, int(2))], ConstraintOp::Le, int(12));
+        lp.add_constraint(vec![(x, int(3)), (y, int(2))], ConstraintOp::Le, int(18));
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_eq!(sol.objective, Some(int(36)));
+        assert_eq!(sol[x], int(2));
+        assert_eq!(sol[y], int(6));
+    }
+
+    #[test]
+    fn free_variables() {
+        // minimize |style| program: minimize x subject to x >= -5 with x free -> x = -5.
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_variable("x", VarBound::Free);
+        lp.set_objective(vec![(x, int(1))]);
+        lp.add_constraint(vec![(x, int(1))], ConstraintOp::Ge, int(-5));
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_eq!(sol[x], int(-5));
+        assert_eq!(sol.objective, Some(int(-5)));
+    }
+
+    #[test]
+    fn unbounded_maximization() {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_variable("x", VarBound::NonNegative);
+        lp.set_objective(vec![(x, int(1))]);
+        lp.add_constraint(vec![(x, int(1))], ConstraintOp::Ge, int(3));
+        assert_eq!(lp.solve().status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn equality_constraints_and_fractions() {
+        // minimize 2x + 3y s.t. x + y = 1, x - y = 1/3 -> x = 2/3, y = 1/3.
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_variable("x", VarBound::NonNegative);
+        let y = lp.add_variable("y", VarBound::NonNegative);
+        lp.set_objective(vec![(x, int(2)), (y, int(3))]);
+        lp.add_constraint(vec![(x, int(1)), (y, int(1))], ConstraintOp::Eq, int(1));
+        lp.add_constraint(vec![(x, int(1)), (y, int(-1))], ConstraintOp::Eq, ratio(1, 3));
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_eq!(sol[x], ratio(2, 3));
+        assert_eq!(sol[y], ratio(1, 3));
+        assert_eq!(sol.objective, Some(ratio(7, 3)));
+    }
+
+    #[test]
+    fn feasibility_helper() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_variable("x", VarBound::NonNegative);
+        lp.add_constraint(vec![(x, int(1))], ConstraintOp::Ge, int(2));
+        lp.add_constraint(vec![(x, int(1))], ConstraintOp::Le, int(5));
+        assert!(lp.is_feasible());
+        lp.add_constraint(vec![(x, int(1))], ConstraintOp::Le, int(1));
+        assert!(!lp.is_feasible());
+    }
+
+    #[test]
+    fn repeated_variable_coefficients_accumulate() {
+        // x + x <= 4 behaves as 2x <= 4.
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_variable("x", VarBound::NonNegative);
+        lp.set_objective(vec![(x, int(1))]);
+        lp.add_constraint(vec![(x, int(1)), (x, int(1))], ConstraintOp::Le, int(4));
+        let sol = lp.solve();
+        assert_eq!(sol[x], int(2));
+    }
+
+    #[test]
+    fn display_renders_model() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_variable("x", VarBound::NonNegative);
+        lp.set_objective(vec![(x, int(1))]);
+        lp.add_constraint(vec![(x, int(1))], ConstraintOp::Ge, int(1));
+        let text = lp.to_string();
+        assert!(text.contains("minimize 1*x"));
+        assert!(text.contains(">= 1"));
+    }
+
+    #[test]
+    fn infeasible_equalities_with_free_vars() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_variable("x", VarBound::Free);
+        let y = lp.add_variable("y", VarBound::Free);
+        lp.add_constraint(vec![(x, int(1)), (y, int(1))], ConstraintOp::Eq, int(1));
+        lp.add_constraint(vec![(x, int(1)), (y, int(1))], ConstraintOp::Eq, int(2));
+        assert_eq!(lp.solve().status, LpStatus::Infeasible);
+    }
+}

@@ -1,0 +1,474 @@
+//! Conjunctive queries.
+//!
+//! A conjunctive query (Section 2.2 of the paper) is a conjunction of atoms
+//! `Q(x) = A_1 ∧ … ∧ A_k`, where each atom `A_j = R(x_{j,1}, …, x_{j,a})`
+//! associates a query variable with every attribute position of its relation
+//! symbol; repeated variables inside an atom are allowed.  The head variables
+//! `x` must occur in the body.  A query with no head variables is called
+//! *Boolean* (its bag-set answer is a single count).
+//!
+//! Under bag-set semantics repeated atoms are redundant, so [`ConjunctiveQuery`]
+//! de-duplicates atoms on construction (see the discussion of bag-bag vs.
+//! bag-set semantics in Section 2.2).
+
+use crate::schema::Vocabulary;
+use crate::structure::Structure;
+use crate::value::Value;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A query variable.  Variables are identified by name.
+pub type Var = String;
+
+/// One atom `R(x_1, …, x_a)` of a conjunctive query.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom {
+    /// Relation symbol name.
+    pub relation: String,
+    /// Variable at each attribute position (repetitions allowed).
+    pub args: Vec<Var>,
+}
+
+impl Atom {
+    /// Creates an atom.
+    pub fn new(relation: impl Into<String>, args: impl IntoIterator<Item = impl Into<Var>>) -> Atom {
+        Atom { relation: relation.into(), args: args.into_iter().map(Into::into).collect() }
+    }
+
+    /// The set of distinct variables occurring in this atom.
+    pub fn var_set(&self) -> BTreeSet<Var> {
+        self.args.iter().cloned().collect()
+    }
+
+    /// Arity of the atom (number of positions, counting repetitions).
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.relation, self.args.join(","))
+    }
+}
+
+/// Errors raised when constructing a [`ConjunctiveQuery`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// A head variable does not occur in any atom.
+    HeadVariableNotInBody(Var),
+    /// The same relation symbol is used with two different arities.
+    InconsistentArity { relation: String, first: usize, second: usize },
+    /// The query has no atoms.
+    EmptyBody,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::HeadVariableNotInBody(v) => {
+                write!(f, "head variable {v} does not occur in the body")
+            }
+            QueryError::InconsistentArity { relation, first, second } => write!(
+                f,
+                "relation {relation} used with inconsistent arities {first} and {second}"
+            ),
+            QueryError::EmptyBody => write!(f, "conjunctive query must have at least one atom"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A conjunctive query `Q(head) :- atoms`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ConjunctiveQuery {
+    /// Name of the query (cosmetic; used by the parser and display).
+    pub name: String,
+    head: Vec<Var>,
+    atoms: Vec<Atom>,
+    /// Distinct variables in first-occurrence order (head first, then body).
+    vars: Vec<Var>,
+}
+
+impl ConjunctiveQuery {
+    /// Creates a query with the given head variables and atoms.
+    ///
+    /// Repeated atoms are removed (bag-set semantics).  Returns an error if a
+    /// head variable does not occur in the body, the body is empty, or a
+    /// relation symbol is used with inconsistent arities.
+    pub fn new(
+        name: impl Into<String>,
+        head: Vec<Var>,
+        atoms: Vec<Atom>,
+    ) -> Result<ConjunctiveQuery, QueryError> {
+        if atoms.is_empty() {
+            return Err(QueryError::EmptyBody);
+        }
+        let mut arities: BTreeMap<String, usize> = BTreeMap::new();
+        for atom in &atoms {
+            match arities.get(&atom.relation) {
+                Some(&a) if a != atom.arity() => {
+                    return Err(QueryError::InconsistentArity {
+                        relation: atom.relation.clone(),
+                        first: a,
+                        second: atom.arity(),
+                    })
+                }
+                Some(_) => {}
+                None => {
+                    arities.insert(atom.relation.clone(), atom.arity());
+                }
+            }
+        }
+        let body_vars: BTreeSet<&Var> = atoms.iter().flat_map(|a| a.args.iter()).collect();
+        for v in &head {
+            if !body_vars.contains(v) {
+                return Err(QueryError::HeadVariableNotInBody(v.clone()));
+            }
+        }
+        // De-duplicate atoms while keeping their first-occurrence order.
+        let mut seen = BTreeSet::new();
+        let mut unique_atoms = Vec::new();
+        for atom in atoms {
+            if seen.insert(atom.clone()) {
+                unique_atoms.push(atom);
+            }
+        }
+        let mut vars = Vec::new();
+        let mut var_seen = BTreeSet::new();
+        for v in head.iter().chain(unique_atoms.iter().flat_map(|a| a.args.iter())) {
+            if var_seen.insert(v.clone()) {
+                vars.push(v.clone());
+            }
+        }
+        Ok(ConjunctiveQuery { name: name.into(), head, atoms: unique_atoms, vars })
+    }
+
+    /// Creates a Boolean query (no head variables).
+    pub fn boolean(name: impl Into<String>, atoms: Vec<Atom>) -> Result<ConjunctiveQuery, QueryError> {
+        ConjunctiveQuery::new(name, Vec::new(), atoms)
+    }
+
+    /// The head variables.
+    pub fn head(&self) -> &[Var] {
+        &self.head
+    }
+
+    /// The atoms of the query (de-duplicated).
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Distinct variables in deterministic (first-occurrence) order.
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// The set of variables.
+    pub fn var_set(&self) -> BTreeSet<Var> {
+        self.vars.iter().cloned().collect()
+    }
+
+    /// Number of distinct variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// `true` iff the query has no head variables.
+    pub fn is_boolean(&self) -> bool {
+        self.head.is_empty()
+    }
+
+    /// The vocabulary induced by the query's atoms.
+    pub fn vocabulary(&self) -> Vocabulary {
+        Vocabulary::from_symbols(self.atoms.iter().map(|a| (a.relation.clone(), a.arity())))
+    }
+
+    /// The query's hypergraph: one hyperedge (variable set) per atom.
+    pub fn hyperedges(&self) -> Vec<BTreeSet<Var>> {
+        self.atoms.iter().map(|a| a.var_set()).collect()
+    }
+
+    /// Edges of the Gaifman graph: unordered pairs of distinct variables that
+    /// co-occur in some atom.
+    pub fn gaifman_edges(&self) -> BTreeSet<(Var, Var)> {
+        let mut edges = BTreeSet::new();
+        for atom in &self.atoms {
+            let set: Vec<Var> = atom.var_set().into_iter().collect();
+            for i in 0..set.len() {
+                for j in (i + 1)..set.len() {
+                    edges.insert((set[i].clone(), set[j].clone()));
+                }
+            }
+        }
+        edges
+    }
+
+    /// The canonical structure of the query: its domain is `vars(Q)` (as text
+    /// values) and each atom contributes one tuple.  This is the structure `Q`
+    /// of Section 2.2, used to enumerate `hom(Q2, Q1)`.
+    pub fn canonical_structure(&self) -> Structure {
+        let mut structure = Structure::new(self.vocabulary());
+        for v in &self.vars {
+            structure.add_domain_value(Value::text(v.clone()));
+        }
+        for atom in &self.atoms {
+            let tuple = atom.args.iter().map(|v| Value::text(v.clone())).collect();
+            structure.add_fact(&atom.relation, tuple);
+        }
+        structure
+    }
+
+    /// Builds the Boolean query associated to a query (Q itself if already
+    /// Boolean).  Following Lemma A.1, each head variable `x_i` receives a new
+    /// unary atom `U_i(x_i)` (with fresh relation names `prefix1`, `prefix2`, …),
+    /// and the head is dropped.
+    pub fn to_boolean(&self, prefix: &str) -> ConjunctiveQuery {
+        if self.is_boolean() {
+            return self.clone();
+        }
+        let mut atoms = self.atoms.clone();
+        for (i, v) in self.head.iter().enumerate() {
+            atoms.push(Atom::new(format!("{prefix}{}", i + 1), [v.clone()]));
+        }
+        ConjunctiveQuery::boolean(format!("{}_bool", self.name), atoms)
+            .expect("boolean reduction of a valid query is valid")
+    }
+
+    /// Renames every variable by appending `suffix`, producing an isomorphic
+    /// query with a disjoint variable set.
+    pub fn rename_vars(&self, suffix: &str) -> ConjunctiveQuery {
+        let rename = |v: &Var| format!("{v}{suffix}");
+        let head = self.head.iter().map(|v| rename(v)).collect();
+        let atoms = self
+            .atoms
+            .iter()
+            .map(|a| Atom { relation: a.relation.clone(), args: a.args.iter().map(|v| rename(v)).collect() })
+            .collect();
+        ConjunctiveQuery::new(format!("{}{suffix}", self.name), head, atoms)
+            .expect("renaming preserves validity")
+    }
+
+    /// Conjunction of two Boolean queries (their atom sets are unioned).  The
+    /// variable sets are used as-is, so take care to rename apart first if a
+    /// disjoint conjunction is intended (cf. `n · A` in Lemma 2.2 of [21]).
+    pub fn conjunction(&self, other: &ConjunctiveQuery) -> ConjunctiveQuery {
+        let mut atoms = self.atoms.clone();
+        atoms.extend(other.atoms.iter().cloned());
+        let mut head = self.head.clone();
+        for v in &other.head {
+            if !head.contains(v) {
+                head.push(v.clone());
+            }
+        }
+        ConjunctiveQuery::new(format!("{}_{}", self.name, other.name), head, atoms)
+            .expect("conjunction of valid queries is valid")
+    }
+
+    /// The disjoint conjunction of `n` copies of this query (`n · Q`), used by
+    /// the reduction from the exponent-domination problem to DOM
+    /// (Lemma 2.2 of Kopparty–Rossman, cited in Section 2.1).
+    pub fn power(&self, n: usize) -> ConjunctiveQuery {
+        assert!(n >= 1, "power requires at least one copy");
+        let mut result = self.rename_vars("_c1");
+        for i in 2..=n {
+            result = result.conjunction(&self.rename_vars(&format!("_c{i}")));
+        }
+        result.name = format!("{}_pow{}", self.name, n);
+        result
+    }
+
+    /// Returns the sub-query at a tree-decomposition bag: the conjunction of
+    /// all atoms whose variables are contained in `bag`.  Returns `None` when
+    /// no atom fits inside the bag.
+    pub fn subquery_at(&self, bag: &BTreeSet<Var>) -> Option<ConjunctiveQuery> {
+        let atoms: Vec<Atom> =
+            self.atoms.iter().filter(|a| a.var_set().is_subset(bag)).cloned().collect();
+        if atoms.is_empty() {
+            None
+        } else {
+            Some(
+                ConjunctiveQuery::boolean(format!("{}_bag", self.name), atoms)
+                    .expect("subquery of a valid query is valid"),
+            )
+        }
+    }
+
+    /// Connected components of the query's Gaifman graph, as sets of variables.
+    pub fn connected_components(&self) -> Vec<BTreeSet<Var>> {
+        let mut parent: BTreeMap<Var, Var> = self.vars.iter().map(|v| (v.clone(), v.clone())).collect();
+        fn find(parent: &mut BTreeMap<Var, Var>, v: &Var) -> Var {
+            let p = parent[v].clone();
+            if &p == v {
+                return p;
+            }
+            let root = find(parent, &p);
+            parent.insert(v.clone(), root.clone());
+            root
+        }
+        for atom in &self.atoms {
+            let vars: Vec<Var> = atom.var_set().into_iter().collect();
+            for window in vars.windows(2) {
+                let a = find(&mut parent, &window[0]);
+                let b = find(&mut parent, &window[1]);
+                if a != b {
+                    parent.insert(a, b);
+                }
+            }
+        }
+        let mut components: BTreeMap<Var, BTreeSet<Var>> = BTreeMap::new();
+        for v in &self.vars {
+            let root = find(&mut parent, v);
+            components.entry(root).or_default().insert(v.clone());
+        }
+        components.into_values().collect()
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({}) :- ", self.name, self.head.join(","))?;
+        for (i, atom) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{atom}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> ConjunctiveQuery {
+        ConjunctiveQuery::boolean(
+            "Q1",
+            vec![Atom::new("R", ["x1", "x2"]), Atom::new("R", ["x2", "x3"]), Atom::new("R", ["x3", "x1"])],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let q = triangle();
+        assert!(q.is_boolean());
+        assert_eq!(q.num_vars(), 3);
+        assert_eq!(q.vars(), &["x1", "x2", "x3"]);
+        assert_eq!(q.atoms().len(), 3);
+        assert_eq!(q.vocabulary().arity_of("R"), Some(2));
+    }
+
+    #[test]
+    fn repeated_atoms_are_deduplicated() {
+        // R(x) ∧ R(x) ∧ S(x,y) is the same as R(x) ∧ S(x,y) under bag-set semantics.
+        let q = ConjunctiveQuery::boolean(
+            "Q",
+            vec![Atom::new("R", ["x"]), Atom::new("R", ["x"]), Atom::new("S", ["x", "y"])],
+        )
+        .unwrap();
+        assert_eq!(q.atoms().len(), 2);
+    }
+
+    #[test]
+    fn head_variable_validation() {
+        let err = ConjunctiveQuery::new(
+            "Q",
+            vec!["z".to_string()],
+            vec![Atom::new("R", ["x", "y"])],
+        )
+        .unwrap_err();
+        assert_eq!(err, QueryError::HeadVariableNotInBody("z".to_string()));
+    }
+
+    #[test]
+    fn arity_consistency_validation() {
+        let err = ConjunctiveQuery::boolean(
+            "Q",
+            vec![Atom::new("R", ["x", "y"]), Atom::new("R", ["x"])],
+        )
+        .unwrap_err();
+        assert!(matches!(err, QueryError::InconsistentArity { .. }));
+    }
+
+    #[test]
+    fn empty_body_is_rejected() {
+        assert_eq!(ConjunctiveQuery::boolean("Q", vec![]).unwrap_err(), QueryError::EmptyBody);
+    }
+
+    #[test]
+    fn gaifman_edges_and_hyperedges() {
+        let q = triangle();
+        let edges = q.gaifman_edges();
+        assert_eq!(edges.len(), 3);
+        assert!(edges.contains(&("x1".to_string(), "x2".to_string())));
+        let hyperedges = q.hyperedges();
+        assert_eq!(hyperedges.len(), 3);
+        assert!(hyperedges[0].contains("x1") && hyperedges[0].contains("x2"));
+    }
+
+    #[test]
+    fn canonical_structure_has_one_tuple_per_atom() {
+        let q = triangle();
+        let s = q.canonical_structure();
+        assert_eq!(s.num_facts("R"), 3);
+        assert_eq!(s.active_domain().len(), 3);
+    }
+
+    #[test]
+    fn boolean_reduction_adds_unary_atoms() {
+        let q = ConjunctiveQuery::new(
+            "Q",
+            vec!["x".to_string(), "z".to_string()],
+            vec![Atom::new("R", ["x", "y"]), Atom::new("S", ["y", "z"])],
+        )
+        .unwrap();
+        let b = q.to_boolean("U");
+        assert!(b.is_boolean());
+        assert_eq!(b.atoms().len(), 4);
+        assert!(b.atoms().iter().any(|a| a.relation == "U1" && a.args == vec!["x".to_string()]));
+        assert!(b.atoms().iter().any(|a| a.relation == "U2" && a.args == vec!["z".to_string()]));
+        // Already-Boolean queries are returned unchanged.
+        assert_eq!(triangle().to_boolean("U").atoms().len(), 3);
+    }
+
+    #[test]
+    fn rename_and_power() {
+        let q = triangle();
+        let renamed = q.rename_vars("_a");
+        assert!(renamed.vars().iter().all(|v| v.ends_with("_a")));
+        let squared = q.power(2);
+        assert_eq!(squared.num_vars(), 6);
+        assert_eq!(squared.atoms().len(), 6);
+        assert_eq!(squared.connected_components().len(), 2);
+    }
+
+    #[test]
+    fn subquery_at_bag() {
+        let q = triangle();
+        let bag: BTreeSet<Var> = ["x1", "x2"].iter().map(|s| s.to_string()).collect();
+        let sub = q.subquery_at(&bag).unwrap();
+        assert_eq!(sub.atoms().len(), 1);
+        let empty_bag: BTreeSet<Var> = ["x9"].iter().map(|s| s.to_string()).collect();
+        assert!(q.subquery_at(&empty_bag).is_none());
+    }
+
+    #[test]
+    fn connected_components() {
+        let q = ConjunctiveQuery::boolean(
+            "Q",
+            vec![Atom::new("R", ["a", "b"]), Atom::new("R", ["c", "d"]), Atom::new("S", ["b", "e"])],
+        )
+        .unwrap();
+        let components = q.connected_components();
+        assert_eq!(components.len(), 2);
+    }
+
+    #[test]
+    fn display() {
+        let q = triangle();
+        assert_eq!(q.to_string(), "Q1() :- R(x1,x2), R(x2,x3), R(x3,x1)");
+    }
+}

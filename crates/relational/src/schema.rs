@@ -1,0 +1,181 @@
+//! Relational vocabularies (schemas).
+//!
+//! A vocabulary `R = (R_1, …, R_m)` is a list of relation symbols, each with an
+//! associated arity (Section 2.1 of the paper).  Queries and structures over
+//! the same vocabulary can be compared; arity mismatches are reported as
+//! errors at construction time rather than at evaluation time.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A relation symbol together with its arity.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelationSymbol {
+    /// The symbol's name (e.g. `"R"`).
+    pub name: String,
+    /// Number of attribute positions.
+    pub arity: usize,
+}
+
+impl RelationSymbol {
+    /// Creates a relation symbol.
+    pub fn new(name: impl Into<String>, arity: usize) -> RelationSymbol {
+        RelationSymbol { name: name.into(), arity }
+    }
+}
+
+impl fmt::Display for RelationSymbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.arity)
+    }
+}
+
+/// A relational vocabulary: a finite set of relation symbols with arities.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Vocabulary {
+    symbols: BTreeMap<String, usize>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Vocabulary {
+        Vocabulary::default()
+    }
+
+    /// Creates a vocabulary from `(name, arity)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same name is declared twice with different arities.
+    pub fn from_symbols<I, S>(symbols: I) -> Vocabulary
+    where
+        I: IntoIterator<Item = (S, usize)>,
+        S: Into<String>,
+    {
+        let mut voc = Vocabulary::new();
+        for (name, arity) in symbols {
+            voc.declare(name, arity);
+        }
+        voc
+    }
+
+    /// Declares a relation symbol (idempotent if the arity matches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol was already declared with a different arity.
+    pub fn declare(&mut self, name: impl Into<String>, arity: usize) -> RelationSymbol {
+        let name = name.into();
+        match self.symbols.get(&name) {
+            Some(&existing) => assert_eq!(
+                existing, arity,
+                "relation symbol {name} redeclared with arity {arity} (was {existing})"
+            ),
+            None => {
+                self.symbols.insert(name.clone(), arity);
+            }
+        }
+        RelationSymbol { name, arity }
+    }
+
+    /// Returns the arity of a symbol if it is declared.
+    pub fn arity_of(&self, name: &str) -> Option<usize> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Returns `true` if the symbol is declared.
+    pub fn contains(&self, name: &str) -> bool {
+        self.symbols.contains_key(name)
+    }
+
+    /// Number of declared symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Returns `true` if no symbols are declared.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Iterates over the declared symbols in name order.
+    pub fn symbols(&self) -> impl Iterator<Item = RelationSymbol> + '_ {
+        self.symbols.iter().map(|(name, &arity)| RelationSymbol { name: name.clone(), arity })
+    }
+
+    /// Merges another vocabulary into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity conflicts.
+    pub fn merge(&mut self, other: &Vocabulary) {
+        for symbol in other.symbols() {
+            self.declare(symbol.name, symbol.arity);
+        }
+    }
+}
+
+impl fmt::Display for Vocabulary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, symbol) in self.symbols().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{symbol}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_and_lookup() {
+        let mut voc = Vocabulary::new();
+        voc.declare("R", 2);
+        voc.declare("S", 3);
+        assert_eq!(voc.arity_of("R"), Some(2));
+        assert_eq!(voc.arity_of("S"), Some(3));
+        assert_eq!(voc.arity_of("T"), None);
+        assert!(voc.contains("R"));
+        assert!(!voc.contains("T"));
+        assert_eq!(voc.len(), 2);
+        assert!(!voc.is_empty());
+    }
+
+    #[test]
+    fn redeclare_same_arity_is_ok() {
+        let mut voc = Vocabulary::new();
+        voc.declare("R", 2);
+        voc.declare("R", 2);
+        assert_eq!(voc.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "redeclared")]
+    fn redeclare_different_arity_panics() {
+        let mut voc = Vocabulary::new();
+        voc.declare("R", 2);
+        voc.declare("R", 3);
+    }
+
+    #[test]
+    fn from_symbols_and_merge() {
+        let a = Vocabulary::from_symbols([("R", 2), ("S", 1)]);
+        let b = Vocabulary::from_symbols([("T", 4), ("R", 2)]);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged.arity_of("T"), Some(4));
+    }
+
+    #[test]
+    fn display() {
+        let voc = Vocabulary::from_symbols([("R", 2), ("S", 1)]);
+        assert_eq!(voc.to_string(), "{R/2, S/1}");
+        assert_eq!(RelationSymbol::new("R", 2).to_string(), "R/2");
+    }
+}

@@ -1,0 +1,266 @@
+//! Relational structures (database instances).
+//!
+//! A structure `A = (A, R_1^A, …, R_m^A)` consists of a domain and one
+//! relation per symbol of the vocabulary (Section 2.1).  The domain tracked
+//! here is the *active* domain (values occurring in some tuple) plus any
+//! explicitly added isolated values; the paper's constructions only ever need
+//! the active domain.
+
+use crate::schema::Vocabulary;
+use crate::value::{Tuple, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A finite relational structure over a [`Vocabulary`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Structure {
+    vocabulary: Vocabulary,
+    relations: BTreeMap<String, BTreeSet<Tuple>>,
+    extra_domain: BTreeSet<Value>,
+}
+
+impl Structure {
+    /// Creates an empty structure over the given vocabulary.
+    pub fn new(vocabulary: Vocabulary) -> Structure {
+        let relations =
+            vocabulary.symbols().map(|s| (s.name, BTreeSet::new())).collect();
+        Structure { vocabulary, relations, extra_domain: BTreeSet::new() }
+    }
+
+    /// Creates an empty structure with an empty vocabulary; symbols are
+    /// declared implicitly by [`Structure::add_fact`].
+    pub fn empty() -> Structure {
+        Structure::default()
+    }
+
+    /// The structure's vocabulary.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocabulary
+    }
+
+    /// Adds a tuple to relation `name`, declaring the symbol if necessary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tuple's length contradicts the declared arity.
+    pub fn add_fact(&mut self, name: &str, tuple: Tuple) {
+        match self.vocabulary.arity_of(name) {
+            Some(arity) => assert_eq!(
+                arity,
+                tuple.len(),
+                "tuple {tuple:?} has wrong arity for {name}/{arity}"
+            ),
+            None => {
+                self.vocabulary.declare(name, tuple.len());
+            }
+        }
+        self.relations.entry(name.to_string()).or_default().insert(tuple);
+    }
+
+    /// Adds an isolated value to the domain.
+    pub fn add_domain_value(&mut self, value: Value) {
+        self.extra_domain.insert(value);
+    }
+
+    /// The tuples of relation `name` (empty if the symbol has no tuples).
+    pub fn facts(&self, name: &str) -> impl Iterator<Item = &Tuple> {
+        self.relations.get(name).into_iter().flatten()
+    }
+
+    /// Number of tuples in relation `name`.
+    pub fn num_facts(&self, name: &str) -> usize {
+        self.relations.get(name).map_or(0, |r| r.len())
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_facts(&self) -> usize {
+        self.relations.values().map(|r| r.len()).sum()
+    }
+
+    /// `true` iff the given tuple is in relation `name`.
+    pub fn contains_fact(&self, name: &str, tuple: &Tuple) -> bool {
+        self.relations.get(name).is_some_and(|r| r.contains(tuple))
+    }
+
+    /// The active domain: every value occurring in some tuple, plus explicitly
+    /// added isolated values.
+    pub fn active_domain(&self) -> BTreeSet<Value> {
+        let mut domain = self.extra_domain.clone();
+        for tuples in self.relations.values() {
+            for tuple in tuples {
+                for value in tuple {
+                    domain.insert(value.clone());
+                }
+            }
+        }
+        domain
+    }
+
+    /// Names of relations that have at least one tuple.
+    pub fn non_empty_relations(&self) -> impl Iterator<Item = &str> {
+        self.relations.iter().filter(|(_, t)| !t.is_empty()).map(|(n, _)| n.as_str())
+    }
+
+    /// Checks whether `map` (a function on domain values) is a homomorphism
+    /// from `self` to `other`: for every relation `R` and tuple `t ∈ R^self`,
+    /// the image tuple belongs to `R^other`.  Values not present in `map` make
+    /// the check fail.
+    pub fn is_homomorphism(&self, other: &Structure, map: &BTreeMap<Value, Value>) -> bool {
+        for (name, tuples) in &self.relations {
+            for tuple in tuples {
+                let image: Option<Tuple> = tuple.iter().map(|v| map.get(v).cloned()).collect();
+                match image {
+                    Some(image) if other.contains_fact(name, &image) => {}
+                    _ => return false,
+                }
+            }
+        }
+        true
+    }
+
+    /// The disjoint union of `n` copies of this structure (`n · A` in
+    /// Section 2.1): each copy's values are tagged with the copy index, so the
+    /// copies share no domain values.  `hom(n·A, D) = hom(A, D)^n`.
+    pub fn disjoint_copies(&self, n: usize) -> Structure {
+        assert!(n >= 1, "disjoint_copies requires n >= 1");
+        let mut result = Structure::new(self.vocabulary.clone());
+        for copy in 1..=n {
+            let tag = format!("c{copy}");
+            for value in &self.extra_domain {
+                result.add_domain_value(Value::tagged(tag.clone(), value.clone()));
+            }
+            for (name, tuples) in &self.relations {
+                for tuple in tuples {
+                    let tagged: Tuple =
+                        tuple.iter().map(|v| Value::tagged(tag.clone(), v.clone())).collect();
+                    result.add_fact(name, tagged);
+                }
+            }
+        }
+        result
+    }
+
+    /// Restricts the structure to the relation symbols in `names`.
+    pub fn restrict_to(&self, names: &BTreeSet<String>) -> Structure {
+        let mut result = Structure::empty();
+        for (name, tuples) in &self.relations {
+            if names.contains(name) {
+                for tuple in tuples {
+                    result.add_fact(name, tuple.clone());
+                }
+            }
+        }
+        result
+    }
+
+    /// Merges all facts of `other` into this structure.
+    pub fn merge(&mut self, other: &Structure) {
+        for (name, tuples) in &other.relations {
+            for tuple in tuples {
+                self.add_fact(name, tuple.clone());
+            }
+        }
+        for value in &other.extra_domain {
+            self.add_domain_value(value.clone());
+        }
+    }
+}
+
+impl fmt::Display for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, tuples) in &self.relations {
+            for tuple in tuples {
+                write!(f, "{name}(")?;
+                for (i, value) in tuple.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{value}")?;
+                }
+                writeln!(f, ").")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge_structure() -> Structure {
+        let mut s = Structure::empty();
+        s.add_fact("R", vec![Value::int(1), Value::int(2)]);
+        s.add_fact("R", vec![Value::int(2), Value::int(3)]);
+        s
+    }
+
+    #[test]
+    fn facts_and_domain() {
+        let s = edge_structure();
+        assert_eq!(s.num_facts("R"), 2);
+        assert_eq!(s.num_facts("S"), 0);
+        assert_eq!(s.total_facts(), 2);
+        assert_eq!(s.active_domain().len(), 3);
+        assert!(s.contains_fact("R", &vec![Value::int(1), Value::int(2)]));
+        assert!(!s.contains_fact("R", &vec![Value::int(3), Value::int(1)]));
+        assert_eq!(s.vocabulary().arity_of("R"), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong arity")]
+    fn arity_mismatch_panics() {
+        let mut s = edge_structure();
+        s.add_fact("R", vec![Value::int(1)]);
+    }
+
+    #[test]
+    fn isolated_domain_values() {
+        let mut s = edge_structure();
+        s.add_domain_value(Value::int(99));
+        assert_eq!(s.active_domain().len(), 4);
+    }
+
+    #[test]
+    fn homomorphism_check() {
+        let s = edge_structure();
+        // Map everything to a self-loop structure.
+        let mut loop_structure = Structure::empty();
+        loop_structure.add_fact("R", vec![Value::int(0), Value::int(0)]);
+        let map: BTreeMap<Value, Value> =
+            [1, 2, 3].iter().map(|&v| (Value::int(v), Value::int(0))).collect();
+        assert!(s.is_homomorphism(&loop_structure, &map));
+        // The reverse direction is not a homomorphism under the identity.
+        let id: BTreeMap<Value, Value> =
+            [(Value::int(0), Value::int(0))].into_iter().collect();
+        assert!(!loop_structure.is_homomorphism(&s, &id));
+    }
+
+    #[test]
+    fn disjoint_copies_multiply_facts() {
+        let s = edge_structure();
+        let tripled = s.disjoint_copies(3);
+        assert_eq!(tripled.num_facts("R"), 6);
+        assert_eq!(tripled.active_domain().len(), 9);
+    }
+
+    #[test]
+    fn restrict_and_merge() {
+        let mut s = edge_structure();
+        s.add_fact("S", vec![Value::int(1)]);
+        let only_r = s.restrict_to(&["R".to_string()].into_iter().collect());
+        assert_eq!(only_r.num_facts("R"), 2);
+        assert_eq!(only_r.num_facts("S"), 0);
+        let mut merged = only_r.clone();
+        merged.merge(&s);
+        assert_eq!(merged.num_facts("S"), 1);
+    }
+
+    #[test]
+    fn display_lists_facts() {
+        let s = edge_structure();
+        let text = s.to_string();
+        assert!(text.contains("R(1,2)."));
+        assert!(text.contains("R(2,3)."));
+    }
+}

@@ -1,0 +1,172 @@
+//! Domain values for relational structures.
+//!
+//! The constructions in the paper require three kinds of values beyond plain
+//! constants:
+//!
+//! * **tagged values** `("X", c)` — the annotation used in the proof of
+//!   Theorem 4.4, where every constant is paired with the name of the query
+//!   variable it came from so that the "erasing" homomorphism `e : D → Q1`
+//!   exists;
+//! * **pairs** — the domain product `P1 ⊗ P2` of Definition B.1 pairs up values
+//!   position-wise, producing values in `D1 × D2`;
+//! * **concatenations** — normal relations (Definition 3.3) contain values such
+//!   as `uv` (the concatenation of `u` and `v`), which we model as tuples of
+//!   values.
+//!
+//! [`Value`] is a small tree-shaped datatype closed under these operations with
+//! total ordering, hashing and a readable display form.
+
+use std::fmt;
+
+/// A single value in the domain of a relational structure.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// An integer constant.
+    Int(i64),
+    /// A symbolic (string) constant.
+    Text(String),
+    /// A value annotated with a tag, e.g. the variable name it is derived from.
+    Tagged(String, Box<Value>),
+    /// A pair of values, used by domain products.
+    Pair(Box<Value>, Box<Value>),
+    /// A tuple of values, used to represent concatenated attributes of normal
+    /// relations (e.g. the value `uv` of Definition 3.3).
+    Tuple(Vec<Value>),
+}
+
+impl Value {
+    /// Convenience constructor for an integer value.
+    pub fn int(v: i64) -> Value {
+        Value::Int(v)
+    }
+
+    /// Convenience constructor for a text value.
+    pub fn text(s: impl Into<String>) -> Value {
+        Value::Text(s.into())
+    }
+
+    /// Annotates this value with a tag (cf. the proof of Theorem 4.4).
+    pub fn tagged(tag: impl Into<String>, inner: Value) -> Value {
+        Value::Tagged(tag.into(), Box::new(inner))
+    }
+
+    /// Pairs two values (domain product, Definition B.1).
+    pub fn pair(a: Value, b: Value) -> Value {
+        Value::Pair(Box::new(a), Box::new(b))
+    }
+
+    /// Builds a tuple value from components.
+    pub fn tuple(items: impl IntoIterator<Item = Value>) -> Value {
+        Value::Tuple(items.into_iter().collect())
+    }
+
+    /// Returns the tag if this is a tagged value.
+    pub fn tag(&self) -> Option<&str> {
+        match self {
+            Value::Tagged(tag, _) => Some(tag),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Text(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Text(s)
+    }
+}
+
+impl From<(Value, Value)> for Value {
+    fn from((a, b): (Value, Value)) -> Value {
+        Value::pair(a, b)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Text(s) => write!(f, "{s}"),
+            Value::Tagged(tag, inner) => write!(f, "{tag}:{inner}"),
+            Value::Pair(a, b) => write!(f, "({a},{b})"),
+            Value::Tuple(items) => {
+                write!(f, "<")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ">")
+            }
+        }
+    }
+}
+
+/// A tuple of domain values (one row of a relation).
+pub type Tuple = Vec<Value>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn constructors_and_accessors() {
+        assert_eq!(Value::int(3).as_int(), Some(3));
+        assert_eq!(Value::text("a").as_int(), None);
+        assert_eq!(Value::tagged("X", Value::int(1)).tag(), Some("X"));
+        assert_eq!(Value::int(1).tag(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::int(7).to_string(), "7");
+        assert_eq!(Value::text("a").to_string(), "a");
+        assert_eq!(Value::tagged("X", Value::int(1)).to_string(), "X:1");
+        assert_eq!(Value::pair(Value::int(1), Value::int(2)).to_string(), "(1,2)");
+        assert_eq!(
+            Value::tuple([Value::int(1), Value::text("u")]).to_string(),
+            "<1,u>"
+        );
+    }
+
+    #[test]
+    fn values_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(Value::int(1));
+        set.insert(Value::int(1));
+        set.insert(Value::pair(Value::int(1), Value::int(2)));
+        assert_eq!(set.len(), 2);
+        assert!(Value::Int(1) < Value::Int(2));
+    }
+
+    #[test]
+    fn conversions() {
+        let v: Value = 5i64.into();
+        assert_eq!(v, Value::Int(5));
+        let v: Value = "abc".into();
+        assert_eq!(v, Value::Text("abc".into()));
+        let v: Value = (Value::int(1), Value::int(2)).into();
+        assert_eq!(v, Value::pair(Value::int(1), Value::int(2)));
+    }
+}
