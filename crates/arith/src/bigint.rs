@@ -49,7 +49,10 @@ pub struct BigInt {
 impl BigInt {
     /// The integer zero.
     pub fn zero() -> BigInt {
-        BigInt { sign: Sign::Plus, limbs: Vec::new() }
+        BigInt {
+            sign: Sign::Plus,
+            limbs: Vec::new(),
+        }
     }
 
     /// The integer one.
@@ -111,7 +114,10 @@ impl BigInt {
 
     /// Absolute value.
     pub fn abs(&self) -> BigInt {
-        BigInt { sign: Sign::Plus, limbs: self.limbs.clone() }
+        BigInt {
+            sign: Sign::Plus,
+            limbs: self.limbs.clone(),
+        }
     }
 
     /// Number of bits in the magnitude (0 for zero).
@@ -143,7 +149,9 @@ impl BigInt {
             if ch == '_' {
                 continue;
             }
-            let d = ch.to_digit(radix).ok_or(ParseBigIntError::InvalidDigit(ch))?;
+            let d = ch
+                .to_digit(radix)
+                .ok_or(ParseBigIntError::InvalidDigit(ch))?;
             value = &value * &radix_big + BigInt::from(d as u64);
         }
         value.sign = if value.is_zero() { Sign::Plus } else { sign };
@@ -245,12 +253,20 @@ impl BigInt {
         match cmp_mag(&self.limbs, &divisor.limbs) {
             Ordering::Less => (BigInt::zero(), self.clone()),
             Ordering::Equal => {
-                let q_sign = if self.sign == divisor.sign { Sign::Plus } else { Sign::Minus };
+                let q_sign = if self.sign == divisor.sign {
+                    Sign::Plus
+                } else {
+                    Sign::Minus
+                };
                 (BigInt::from_limbs(q_sign, vec![1]), BigInt::zero())
             }
             Ordering::Greater => {
                 let (q_mag, r_mag) = div_rem_mag(&self.limbs, &divisor.limbs);
-                let q_sign = if self.sign == divisor.sign { Sign::Plus } else { Sign::Minus };
+                let q_sign = if self.sign == divisor.sign {
+                    Sign::Plus
+                } else {
+                    Sign::Minus
+                };
                 let q = BigInt::from_limbs(q_sign, q_mag);
                 let r = BigInt::from_limbs(self.sign, r_mag);
                 (q, r)
@@ -279,8 +295,12 @@ impl BigInt {
         } else {
             match cmp_mag(&self.limbs, &other.limbs) {
                 Ordering::Equal => BigInt::zero(),
-                Ordering::Greater => BigInt::from_limbs(self.sign, sub_mag(&self.limbs, &other.limbs)),
-                Ordering::Less => BigInt::from_limbs(other.sign, sub_mag(&other.limbs, &self.limbs)),
+                Ordering::Greater => {
+                    BigInt::from_limbs(self.sign, sub_mag(&self.limbs, &other.limbs))
+                }
+                Ordering::Less => {
+                    BigInt::from_limbs(other.sign, sub_mag(&other.limbs, &self.limbs))
+                }
             }
         }
     }
@@ -299,7 +319,9 @@ impl fmt::Display for ParseBigIntError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseBigIntError::Empty => write!(f, "empty integer literal"),
-            ParseBigIntError::InvalidDigit(c) => write!(f, "invalid digit {c:?} in integer literal"),
+            ParseBigIntError::InvalidDigit(c) => {
+                write!(f, "invalid digit {c:?} in integer literal")
+            }
         }
     }
 }
@@ -325,8 +347,8 @@ fn add_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
     let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
     let mut out = Vec::with_capacity(long.len() + 1);
     let mut carry = 0u128;
-    for i in 0..long.len() {
-        let sum = long[i] as u128 + *short.get(i).unwrap_or(&0) as u128 + carry;
+    for (i, &limb) in long.iter().enumerate() {
+        let sum = limb as u128 + *short.get(i).unwrap_or(&0) as u128 + carry;
         out.push(sum as u64);
         carry = sum >> 64;
     }
@@ -341,9 +363,9 @@ fn sub_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
     debug_assert!(cmp_mag(a, b) != Ordering::Less);
     let mut out = Vec::with_capacity(a.len());
     let mut borrow = 0u64;
-    for i in 0..a.len() {
+    for (i, &limb) in a.iter().enumerate() {
         let bi = *b.get(i).unwrap_or(&0);
-        let (d1, under1) = a[i].overflowing_sub(bi);
+        let (d1, under1) = limb.overflowing_sub(bi);
         let (d2, under2) = d1.overflowing_sub(borrow);
         out.push(d2);
         borrow = (under1 || under2) as u64;
@@ -439,9 +461,7 @@ fn div_rem_mag(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
         let mut qhat = top / v[n - 1] as u128;
         let mut rhat = top % v[n - 1] as u128;
         loop {
-            if qhat >> 64 != 0
-                || qhat * v[n - 2] as u128 > ((rhat << 64) | u[j + n - 2] as u128)
-            {
+            if qhat >> 64 != 0 || qhat * v[n - 2] as u128 > ((rhat << 64) | u[j + n - 2] as u128) {
                 qhat -= 1;
                 rhat += v[n - 1] as u128;
                 if rhat >> 64 == 0 {
@@ -609,7 +629,10 @@ forward_binop!(Add, add);
 impl Sub<&BigInt> for &BigInt {
     type Output = BigInt;
     fn sub(self, rhs: &BigInt) -> BigInt {
-        let negated = BigInt { sign: rhs.sign.flip(), limbs: rhs.limbs.clone() };
+        let negated = BigInt {
+            sign: rhs.sign.flip(),
+            limbs: rhs.limbs.clone(),
+        };
         let mut n = self.add_signed(&negated);
         n.normalize();
         n
@@ -623,7 +646,11 @@ impl Mul<&BigInt> for &BigInt {
         if self.is_zero() || rhs.is_zero() {
             return BigInt::zero();
         }
-        let sign = if self.sign == rhs.sign { Sign::Plus } else { Sign::Minus };
+        let sign = if self.sign == rhs.sign {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        };
         BigInt::from_limbs(sign, mul_mag(&self.limbs, &rhs.limbs))
     }
 }
@@ -651,7 +678,10 @@ impl Neg for &BigInt {
         if self.is_zero() {
             BigInt::zero()
         } else {
-            BigInt { sign: self.sign.flip(), limbs: self.limbs.clone() }
+            BigInt {
+                sign: self.sign.flip(),
+                limbs: self.limbs.clone(),
+            }
         }
     }
 }
@@ -822,7 +852,10 @@ mod tests {
     fn parse_errors() {
         assert_eq!("".parse::<BigInt>(), Err(ParseBigIntError::Empty));
         assert_eq!("-".parse::<BigInt>(), Err(ParseBigIntError::Empty));
-        assert!(matches!("12x".parse::<BigInt>(), Err(ParseBigIntError::InvalidDigit('x'))));
+        assert!(matches!(
+            "12x".parse::<BigInt>(),
+            Err(ParseBigIntError::InvalidDigit('x'))
+        ));
         assert_eq!(BigInt::from_str_radix("ff", 16).unwrap(), big(255));
         assert_eq!(BigInt::from_str_radix("-101", 2).unwrap(), big(-5));
         assert_eq!("1_000_000".parse::<BigInt>().unwrap(), big(1_000_000));

@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! # bqc-arith — exact arithmetic substrate
 //!
 //! Arbitrary-precision signed integers ([`BigInt`]) and rationals ([`Rational`])

@@ -42,17 +42,26 @@ impl Rational {
 
     /// The rational zero.
     pub fn zero() -> Rational {
-        Rational { num: BigInt::zero(), den: BigInt::one() }
+        Rational {
+            num: BigInt::zero(),
+            den: BigInt::one(),
+        }
     }
 
     /// The rational one.
     pub fn one() -> Rational {
-        Rational { num: BigInt::one(), den: BigInt::one() }
+        Rational {
+            num: BigInt::one(),
+            den: BigInt::one(),
+        }
     }
 
     /// Creates an integer-valued rational.
     pub fn from_integer<T: Into<BigInt>>(value: T) -> Rational {
-        Rational { num: value.into(), den: BigInt::one() }
+        Rational {
+            num: value.into(),
+            den: BigInt::one(),
+        }
     }
 
     /// Creates a rational from an `i64` pair, reducing.
@@ -113,7 +122,10 @@ impl Rational {
 
     /// Absolute value.
     pub fn abs(&self) -> Rational {
-        Rational { num: self.num.abs(), den: self.den.clone() }
+        Rational {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
     }
 
     /// Multiplicative inverse.
@@ -158,7 +170,10 @@ impl Rational {
     /// Panics when raising zero to a negative power.
     pub fn pow(&self, exp: i32) -> Rational {
         if exp >= 0 {
-            Rational { num: self.num.pow(exp as u32), den: self.den.pow(exp as u32) }
+            Rational {
+                num: self.num.pow(exp as u32),
+                den: self.den.pow(exp as u32),
+            }
         } else {
             self.recip().pow(-exp)
         }
@@ -191,7 +206,10 @@ impl Default for Rational {
 
 impl From<BigInt> for Rational {
     fn from(v: BigInt) -> Rational {
-        Rational { num: v, den: BigInt::one() }
+        Rational {
+            num: v,
+            den: BigInt::one(),
+        }
     }
 }
 
@@ -234,10 +252,14 @@ impl FromStr for Rational {
     fn from_str(s: &str) -> Result<Rational, ParseRationalError> {
         let s = s.trim();
         if let Some((num, den)) = s.split_once('/') {
-            let num: BigInt =
-                num.trim().parse().map_err(|_| ParseRationalError::BadInteger(num.to_string()))?;
-            let den: BigInt =
-                den.trim().parse().map_err(|_| ParseRationalError::BadInteger(den.to_string()))?;
+            let num: BigInt = num
+                .trim()
+                .parse()
+                .map_err(|_| ParseRationalError::BadInteger(num.to_string()))?;
+            let den: BigInt = den
+                .trim()
+                .parse()
+                .map_err(|_| ParseRationalError::BadInteger(den.to_string()))?;
             if den.is_zero() {
                 return Err(ParseRationalError::ZeroDenominator);
             }
@@ -248,7 +270,9 @@ impl FromStr for Rational {
             let whole_val: BigInt = if whole.is_empty() || whole == "-" || whole == "+" {
                 BigInt::zero()
             } else {
-                whole.parse().map_err(|_| ParseRationalError::BadInteger(whole.to_string()))?
+                whole
+                    .parse()
+                    .map_err(|_| ParseRationalError::BadInteger(whole.to_string()))?
             };
             let frac_digits = frac.trim();
             let frac_val: BigInt = if frac_digits.is_empty() {
@@ -263,7 +287,9 @@ impl FromStr for Rational {
             let signed = if negative { -mag } else { mag };
             return Ok(Rational::new(signed, scale));
         }
-        let v: BigInt = s.parse().map_err(|_| ParseRationalError::BadInteger(s.to_string()))?;
+        let v: BigInt = s
+            .parse()
+            .map_err(|_| ParseRationalError::BadInteger(s.to_string()))?;
         Ok(Rational::from(v))
     }
 }
@@ -317,7 +343,10 @@ macro_rules! forward_rat_binop {
 impl Add<&Rational> for &Rational {
     type Output = Rational;
     fn add(self, rhs: &Rational) -> Rational {
-        Rational::new(&self.num * &rhs.den + &rhs.num * &self.den, &self.den * &rhs.den)
+        Rational::new(
+            &self.num * &rhs.den + &rhs.num * &self.den,
+            &self.den * &rhs.den,
+        )
     }
 }
 forward_rat_binop!(Add, add);
@@ -325,7 +354,10 @@ forward_rat_binop!(Add, add);
 impl Sub<&Rational> for &Rational {
     type Output = Rational;
     fn sub(self, rhs: &Rational) -> Rational {
-        Rational::new(&self.num * &rhs.den - &rhs.num * &self.den, &self.den * &rhs.den)
+        Rational::new(
+            &self.num * &rhs.den - &rhs.num * &self.den,
+            &self.den * &rhs.den,
+        )
     }
 }
 forward_rat_binop!(Sub, sub);
@@ -350,7 +382,10 @@ forward_rat_binop!(Div, div);
 impl Neg for &Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { num: -&self.num, den: self.den.clone() }
+        Rational {
+            num: -&self.num,
+            den: self.den.clone(),
+        }
     }
 }
 

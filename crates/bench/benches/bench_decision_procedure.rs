@@ -23,7 +23,10 @@ fn bench_contained_direction(c: &mut Criterion) {
                 let answer = decide_containment_with(
                     &cycle,
                     &path,
-                    &DecideOptions { extract_witness: false, ..DecideOptions::default() },
+                    &DecideOptions {
+                        extract_witness: false,
+                        ..DecideOptions::default()
+                    },
                 )
                 .unwrap();
                 assert!(answer.is_contained());
@@ -46,7 +49,10 @@ fn bench_not_contained_direction(c: &mut Criterion) {
                 let answer = decide_containment_with(
                     &q1,
                     &q2,
-                    &DecideOptions { extract_witness: true, witness_max_rows: 1 << 10 },
+                    &DecideOptions {
+                        extract_witness: true,
+                        witness_max_rows: 1 << 10,
+                    },
                 )
                 .unwrap();
                 assert!(!answer.is_unknown());
@@ -56,7 +62,7 @@ fn bench_not_contained_direction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(Duration::from_millis(500))

@@ -5,9 +5,9 @@ use bqc_arith::{int, Rational};
 use bqc_entropy::elemental_inequalities;
 use bqc_lp::{ConstraintOp, LpProblem, Sense, VarBound};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Duration;
 
 /// Builds the LP "is there a polymatroid with h(V) >= 1 and all singletons = s?"
 /// — a feasibility problem whose size matches the prover's programs.
@@ -15,8 +15,7 @@ fn shannon_cone_lp(n: usize) -> LpProblem {
     let mut lp = LpProblem::new(Sense::Minimize);
     let mut columns = vec![None; 1 << n];
     for mask in 1u32..(1 << n) {
-        columns[mask as usize] =
-            Some(lp.add_variable(format!("h{mask}"), VarBound::NonNegative));
+        columns[mask as usize] = Some(lp.add_variable(format!("h{mask}"), VarBound::NonNegative));
     }
     for constraint in elemental_inequalities(n) {
         let coeffs: Vec<_> = constraint
@@ -41,10 +40,16 @@ fn random_lp(variables: usize, constraints: usize, seed: u64) -> LpProblem {
     let vars: Vec<_> = (0..variables)
         .map(|i| lp.add_variable(format!("x{i}"), VarBound::NonNegative))
         .collect();
-    lp.set_objective(vars.iter().map(|&v| (v, int(rng.gen_range(1..5)))).collect::<Vec<_>>());
+    lp.set_objective(
+        vars.iter()
+            .map(|&v| (v, int(rng.gen_range(1..5))))
+            .collect::<Vec<_>>(),
+    );
     for _ in 0..constraints {
-        let coeffs: Vec<_> =
-            vars.iter().map(|&v| (v, int(rng.gen_range(0..4)))).collect();
+        let coeffs: Vec<_> = vars
+            .iter()
+            .map(|&v| (v, int(rng.gen_range(0..4))))
+            .collect();
         lp.add_constraint(coeffs, ConstraintOp::Le, int(rng.gen_range(5..20)));
     }
     lp
@@ -77,7 +82,7 @@ fn bench_random_lps(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(Duration::from_millis(500))

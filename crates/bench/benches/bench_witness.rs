@@ -6,14 +6,16 @@
 use bqc_core::{decide_containment_with, verify_witness, DecideOptions};
 use bqc_relational::{parse_query, VRelation, Value};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use std::collections::BTreeSet;
+use std::time::Duration;
 
-fn example_3_5_queries() -> (bqc_relational::ConjunctiveQuery, bqc_relational::ConjunctiveQuery) {
-    let q1 = parse_query(
-        "Q1() :- A(x1,x2), B(x1,x2), C(x1,x2), A(x1',x2'), B(x1',x2'), C(x1',x2')",
-    )
-    .unwrap();
+fn example_3_5_queries() -> (
+    bqc_relational::ConjunctiveQuery,
+    bqc_relational::ConjunctiveQuery,
+) {
+    let q1 =
+        parse_query("Q1() :- A(x1,x2), B(x1,x2), C(x1,x2), A(x1',x2'), B(x1',x2'), C(x1',x2')")
+            .unwrap();
     let q2 = parse_query("Q2() :- A(y1,y2), B(y1,y3), C(y4,y2)").unwrap();
     (q1, q2)
 }
@@ -41,7 +43,10 @@ fn bench_decide_and_extract(c: &mut Criterion) {
             let answer = decide_containment_with(
                 &q1,
                 &q2,
-                &DecideOptions { extract_witness: true, witness_max_rows: 1 << 12 },
+                &DecideOptions {
+                    extract_witness: true,
+                    witness_max_rows: 1 << 12,
+                },
             )
             .unwrap();
             assert!(answer.is_not_contained());
@@ -52,7 +57,10 @@ fn bench_decide_and_extract(c: &mut Criterion) {
             let answer = decide_containment_with(
                 &q1,
                 &q2,
-                &DecideOptions { extract_witness: false, ..DecideOptions::default() },
+                &DecideOptions {
+                    extract_witness: false,
+                    ..DecideOptions::default()
+                },
             )
             .unwrap();
             assert!(answer.is_not_contained());
@@ -77,7 +85,7 @@ fn bench_witness_verification(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(Duration::from_millis(500))

@@ -36,7 +36,9 @@ pub fn path_query(n: usize) -> ConjunctiveQuery {
 /// An out-star `R(c,1), …, R(c,n)` as a Boolean query.
 pub fn star_query(n: usize) -> ConjunctiveQuery {
     assert!(n >= 1);
-    let atoms = (0..n).map(|i| Atom::new("R", ["c".to_string(), format!("l{i}")])).collect();
+    let atoms = (0..n)
+        .map(|i| Atom::new("R", ["c".to_string(), format!("l{i}")]))
+        .collect();
     ConjunctiveQuery::boolean(format!("star{n}"), atoms).expect("valid star query")
 }
 
@@ -91,8 +93,10 @@ pub fn random_capped_polymatroid(n: usize, seed: u64) -> SetFunction {
     let cap: i64 = rng.gen_range(2..2 + weights.iter().sum::<i64>().max(2));
     let mut h = SetFunction::zero(vars);
     for mask in all_masks(n) {
-        let total: i64 =
-            (0..n).filter(|i| mask & (1 << i) != 0).map(|i| weights[i]).sum();
+        let total: i64 = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| weights[i])
+            .sum();
         h.set_value(mask, Rational::from(total.min(cap)));
     }
     h
@@ -121,6 +125,9 @@ mod tests {
     #[test]
     fn generators_are_deterministic() {
         assert_eq!(random_graph(6, 12, 7), random_graph(6, 12, 7));
-        assert_eq!(random_normal_polymatroid(3, 9), random_normal_polymatroid(3, 9));
+        assert_eq!(
+            random_normal_polymatroid(3, 9),
+            random_normal_polymatroid(3, 9)
+        );
     }
 }

@@ -1,0 +1,291 @@
+//! A vendored, dependency-free stand-in for the `criterion` benchmark
+//! harness.
+//!
+//! The build environment for this workspace has no access to a crate
+//! registry, so this crate reimplements the slice of criterion's API that the
+//! `bqc-bench` suite uses: [`Criterion`], [`BenchmarkGroup`],
+//! [`BenchmarkId`], [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.  Signatures match `criterion 0.5`, so swapping
+//! the `criterion` entry in `[workspace.dependencies]` for a registry version
+//! is a drop-in change.
+//!
+//! Unlike the real criterion it does no statistical analysis: each benchmark
+//! is warmed up, then timed for `sample_size` samples whose iteration count
+//! is chosen to fill the configured measurement time, and the mean, minimum
+//! and maximum per-iteration times are printed.  That is enough to compare
+//! hot paths across commits by eye; it is not a substitute for criterion's
+//! regression testing.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, created by [`criterion_group!`].
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark warm-up duration.
+    pub fn warm_up_time(mut self, duration: Duration) -> Self {
+        self.warm_up_time = duration;
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, duration: Duration) -> Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let config = self.clone();
+        run_benchmark(id, &config, &mut routine);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timing samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement_time = Some(duration);
+        self
+    }
+
+    fn config(&self) -> Criterion {
+        let mut config = self.criterion.clone();
+        if let Some(n) = self.sample_size {
+            config.sample_size = n;
+        }
+        if let Some(duration) = self.measurement_time {
+            config.measurement_time = duration;
+        }
+        config
+    }
+
+    /// Benchmarks `routine`, labelled `id`, within this group.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, &self.config(), &mut routine);
+        self
+    }
+
+    /// Benchmarks `routine` with an explicit input value, criterion-style.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, &self.config(), &mut |b: &mut Bencher| {
+            routine(b, input)
+        });
+        self
+    }
+
+    /// Ends the group. (No-op in this stand-in; kept for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: `function_name/parameter`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine` back to back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn time_once<F: FnMut(&mut Bencher)>(routine: &mut F) -> Duration {
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut bencher);
+    bencher.elapsed
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, config: &Criterion, routine: &mut F) {
+    // Warm-up: run until the warm-up budget is exhausted, tracking the
+    // per-iteration cost so the measurement phase can size its samples.
+    let warm_up_start = Instant::now();
+    let mut per_iter = time_once(routine);
+    while warm_up_start.elapsed() < config.warm_up_time {
+        per_iter = (per_iter + time_once(routine)) / 2;
+    }
+    let per_iter_ns = per_iter.as_nanos().max(1);
+
+    // Choose the per-sample iteration count so all samples together roughly
+    // fill the measurement budget.
+    let budget_ns = config.measurement_time.as_nanos();
+    let iters_per_sample =
+        ((budget_ns / config.sample_size as u128) / per_iter_ns).clamp(1, u64::MAX as u128) as u64;
+
+    let mut samples = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size {
+        let mut bencher = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        samples.push(bencher.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{label:<50} time: [{} {} {}]  ({} samples × {} iters)",
+        format_ns(samples[0]),
+        format_ns(mean),
+        format_ns(*samples.last().unwrap()),
+        samples.len(),
+        iters_per_sample,
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+///
+/// Both the `name = …; config = …; targets = …` form and the positional
+/// `criterion_group!(name, target, …)` form are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("solve", 5).label, "solve/5");
+        assert_eq!(BenchmarkId::from_parameter("n=3").label, "n=3");
+    }
+
+    #[test]
+    fn runs_a_tiny_benchmark() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        let mut calls = 0u64;
+        group.bench_function("noop", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert!(calls > 0);
+    }
+}

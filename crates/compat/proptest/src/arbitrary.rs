@@ -1,0 +1,68 @@
+//! `any::<T>()` — full-range strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// A type with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug)]
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+/// The canonical strategy for `T`, e.g. `any::<i64>()`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> $t {
+                rng.next_u128() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, i128, u8, u16, u32, u64, u128, usize, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_is_deterministic_in_the_rng() {
+        let mut a = TestRng::from_name("any");
+        let mut b = TestRng::from_name("any");
+        assert_eq!(any::<i64>().generate(&mut a), any::<i64>().generate(&mut b));
+    }
+
+    #[test]
+    fn any_bool_takes_both_values() {
+        let mut rng = TestRng::from_name("bool");
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[any::<bool>().generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+}

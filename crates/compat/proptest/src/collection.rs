@@ -1,0 +1,89 @@
+//! Collection strategies: [fn@vec].
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// An (inclusive-start, exclusive-end) range of collection sizes.
+///
+/// Built via `From<usize>` (an exact size) or `From<Range<usize>>`, matching
+/// the conversions the real proptest accepts in practice.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    start: usize,
+    end: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            start: exact,
+            end: exact + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty size range");
+        SizeRange {
+            start: range.start,
+            end: range.end,
+        }
+    }
+}
+
+/// A strategy producing `Vec`s whose elements come from `element`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generates vectors with lengths drawn from `size` and elements from
+/// `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.end - self.size.start) as u128;
+        let len = self.size.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_size_vectors() {
+        let mut rng = TestRng::from_name("vec-exact");
+        let strategy = vec(0i64..10, 5usize);
+        for _ in 0..20 {
+            let v = strategy.generate(&mut rng);
+            assert_eq!(v.len(), 5);
+            assert!(v.iter().all(|x| (0..10).contains(x)));
+        }
+    }
+
+    #[test]
+    fn ranged_size_vectors() {
+        let mut rng = TestRng::from_name("vec-range");
+        let strategy = vec((0i64..4, 0i64..4), 0..10);
+        let mut lengths = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let v = strategy.generate(&mut rng);
+            assert!(v.len() < 10);
+            lengths.insert(v.len());
+        }
+        assert!(lengths.len() > 3, "lengths should vary: {lengths:?}");
+    }
+}

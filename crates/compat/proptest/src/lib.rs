@@ -1,0 +1,178 @@
+//! A vendored, dependency-free stand-in for the `proptest`
+//! property-testing framework.
+//!
+//! The build environment for this workspace has no access to a crate
+//! registry, so the slice of proptest's API used by the `bqc-arith` unit
+//! tests and the workspace-level `tests/properties.rs` suite is
+//! reimplemented here:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(…)]`),
+//! * [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`],
+//! * integer-range strategies (`-100i64..100`), [`arbitrary::any`],
+//!   tuple strategies, [`collection::vec`] and
+//!   [`strategy::Strategy::prop_map`],
+//! * [`test_runner::ProptestConfig::with_cases`].
+//!
+//! Semantics differ from the real crate in one deliberate way: there is **no
+//! shrinking**.  A failing case panics with the generated values' `Debug`
+//! output instead of a minimized counterexample.  Generation is seeded
+//! deterministically per test (from the test's module path), so failures are
+//! reproducible run to run.  Swapping the `proptest` entry in the workspace
+//! `[workspace.dependencies]` table for a registry version restores the real
+//! framework without source changes.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares a block of property tests.
+///
+/// Each `fn name(arg in strategy, …) { body }` item expands to a regular
+/// `#[test]`-style function that draws `config.cases` random cases and runs
+/// the body on each.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     // Under `#[cfg(test)]` this would carry the `#[test]` attribute;
+///     // here the generated function is simply called directly.
+///     fn addition_commutes(a in -1000i64..1000, b in -1000i64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::TestRng::from_name(concat!(
+                module_path!(), "::", stringify!($name),
+            ));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(20).saturating_add(100);
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= max_attempts,
+                    "proptest: too many rejected cases in {} ({} accepted of {} wanted)",
+                    stringify!($name), accepted, config.cases,
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                let case_debug = format!(
+                    concat!($(stringify!($arg), " = {:?}, ",)+ "(case {})"),
+                    $(&$arg,)+ attempts,
+                );
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        continue;
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(message)) => {
+                        panic!(
+                            "proptest case failed in {}: {}\n    inputs: {}",
+                            stringify!($name), message, case_debug,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left, right,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left,
+        );
+    }};
+}
+
+/// Discards the current case (without failing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}

@@ -1,0 +1,295 @@
+//! The [`Strategy`] trait and its combinators.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A recipe for generating values of type [`Strategy::Value`].
+///
+/// Unlike the real proptest there is no shrinking tree: a strategy is just a
+/// deterministic function of the test RNG.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps every generated value through `map`.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, map }
+    }
+
+    /// Keeps drawing until `filter` accepts a value (bounded retries).
+    fn prop_filter<F>(self, whence: &'static str, filter: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            source: self,
+            whence,
+            filter,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    source: S,
+    whence: &'static str,
+    filter: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let candidate = self.source.generate(rng);
+            if (self.filter)(&candidate) {
+                return candidate;
+            }
+        }
+        panic!(
+            "prop_filter rejected 1000 consecutive values: {}",
+            self.whence
+        );
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// String strategies from a regex-like pattern, as in the real proptest.
+///
+/// Supports the subset of regex syntax the workspace's tests use: literal
+/// characters, character classes (`[a-z0-9]`, with ranges), and the
+/// quantifiers `?`, `*`, `+`, `{m}` and `{m,n}` applied to the preceding
+/// atom. Unbounded quantifiers are capped at 8 repetitions.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (choices, min, max) in atoms {
+            let count = min + rng.below((max - min + 1) as u128) as usize;
+            for _ in 0..count {
+                out.push(choices[rng.below(choices.len() as u128) as usize]);
+            }
+        }
+        out
+    }
+}
+
+/// Parses a pattern into `(alternatives, min_reps, max_reps)` atoms.
+fn parse_pattern(pattern: &str) -> Vec<(Vec<char>, usize, usize)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .expect("unclosed character class")
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        set.extend((lo..=hi).filter(|c| c.is_ascii()));
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            }
+            '\\' => {
+                i += 2;
+                match chars[i - 1] {
+                    'd' => ('0'..='9').collect(),
+                    c => vec![c],
+                }
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // An optional quantifier applies to the atom just parsed.
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .expect("unclosed repetition")
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bad repetition bound"),
+                            hi.trim().parse().expect("bad repetition bound"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("bad repetition count");
+                            (n, n)
+                        }
+                    }
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(!choices.is_empty(), "empty character class in pattern");
+        atoms.push((choices, min, max));
+    }
+    atoms
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // Two's-complement trick: sign-extending both endpoints into
+                // u128 makes `end - start` the true width for signed types
+                // as well as unsigned ones.
+                let width = (self.end as u128).wrapping_sub(self.start as u128);
+                let offset = rng.below(width);
+                self.start.wrapping_add(offset as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, i128, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("bounds");
+        for _ in 0..500 {
+            let v = (-7i64..13).generate(&mut rng);
+            assert!((-7..13).contains(&v));
+            let u = (0u32..3).generate(&mut rng);
+            assert!(u < 3);
+            let w = (-10_000_000_000_000i128..10_000_000_000_000).generate(&mut rng);
+            assert!((-10_000_000_000_000..10_000_000_000_000).contains(&w));
+        }
+    }
+
+    #[test]
+    fn map_and_tuples_compose() {
+        let mut rng = TestRng::from_name("compose");
+        let strategy = (0i64..5, 1i64..6).prop_map(|(a, b)| a * 10 + b);
+        for _ in 0..100 {
+            let v = strategy.generate(&mut rng);
+            assert!((1..=45).contains(&v));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_their_shape() {
+        let mut rng = TestRng::from_name("pattern");
+        for _ in 0..100 {
+            let s = "-?[1-9][0-9]{0,6}".generate(&mut rng);
+            let digits = s.strip_prefix('-').unwrap_or(&s);
+            assert!(!digits.is_empty() && digits.len() <= 7, "bad length: {s:?}");
+            assert!(!digits.starts_with('0'), "leading zero: {s:?}");
+            assert!(
+                digits.chars().all(|c| c.is_ascii_digit()),
+                "bad char: {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn just_yields_its_value() {
+        let mut rng = TestRng::from_name("just");
+        assert_eq!(Just(41).generate(&mut rng), 41);
+    }
+}

@@ -1,0 +1,110 @@
+//! Test-runner configuration, case-level errors and the deterministic RNG.
+
+/// Configuration for a [`proptest!`](crate::proptest) block.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases each test must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real proptest defaults to 256; this stand-in halves that to
+        // keep exact-bignum property tests quick under `cargo test`.
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!` — it does not count as a
+    /// failure and another case is drawn in its place.
+    Reject(String),
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failing outcome with the given message.
+    pub fn fail<S: Into<String>>(message: S) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A discarded (assumption-violating) outcome with the given reason.
+    pub fn reject<S: Into<String>>(reason: S) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// The deterministic generator behind every strategy.
+///
+/// Seeded from the test's fully qualified name, so each test draws a stable
+/// stream of cases across runs (there is no failure-persistence file as in
+/// the real proptest; determinism makes failures reproducible instead).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from an arbitrary name (FNV-1a hash).
+    pub fn from_name(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: hash }
+    }
+
+    /// Produces the next 64 random bits (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Produces the next 128 random bits.
+    pub fn next_u128(&mut self) -> u128 {
+        ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+    }
+
+    /// A uniform sample from `[0, bound)`. Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u128) -> u128 {
+        assert!(bound > 0, "cannot sample below zero");
+        self.next_u128() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::from_name("x::y");
+        let mut b = TestRng::from_name("x::y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::from_name("x::z");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut rng = TestRng::from_name("range");
+        for _ in 0..100 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+}

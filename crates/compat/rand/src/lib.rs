@@ -1,0 +1,146 @@
+//! A vendored, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment for this workspace has no access to a crate
+//! registry, so the small slice of `rand`'s API that the benchmark workload
+//! generators and a few tests use is reimplemented here:
+//!
+//! * [`rngs::StdRng`] — a deterministic 64-bit PRNG (splitmix64);
+//! * [`SeedableRng::seed_from_u64`] — the only constructor the workspace uses;
+//! * [`Rng::gen_range`] — uniform sampling from half-open integer ranges.
+//!
+//! The signatures match `rand 0.8`, so replacing the `rand` entry in the
+//! workspace `[workspace.dependencies]` table with a registry version is a
+//! drop-in change.  The generator is *not* cryptographically secure and the
+//! range sampling uses a plain modulo reduction — both are irrelevant for the
+//! deterministic workload generation this workspace needs.
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let a = rng.gen_range(0i64..10);
+//! assert!((0..10).contains(&a));
+//! // Determinism: the same seed replays the same stream.
+//! let mut rng2 = StdRng::seed_from_u64(42);
+//! assert_eq!(rng2.gen_range(0i64..10), a);
+//! ```
+
+use std::ops::Range;
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// Produces the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A seedable generator. Only [`SeedableRng::seed_from_u64`] is provided.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is a deterministic function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from the half-open `range`.
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// A range that knows how to sample one of its values.
+pub trait SampleRange<T> {
+    /// Draws a single uniform sample from the range.
+    fn sample_single<G: RngCore>(self, rng: &mut G) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<G: RngCore>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let width = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                let offset = ((rng.next_u64() as u128) % width) as i128;
+                ((self.start as i128) + offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(i8, i16, i32, i64, u8, u16, u32, usize, isize);
+
+pub mod rngs {
+    //! Concrete generator types.
+
+    use super::{RngCore, SeedableRng};
+
+    /// A deterministic splitmix64 generator, stand-in for `rand`'s `StdRng`.
+    ///
+    /// The stream differs from the real `StdRng` (which is ChaCha-based), but
+    /// every use in this workspace only requires determinism in the seed, not
+    /// a particular stream.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 (Steele, Lea, Flood 2014) — passes BigCrush, one
+            // multiply-xor-shift chain per output, no state beyond 64 bits.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn in_range_and_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = a.gen_range(-5i64..17);
+            assert!((-5..17).contains(&x));
+            assert_eq!(x, b.gen_range(-5i64..17));
+        }
+    }
+
+    #[test]
+    fn covers_full_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = rng.gen_range(3i32..3);
+    }
+}

@@ -134,10 +134,9 @@ mod tests {
     fn example_3_5_inequality_is_invalid() {
         // Example 3.5: Q1 (two disjoint "3-parallel-edge" patterns) is NOT
         // contained in Q2 = A(y1,y2), B(y1,y3), C(y4,y2).
-        let q1 = parse_query(
-            "Q1() :- A(x1,x2), B(x1,x2), C(x1,x2), A(x1',x2'), B(x1',x2'), C(x1',x2')",
-        )
-        .unwrap();
+        let q1 =
+            parse_query("Q1() :- A(x1,x2), B(x1,x2), C(x1,x2), A(x1',x2'), B(x1',x2'), C(x1',x2')")
+                .unwrap();
         let q2 = parse_query("Q2() :- A(y1,y2), B(y1,y3), C(y4,y2)").unwrap();
         let td = junction_tree_of(&q2);
         assert!(td.is_simple());

@@ -38,6 +38,9 @@ pub enum Obstruction {
 }
 
 /// The answer of [`decide_containment`].
+// One answer value exists per decision call, so the size skew between the
+// witness-carrying and witness-free variants is not worth boxing away.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum ContainmentAnswer {
     /// `Q1 ⊑ Q2` holds for every database; the containment inequality is
@@ -111,7 +114,10 @@ pub struct DecideOptions {
 
 impl Default for DecideOptions {
     fn default() -> DecideOptions {
-        DecideOptions { witness_max_rows: 1 << 10, extract_witness: true }
+        DecideOptions {
+            witness_max_rows: 1 << 10,
+            extract_witness: true,
+        }
     }
 }
 
@@ -136,7 +142,10 @@ pub fn decide_containment_with(
     // separates the queries immediately.
     if query_homomorphisms(&q2, &q1).is_empty() {
         let witness = canonical_witness(&q1, &q2);
-        return Ok(ContainmentAnswer::NotContained { witness, counterexample: None });
+        return Ok(ContainmentAnswer::NotContained {
+            witness,
+            counterexample: None,
+        });
     }
 
     // Step 3: junction tree of Q2.
@@ -154,7 +163,9 @@ pub fn decide_containment_with(
         let single = TreeDecomposition::single_bag(q2.var_set());
         if let Some((inequality, _)) = containment_inequality(&q1, &q2, &single) {
             if check_max_inequality(&inequality).is_valid() {
-                return Ok(ContainmentAnswer::Contained { inequality: Some(inequality) });
+                return Ok(ContainmentAnswer::Contained {
+                    inequality: Some(inequality),
+                });
             }
         }
         return Ok(ContainmentAnswer::Unknown {
@@ -166,12 +177,15 @@ pub fn decide_containment_with(
     // Step 4: build and check the containment inequality.
     let Some((inequality, composed)) = containment_inequality(&q1, &q2, &td) else {
         let witness = canonical_witness(&q1, &q2);
-        return Ok(ContainmentAnswer::NotContained { witness, counterexample: None });
+        return Ok(ContainmentAnswer::NotContained {
+            witness,
+            counterexample: None,
+        });
     };
     match check_max_inequality(&inequality) {
-        GammaValidity::ValidShannon => {
-            Ok(ContainmentAnswer::Contained { inequality: Some(inequality) })
-        }
+        GammaValidity::ValidShannon => Ok(ContainmentAnswer::Contained {
+            inequality: Some(inequality),
+        }),
         GammaValidity::NotShannonProvable { counterexample } => {
             let simple = td.is_simple() && composed.iter().all(|e| e.is_simple());
             if !simple {
@@ -242,14 +256,16 @@ mod tests {
 
     #[test]
     fn example_3_5_not_contained_with_witness() {
-        let q1 = parse_query(
-            "Q1() :- A(x1,x2), B(x1,x2), C(x1,x2), A(x1',x2'), B(x1',x2'), C(x1',x2')",
-        )
-        .unwrap();
+        let q1 =
+            parse_query("Q1() :- A(x1,x2), B(x1,x2), C(x1,x2), A(x1',x2'), B(x1',x2'), C(x1',x2')")
+                .unwrap();
         let q2 = parse_query("Q2() :- A(y1,y2), B(y1,y3), C(y4,y2)").unwrap();
         let answer = decide_containment(&q1, &q2).unwrap();
         match answer {
-            ContainmentAnswer::NotContained { witness, counterexample } => {
+            ContainmentAnswer::NotContained {
+                witness,
+                counterexample,
+            } => {
                 assert!(counterexample.is_some());
                 let witness = witness.expect("witness should be materialized");
                 assert!(witness.hom_q1 > witness.hom_q2);
@@ -290,7 +306,10 @@ mod tests {
         let q2 = parse_query("Q2() :- S(u,v)").unwrap();
         let answer = decide_containment(&q1, &q2).unwrap();
         match answer {
-            ContainmentAnswer::NotContained { witness, counterexample } => {
+            ContainmentAnswer::NotContained {
+                witness,
+                counterexample,
+            } => {
                 assert!(counterexample.is_none());
                 let witness = witness.expect("canonical witness");
                 assert_eq!(witness.hom_q1, 1);

@@ -10,12 +10,12 @@
 //! which is independent of the chosen roots and can equivalently be written as
 //! `Σ_t h(χ(t)) − Σ_{(t1,t2) ∈ edges(T)} h(χ(t1) ∩ χ(t2))` (the form used in
 //! the running-intersection argument) or as the inclusion–exclusion expression
-//! of Eq. (32), originally due to Tony Lee [22].  `E_T` is *simple* exactly
+//! of Eq. (32), originally due to Tony Lee \[22\].  `E_T` is *simple* exactly
 //! when the decomposition is simple, which is what feeds Theorem 3.6.
 
+use bqc_arith::Rational;
 use bqc_entropy::{ConditionalExpr, EntropyExpr, VarSet};
 use bqc_hypergraph::TreeDecomposition;
-use bqc_arith::Rational;
 use std::collections::BTreeSet;
 
 /// Builds `E_T` as a conditional linear expression (Eq. 7), rooting each
@@ -42,7 +42,7 @@ pub fn et_node_edge_form(td: &TreeDecomposition) -> EntropyExpr {
         expr.add_term(Rational::one(), bag.iter().cloned());
     }
     for &edge in td.edges() {
-        expr.add_term(-Rational::one(), td.separator(edge).into_iter());
+        expr.add_term(-Rational::one(), td.separator(edge));
     }
     expr
 }
@@ -58,7 +58,10 @@ pub fn et_node_edge_form(td: &TreeDecomposition) -> EntropyExpr {
 /// [`et_expression`] for computation.
 pub fn et_inclusion_exclusion(td: &TreeDecomposition) -> EntropyExpr {
     let nodes = td.num_nodes();
-    assert!(nodes < 20, "inclusion–exclusion form is exponential; too many nodes");
+    assert!(
+        nodes < 20,
+        "inclusion–exclusion form is exponential; too many nodes"
+    );
     let mut expr = EntropyExpr::zero();
     for subset in 1u32..(1 << nodes) {
         let members: Vec<usize> = (0..nodes).filter(|i| subset & (1 << i) != 0).collect();
@@ -72,14 +75,16 @@ pub fn et_inclusion_exclusion(td: &TreeDecomposition) -> EntropyExpr {
         }
         // Union of the member bags, then the induced subforest of nodes whose
         // bags intersect that union.
-        let union: BTreeSet<String> =
-            members.iter().flat_map(|&m| td.bags()[m].iter().cloned()).collect();
+        let union: BTreeSet<String> = members
+            .iter()
+            .flat_map(|&m| td.bags()[m].iter().cloned())
+            .collect();
         let touched: Vec<usize> = (0..nodes)
             .filter(|&t| td.bags()[t].iter().any(|v| union.contains(v)))
             .collect();
         let cc = connected_components_of(td, &touched);
         let sign = if members.len() % 2 == 1 { 1 } else { -1 };
-        expr.add_term(Rational::from(sign * cc as i64), intersection.into_iter());
+        expr.add_term(Rational::from(sign * cc as i64), intersection);
     }
     expr
 }
@@ -178,7 +183,12 @@ mod tests {
         // star-shaped decomposition where different DFS orders give different
         // parents.
         let td = TreeDecomposition::new(
-            vec![bag(&["A", "B"]), bag(&["B", "C"]), bag(&["B", "D"]), bag(&["B", "E"])],
+            vec![
+                bag(&["A", "B"]),
+                bag(&["B", "C"]),
+                bag(&["B", "D"]),
+                bag(&["B", "E"]),
+            ],
             vec![(1, 0), (2, 1), (3, 1)],
         );
         assert_eq!(et_expression(&td).flatten(), et_node_edge_form(&td));

@@ -58,8 +58,8 @@ pub use decide::{
 pub use et::{et_expression, et_inclusion_exclusion, et_node_edge_form};
 pub use reduction_to_bagcqc::{max_iip_to_containment, ReductionOutput};
 pub use reductions::{
-    bag_bag_to_bag_set, boolean_reduction, dom_to_containment,
-    exponent_domination_to_containment, saturate, saturate_pair,
+    bag_bag_to_bag_set, boolean_reduction, dom_to_containment, exponent_domination_to_containment,
+    saturate, saturate_pair,
 };
 pub use witness::{
     exhaustive_containment_check, search_product_witness, verify_witness,

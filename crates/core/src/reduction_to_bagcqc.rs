@@ -58,12 +58,7 @@ pub fn erase_adornment(variable: &str) -> String {
 
 /// Expands a chain variable set into an ordered list of concrete variable
 /// names, splitting the distinguished variable into its two halves.
-fn expand_block(
-    set: &BTreeSet<String>,
-    distinguished: &str,
-    u1: &str,
-    u2: &str,
-) -> Vec<String> {
+fn expand_block(set: &BTreeSet<String>, distinguished: &str, u1: &str, u2: &str) -> Vec<String> {
     let mut out = Vec::with_capacity(set.len() + 1);
     for v in set {
         if v == distinguished {
@@ -83,8 +78,13 @@ fn expand_block(
 /// Panics if the input fails [`UniformMaxIip::validate`] or has no
 /// expressions.
 pub fn max_iip_to_containment(uniform: &UniformMaxIip) -> ReductionOutput {
-    uniform.validate().expect("input must be a valid Uniform-Max-IIP");
-    assert!(!uniform.expressions.is_empty(), "need at least one disjunct");
+    uniform
+        .validate()
+        .expect("input must be a valid Uniform-Max-IIP");
+    assert!(
+        !uniform.expressions.is_empty(),
+        "need at least one disjunct"
+    );
     let k = uniform.expressions.len();
     let n = uniform.expressions[0].head_count;
     let p = uniform.expressions[0].chain.len();
@@ -97,7 +97,10 @@ pub fn max_iip_to_containment(uniform: &UniformMaxIip) -> ReductionOutput {
     let mut q2_atoms: Vec<Atom> = Vec::new();
     // S_m(Ũ_m): binary atoms over disjoint fresh variable pairs.
     for m in 1..=n {
-        q2_atoms.push(Atom::new(format!("S{m}"), [format!("us{m}_a"), format!("us{m}_b")]));
+        q2_atoms.push(Atom::new(
+            format!("S{m}"),
+            [format!("us{m}_a"), format!("us{m}_b")],
+        ));
     }
     // The chain identifiers Z̃.
     let z_vars: Vec<String> = (1..=k).map(|i| format!("zz{i}")).collect();
@@ -125,8 +128,8 @@ pub fn max_iip_to_containment(uniform: &UniformMaxIip) -> ReductionOutput {
         args.extend(z_vars.iter().cloned());
         q2_atoms.push(Atom::new(format!("R{j}"), args));
     }
-    let q2 = ConjunctiveQuery::boolean("Q2_reduction", q2_atoms)
-        .expect("reduction produces a valid Q2");
+    let q2 =
+        ConjunctiveQuery::boolean("Q2_reduction", q2_atoms).expect("reduction produces a valid Q2");
 
     // ---- Q1 ------------------------------------------------------------
     let mut q1_atoms: Vec<Atom> = Vec::new();
@@ -144,27 +147,49 @@ pub fn max_iip_to_containment(uniform: &UniformMaxIip) -> ReductionOutput {
                     for (i2, expr2) in uniform.expressions.iter().enumerate() {
                         let (_, x) = &expr2.chain[j];
                         args.extend(block_for_copy(
-                            x, u, &u1, &u2, i2 + 1 == chain_index, copy, &u1_c,
+                            x,
+                            u,
+                            &u1,
+                            &u2,
+                            i2 + 1 == chain_index,
+                            copy,
+                            &u1_c,
                         ));
                     }
                 }
                 for (i2, expr2) in uniform.expressions.iter().enumerate() {
                     let (y, _) = &expr2.chain[j];
                     args.extend(block_for_copy(
-                        y, u, &u1, &u2, i2 + 1 == chain_index, copy, &u1_c,
+                        y,
+                        u,
+                        &u1,
+                        &u2,
+                        i2 + 1 == chain_index,
+                        copy,
+                        &u1_c,
                     ));
                 }
                 for m in 1..=k {
-                    args.push(if m == chain_index { u2_c.clone() } else { u1_c.clone() });
+                    args.push(if m == chain_index {
+                        u2_c.clone()
+                    } else {
+                        u1_c.clone()
+                    });
                 }
                 q1_atoms.push(Atom::new(format!("R{j}"), args));
             }
         }
     }
-    let q1 = ConjunctiveQuery::boolean("Q1_reduction", q1_atoms)
-        .expect("reduction produces a valid Q1");
+    let q1 =
+        ConjunctiveQuery::boolean("Q1_reduction", q1_atoms).expect("reduction produces a valid Q1");
 
-    ReductionOutput { q1, q2, u1, u2, copies: q }
+    ReductionOutput {
+        q1,
+        q2,
+        u1,
+        u2,
+        copies: q,
+    }
 }
 
 /// The `Q1` variable block for a chain set: the adorned original variables
@@ -181,7 +206,10 @@ fn block_for_copy(
 ) -> Vec<String> {
     let expanded = expand_block(set, distinguished, u1, u2);
     if active {
-        expanded.into_iter().map(|v| adorned_name(&v, copy)).collect()
+        expanded
+            .into_iter()
+            .map(|v| adorned_name(&v, copy))
+            .collect()
     } else {
         expanded.iter().map(|_| u1_adorned.to_string()).collect()
     }
@@ -246,7 +274,9 @@ mod tests {
     fn check_lemma_5_4_conditions(output: &ReductionOutput, uniform: &bqc_iip::UniformMaxIip) {
         let hypergraph = Hypergraph::new(output.q2.hyperedges());
         assert!(hypergraph.is_alpha_acyclic(), "Q2 must be acyclic");
-        let td = hypergraph.join_tree().expect("acyclic queries have join trees");
+        let td = hypergraph
+            .join_tree()
+            .expect("acyclic queries have join trees");
         let (_, composed) = containment_inequality(&output.q1, &output.q2, &td)
             .expect("the identity-style homomorphisms always exist");
         assert!(!composed.is_empty());
@@ -338,8 +368,12 @@ mod tests {
         assert_eq!(uniform.q, 3);
         assert_eq!(output.copies, 3);
         // Q1 consists of 3 adorned copies of the same sub-query.
-        let q1_vars: BTreeSet<String> =
-            output.q1.vars().iter().map(|v| erase_adornment(v)).collect();
+        let q1_vars: BTreeSet<String> = output
+            .q1
+            .vars()
+            .iter()
+            .map(|v| erase_adornment(v))
+            .collect();
         // X1, X2, X3, UU1, UU2.
         assert_eq!(q1_vars.len(), 5);
         assert_eq!(output.q1.num_vars(), 15);
@@ -379,12 +413,20 @@ mod tests {
         let homs = crate::containment::query_homomorphisms(&output.q2, &output.q1);
         assert!(!homs.is_empty());
         for phi in &homs {
-            let z_images: BTreeSet<&String> =
-                phi.iter().filter(|(v, _)| v.starts_with("zz")).map(|(_, t)| t).collect();
+            let z_images: BTreeSet<&String> = phi
+                .iter()
+                .filter(|(v, _)| v.starts_with("zz"))
+                .map(|(_, t)| t)
+                .collect();
             // Exactly one Z variable maps to a U2 copy, the rest to the same U1 copy.
-            let u2_images =
-                z_images.iter().filter(|t| erase_adornment(t).starts_with("UU2")).count();
-            assert_eq!(u2_images, 1, "homomorphism does not pick a single disjunct: {phi:?}");
+            let u2_images = z_images
+                .iter()
+                .filter(|t| erase_adornment(t).starts_with("UU2"))
+                .count();
+            assert_eq!(
+                u2_images, 1,
+                "homomorphism does not pick a single disjunct: {phi:?}"
+            );
         }
     }
 }

@@ -69,7 +69,11 @@ pub fn saturate(query: &ConjunctiveQuery) -> ConjunctiveQuery {
             let name = format!(
                 "{}__{}",
                 atom.relation,
-                positions.iter().map(|p| p.to_string()).collect::<Vec<_>>().join("_")
+                positions
+                    .iter()
+                    .map(|p| p.to_string())
+                    .collect::<Vec<_>>()
+                    .join("_")
             );
             let args: Vec<String> = positions.iter().map(|&p| atom.args[p].clone()).collect();
             atoms.push(Atom::new(name, args));
@@ -102,8 +106,12 @@ pub fn bag_bag_to_bag_set(query: &ConjunctiveQuery) -> ConjunctiveQuery {
             Atom::new(format!("{}_bb", atom.relation), args)
         })
         .collect();
-    ConjunctiveQuery::new(format!("{}_bagbag", query.name), query.head().to_vec(), atoms)
-        .expect("bag-bag reduction of a valid query is valid")
+    ConjunctiveQuery::new(
+        format!("{}_bagbag", query.name),
+        query.head().to_vec(),
+        atoms,
+    )
+    .expect("bag-bag reduction of a valid query is valid")
 }
 
 /// The domination problem (Problem 2.1): `B` dominates `A` iff
@@ -225,8 +233,14 @@ mod tests {
         let saturated = saturate(&q);
         // One original atom + 2^3 - 2 = 6 proper non-empty projections.
         assert_eq!(saturated.atoms().len(), 7);
-        assert!(saturated.atoms().iter().any(|a| a.relation == "R__0_1" && a.args == vec!["x", "y"]));
-        assert!(saturated.atoms().iter().any(|a| a.relation == "R__2" && a.args == vec!["z"]));
+        assert!(saturated
+            .atoms()
+            .iter()
+            .any(|a| a.relation == "R__0_1" && a.args == vec!["x", "y"]));
+        assert!(saturated
+            .atoms()
+            .iter()
+            .any(|a| a.relation == "R__2" && a.args == vec!["z"]));
         // Unary atoms are left alone.
         let q = parse_query("Q() :- P(x)").unwrap();
         assert_eq!(saturate(&q).atoms().len(), 1);

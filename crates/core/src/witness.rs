@@ -12,8 +12,8 @@
 //! provides a brute-force containment oracle for small instances.
 
 use bqc_arith::Rational;
-use bqc_entropy::{normalize, normal_relation_from_function, NormalFunction, SetFunction};
-use bqc_relational::{count_homomorphisms, ConjunctiveQuery, Structure, Value, VRelation};
+use bqc_entropy::{normal_relation_from_function, normalize, NormalFunction, SetFunction};
+use bqc_relational::{count_homomorphisms, ConjunctiveQuery, Structure, VRelation, Value};
 
 /// A verified proof that `Q1 ⋢ Q2`.
 #[derive(Clone, Debug)]
@@ -135,8 +135,9 @@ pub fn search_product_witness(
                 .iter()
                 .zip(&assignment)
                 .map(|(v, &i)| {
-                    let values =
-                        (0..sizes[i]).map(|j| Value::tagged(v.clone(), Value::int(j as i64))).collect();
+                    let values = (0..sizes[i])
+                        .map(|j| Value::tagged(v.clone(), Value::int(j as i64)))
+                        .collect();
                     (v.clone(), values)
                 })
                 .collect();
@@ -192,7 +193,10 @@ pub fn exhaustive_containment_check(
             all_facts.push((symbol.name.clone(), t));
         }
     }
-    assert!(all_facts.len() <= 20, "exhaustive check limited to at most 2^20 databases");
+    assert!(
+        all_facts.len() <= 20,
+        "exhaustive check limited to at most 2^20 databases"
+    );
     for subset in 0u64..(1 << all_facts.len()) {
         let mut db = Structure::new(vocabulary.clone());
         for (i, (name, tuple)) in all_facts.iter().enumerate() {
@@ -216,10 +220,9 @@ mod tests {
     #[test]
     fn example_3_5_normal_witness_verifies() {
         // Example 3.5's witness P = {(u,u,v,v) | u,v ∈ [n]} for n = 3.
-        let q1 = parse_query(
-            "Q1() :- A(x1,x2), B(x1,x2), C(x1,x2), A(x1',x2'), B(x1',x2'), C(x1',x2')",
-        )
-        .unwrap();
+        let q1 =
+            parse_query("Q1() :- A(x1,x2), B(x1,x2), C(x1,x2), A(x1',x2'), B(x1',x2'), C(x1',x2')")
+                .unwrap();
         let q2 = parse_query("Q2() :- A(y1,y2), B(y1,y3), C(y4,y2)").unwrap();
         let product = VRelation::product(&[
             ("u".to_string(), (1..=3).map(Value::int).collect()),
@@ -242,10 +245,9 @@ mod tests {
     #[test]
     fn example_3_5_has_no_small_product_witness() {
         // The paper argues no product relation witnesses Example 3.5.
-        let q1 = parse_query(
-            "Q1() :- A(x1,x2), B(x1,x2), C(x1,x2), A(x1',x2'), B(x1',x2'), C(x1',x2')",
-        )
-        .unwrap();
+        let q1 =
+            parse_query("Q1() :- A(x1,x2), B(x1,x2), C(x1,x2), A(x1',x2'), B(x1',x2'), C(x1',x2')")
+                .unwrap();
         let q2 = parse_query("Q2() :- A(y1,y2), B(y1,y3), C(y4,y2)").unwrap();
         assert!(search_product_witness(&q1, &q2, &[1, 2, 3], 200).is_none());
     }
@@ -300,10 +302,9 @@ mod tests {
         use crate::containment::containment_inequality;
         use bqc_hypergraph::{junction_tree, Graph};
 
-        let q1 = parse_query(
-            "Q1() :- A(x1,x2), B(x1,x2), C(x1,x2), A(x1',x2'), B(x1',x2'), C(x1',x2')",
-        )
-        .unwrap();
+        let q1 =
+            parse_query("Q1() :- A(x1,x2), B(x1,x2), C(x1,x2), A(x1',x2'), B(x1',x2'), C(x1',x2')")
+                .unwrap();
         let q2 = parse_query("Q2() :- A(y1,y2), B(y1,y3), C(y4,y2)").unwrap();
         let graph = Graph::from_cliques(q2.hyperedges());
         let td = junction_tree(&graph).unwrap();

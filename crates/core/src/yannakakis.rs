@@ -81,8 +81,10 @@ pub fn count_homomorphisms_acyclic(query: &ConjunctiveQuery, data: &Structure) -
                     .iter()
                     .filter(|v| vars.contains(v))
                     .map(|v| {
-                        let position =
-                            vars.iter().position(|x| x == v).expect("separator var in bag");
+                        let position = vars
+                            .iter()
+                            .position(|x| x == v)
+                            .expect("separator var in bag");
                         row[position].clone()
                     })
                     .collect();
@@ -148,8 +150,7 @@ fn enumerate_bag_assignments(
     }
     // Extend over any bag variable the driver atom does not mention (only
     // possible for defensively handled degenerate bags).
-    let missing: Vec<&String> =
-        vars.iter().filter(|v| !driver.args.contains(*v)).collect();
+    let missing: Vec<&String> = vars.iter().filter(|v| !driver.args.contains(*v)).collect();
     if !missing.is_empty() {
         let domain: Vec<Value> = data.active_domain().into_iter().collect();
         for var in missing {
@@ -211,7 +212,11 @@ mod tests {
         for text in queries {
             let q = parse_query(text).unwrap();
             let expected = count_homomorphisms(&q, &db);
-            assert_eq!(count_homomorphisms_acyclic(&q, &db), Some(expected), "query {text}");
+            assert_eq!(
+                count_homomorphisms_acyclic(&q, &db),
+                Some(expected),
+                "query {text}"
+            );
         }
     }
 

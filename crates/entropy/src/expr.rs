@@ -43,11 +43,7 @@ impl EntropyExpr {
 
     /// Adds `coeff · h(set)` to the expression.  Terms over the empty set are
     /// dropped (`h(∅) = 0`), and cancelling terms are removed.
-    pub fn add_term(
-        &mut self,
-        coeff: Rational,
-        set: impl IntoIterator<Item = impl Into<String>>,
-    ) {
+    pub fn add_term(&mut self, coeff: Rational, set: impl IntoIterator<Item = impl Into<String>>) {
         let set: VarSet = set.into_iter().map(Into::into).collect();
         if set.is_empty() || coeff.is_zero() {
             return;
@@ -115,8 +111,10 @@ impl EntropyExpr {
     pub fn compose(&self, phi: &BTreeMap<String, String>) -> EntropyExpr {
         let mut result = EntropyExpr::zero();
         for (set, coeff) in &self.terms {
-            let image: VarSet =
-                set.iter().map(|v| phi.get(v).cloned().unwrap_or_else(|| v.clone())).collect();
+            let image: VarSet = set
+                .iter()
+                .map(|v| phi.get(v).cloned().unwrap_or_else(|| v.clone()))
+                .collect();
             result.add_term(coeff.clone(), image);
         }
         result
@@ -184,7 +182,10 @@ impl ConditionalExpr {
     /// Panics if the coefficient is negative (conditional linear expressions
     /// have non-negative coefficients by definition).
     pub fn add(&mut self, coeff: Rational, y: VarSet, x: VarSet) {
-        assert!(!coeff.is_negative(), "conditional expressions have non-negative coefficients");
+        assert!(
+            !coeff.is_negative(),
+            "conditional expressions have non-negative coefficients"
+        );
         if coeff.is_zero() {
             return;
         }
@@ -208,16 +209,26 @@ impl ConditionalExpr {
 
     /// All variables mentioned.
     pub fn variables(&self) -> VarSet {
-        self.terms.iter().flat_map(|(_, y, x)| y.iter().chain(x.iter())).cloned().collect()
+        self.terms
+            .iter()
+            .flat_map(|(_, y, x)| y.iter().chain(x.iter()))
+            .cloned()
+            .collect()
     }
 
     /// Applies a variable substitution to both `Y` and `X` of every term.
     pub fn compose(&self, phi: &BTreeMap<String, String>) -> ConditionalExpr {
         let map = |set: &VarSet| -> VarSet {
-            set.iter().map(|v| phi.get(v).cloned().unwrap_or_else(|| v.clone())).collect()
+            set.iter()
+                .map(|v| phi.get(v).cloned().unwrap_or_else(|| v.clone()))
+                .collect()
         };
         ConditionalExpr {
-            terms: self.terms.iter().map(|(c, y, x)| (c.clone(), map(y), map(x))).collect(),
+            terms: self
+                .terms
+                .iter()
+                .map(|(c, y, x)| (c.clone(), map(y), map(x)))
+                .collect(),
         }
     }
 
@@ -271,7 +282,16 @@ mod tests {
     fn independent_bits() -> SetFunction {
         SetFunction::from_values(
             vec!["X".into(), "Y".into(), "Z".into()],
-            vec![int(0), int(1), int(1), int(2), int(1), int(2), int(2), int(3)],
+            vec![
+                int(0),
+                int(1),
+                int(1),
+                int(2),
+                int(1),
+                int(2),
+                int(2),
+                int(3),
+            ],
         )
     }
 
@@ -407,10 +427,7 @@ mod tests {
     #[test]
     fn evaluate_f64_matches_exact_on_integers() {
         let h = independent_bits();
-        let real = RealSetFunction::from_values(
-            h.vars().to_vec(),
-            h.to_f64(),
-        );
+        let real = RealSetFunction::from_values(h.vars().to_vec(), h.to_f64());
         let mut e = EntropyExpr::zero();
         e.add_term(int(3), ["X", "Y"]);
         e.add_term(int(-2), ["Z"]);

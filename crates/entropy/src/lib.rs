@@ -12,7 +12,7 @@
 //! * [`stepfn`] — step functions `h_W`, modular functions (`M_n`) and normal
 //!   functions (`N_n`), with the Möbius-inverse-based decomposition of
 //!   Fact B.7;
-//! * [`normalize`] — the constructive Lemma 3.7: dominate any polymatroid from
+//! * [mod@normalize] — the constructive Lemma 3.7: dominate any polymatroid from
 //!   below by a modular function (preserving `h(V)`) or a normal function
 //!   (preserving `h(V)` and all singletons);
 //! * [`expr`] — linear and conditional linear expressions of entropic terms,
@@ -70,7 +70,16 @@ mod tests {
         // The exact parity function is a polymatroid but not normal.
         let exact_parity = SetFunction::from_values(
             vars,
-            vec![int(0), int(1), int(1), int(2), int(1), int(2), int(2), int(2)],
+            vec![
+                int(0),
+                int(1),
+                int(1),
+                int(2),
+                int(1),
+                int(2),
+                int(2),
+                int(2),
+            ],
         );
         assert!(!is_normal(&exact_parity) && is_polymatroid(&exact_parity));
     }

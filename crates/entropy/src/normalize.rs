@@ -77,9 +77,18 @@ pub fn normalize(h: &SetFunction) -> SetFunction {
     {
         use crate::shannon::is_polymatroid;
         use crate::stepfn::is_normal;
-        debug_assert!(is_polymatroid(&result), "normalization must return a polymatroid");
-        debug_assert!(is_normal(&result), "normalization must return a normal function");
-        debug_assert!(result.dominated_by(h), "normalization must not increase any value");
+        debug_assert!(
+            is_polymatroid(&result),
+            "normalization must return a polymatroid"
+        );
+        debug_assert!(
+            is_normal(&result),
+            "normalization must return a normal function"
+        );
+        debug_assert!(
+            result.dominated_by(h),
+            "normalization must not increase any value"
+        );
         debug_assert_eq!(result.value(h.full_mask()), h.value(h.full_mask()));
     }
     result
@@ -108,8 +117,9 @@ fn normalize_inner(h: &SetFunction) -> SetFunction {
 
     // The L1 part: h1(X) = I(X ; {n}) is handled by the max construction on the
     // singleton mutual informations I({i} ; {n}).
-    let singleton_mi: Vec<Rational> =
-        (0..last).map(|i| h.mutual_information(1 << i, last_bit, 0)).collect();
+    let singleton_mi: Vec<Rational> = (0..last)
+        .map(|i| h.mutual_information(1 << i, last_bit, 0))
+        .collect();
     let h1_normal = max_construction(sub_vars, &singleton_mi);
 
     // Combine (Eqs. 42 and 43):
@@ -145,7 +155,16 @@ mod tests {
     fn parity() -> SetFunction {
         SetFunction::from_values(
             names(&["X", "Y", "Z"]),
-            vec![int(0), int(1), int(1), int(2), int(1), int(2), int(2), int(2)],
+            vec![
+                int(0),
+                int(1),
+                int(1),
+                int(2),
+                int(1),
+                int(2),
+                int(2),
+                int(2),
+            ],
         )
     }
 
@@ -156,7 +175,11 @@ mod tests {
         assert!(normalized.dominated_by(h));
         assert_eq!(normalized.value(h.full_mask()), h.value(h.full_mask()));
         for i in 0..h.num_vars() {
-            assert_eq!(normalized.value(1 << i), h.value(1 << i), "singleton {i} must be preserved");
+            assert_eq!(
+                normalized.value(1 << i),
+                h.value(1 << i),
+                "singleton {i} must be preserved"
+            );
         }
     }
 
@@ -205,10 +228,7 @@ mod tests {
         // On two variables every polymatroid is already normal, and the
         // construction must preserve it exactly (it preserves singletons and the
         // top, which determine everything on n = 2).
-        let h = SetFunction::from_values(
-            names(&["X", "Y"]),
-            vec![int(0), int(2), int(3), int(4)],
-        );
+        let h = SetFunction::from_values(names(&["X", "Y"]), vec![int(0), int(2), int(3), int(4)]);
         check_lemma_3_7_2(&h);
         let normalized = normalize(&h);
         assert_eq!(normalized, h);

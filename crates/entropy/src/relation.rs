@@ -14,7 +14,7 @@
 use crate::setfn::{all_masks, RealSetFunction};
 use crate::stepfn::NormalFunction;
 use bqc_arith::Rational;
-use bqc_relational::{Value, VRelation};
+use bqc_relational::{VRelation, Value};
 use std::collections::BTreeMap;
 
 /// Computes the entropy vector of the uniform distribution over the rows of a
@@ -72,7 +72,11 @@ pub fn parity_relation(columns: [&str; 3]) -> VRelation {
 /// The resulting relation is totally uniform and its entropy is
 /// `h(S) = |⋃_{i ∈ S} coords[i]|` bits.
 pub fn gf2_group_relation(columns: &[&str], dim: usize, coords: &[Vec<usize>]) -> VRelation {
-    assert_eq!(columns.len(), coords.len(), "one coordinate list per column");
+    assert_eq!(
+        columns.len(),
+        coords.len(),
+        "one coordinate list per column"
+    );
     assert!(dim <= 20, "GF(2) dimension capped at 20");
     for list in coords {
         for &c in list {
@@ -86,8 +90,9 @@ pub fn gf2_group_relation(columns: &[&str], dim: usize, coords: &[Vec<usize>]) -
             .iter()
             .map(|list| {
                 // The coset a + G_i is determined by the coordinates in `list`.
-                let projected: i64 =
-                    list.iter().fold(0i64, |acc, &c| (acc << 1) | ((a >> c) & 1) as i64);
+                let projected: i64 = list
+                    .iter()
+                    .fold(0i64, |acc, &c| (acc << 1) | ((a >> c) & 1) as i64);
                 Value::int(projected)
             })
             .collect();
@@ -104,16 +109,16 @@ pub fn gf2_group_relation(columns: &[&str], dim: usize, coords: &[Vec<usize>]) -
 ///
 /// Returns `None` if any coefficient is not a non-negative integer or if the
 /// construction would exceed `max_rows` rows.
-pub fn normal_relation_from_function(
-    normal: &NormalFunction,
-    max_rows: u64,
-) -> Option<VRelation> {
+pub fn normal_relation_from_function(normal: &NormalFunction, max_rows: u64) -> Option<VRelation> {
     let columns: Vec<String> = normal.vars().to_vec();
     let helper = crate::setfn::SetFunction::zero(columns.clone());
     // Start with a single all-constant row (the empty domain product).
     let mut result = VRelation::from_rows(
         columns.clone(),
-        vec![columns.iter().map(|_| Value::int(0)).collect::<Vec<Value>>()],
+        vec![columns
+            .iter()
+            .map(|_| Value::int(0))
+            .collect::<Vec<Value>>()],
     );
     let mut rows: u64 = 1;
     for (&w, coeff) in normal.coefficients() {
@@ -160,8 +165,10 @@ pub fn totally_uniform_entropy(relation: &VRelation) -> RealSetFunction {
         if mask == 0 {
             continue;
         }
-        let selected: Vec<String> =
-            (0..n).filter(|i| mask & (1 << i) != 0).map(|i| columns[i].clone()).collect();
+        let selected: Vec<String> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| columns[i].clone())
+            .collect();
         values[mask as usize] = (relation.project(&selected).len() as f64).log2();
     }
     RealSetFunction::from_values(columns, values)
@@ -191,7 +198,16 @@ mod tests {
         assert!(rel.is_totally_uniform());
         let expected = SetFunction::from_values(
             vec!["X".into(), "Y".into(), "Z".into()],
-            vec![int(0), int(1), int(1), int(2), int(1), int(2), int(2), int(2)],
+            vec![
+                int(0),
+                int(1),
+                int(1),
+                int(2),
+                int(1),
+                int(2),
+                int(2),
+                int(2),
+            ],
         );
         assert!(entropy_deviation(&rel, &expected) < 1e-9);
     }

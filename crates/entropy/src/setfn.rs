@@ -17,7 +17,10 @@ pub type Mask = u32;
 
 /// Iterates over all `2^n` subset masks of an `n`-element universe.
 pub fn all_masks(n: usize) -> impl Iterator<Item = Mask> {
-    assert!(n < 31, "variable universes beyond 30 variables are not supported");
+    assert!(
+        n < 31,
+        "variable universes beyond 30 variables are not supported"
+    );
     0..(1u32 << n)
 }
 
@@ -151,15 +154,25 @@ impl SetFunction {
     /// Panics if the variable universes differ.
     pub fn add(&self, other: &SetFunction) -> SetFunction {
         assert_eq!(self.vars, other.vars, "mismatched variable universes");
-        let values =
-            self.values.iter().zip(&other.values).map(|(a, b)| a + b).collect();
-        SetFunction { vars: self.vars.clone(), values }
+        let values = self
+            .values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| a + b)
+            .collect();
+        SetFunction {
+            vars: self.vars.clone(),
+            values,
+        }
     }
 
     /// Pointwise scaling by a non-negative rational.
     pub fn scale(&self, factor: &Rational) -> SetFunction {
         let values = self.values.iter().map(|v| v * factor).collect();
-        SetFunction { vars: self.vars.clone(), values }
+        SetFunction {
+            vars: self.vars.clone(),
+            values,
+        }
     }
 
     /// Pointwise comparison: `true` iff `self(S) ≤ other(S)` for every `S`.
@@ -224,8 +237,9 @@ impl SetFunction {
     /// Restricts the function to a sub-universe given by `keep` (a mask),
     /// producing a set function over the retained variables.
     pub fn restrict(&self, keep: Mask) -> SetFunction {
-        let kept: Vec<usize> =
-            (0..self.vars.len()).filter(|i| keep & (1 << i) != 0).collect();
+        let kept: Vec<usize> = (0..self.vars.len())
+            .filter(|i| keep & (1 << i) != 0)
+            .collect();
         let vars: Vec<String> = kept.iter().map(|&i| self.vars[i].clone()).collect();
         let mut result = SetFunction::zero(vars);
         for sub in all_masks(kept.len()) {
@@ -379,17 +393,11 @@ mod tests {
     #[test]
     fn conditional_and_mutual_information() {
         // Two independent fair bits: h(X)=h(Y)=1, h(XY)=2.
-        let h = SetFunction::from_values(
-            names(&["X", "Y"]),
-            vec![int(0), int(1), int(1), int(2)],
-        );
+        let h = SetFunction::from_values(names(&["X", "Y"]), vec![int(0), int(1), int(1), int(2)]);
         assert_eq!(h.conditional(0b10, 0b01), int(1));
         assert_eq!(h.mutual_information(0b01, 0b10, 0), int(0));
         // Perfectly correlated bits: h(X)=h(Y)=h(XY)=1.
-        let h = SetFunction::from_values(
-            names(&["X", "Y"]),
-            vec![int(0), int(1), int(1), int(1)],
-        );
+        let h = SetFunction::from_values(names(&["X", "Y"]), vec![int(0), int(1), int(1), int(1)]);
         assert_eq!(h.conditional(0b10, 0b01), int(0));
         assert_eq!(h.mutual_information(0b01, 0b10, 0), int(1));
     }
@@ -410,7 +418,16 @@ mod tests {
         // g(pairs)=0, g(XYZ)=2.
         let h = SetFunction::from_values(
             names(&["X", "Y", "Z"]),
-            vec![int(0), int(1), int(1), int(2), int(1), int(2), int(2), int(2)],
+            vec![
+                int(0),
+                int(1),
+                int(1),
+                int(2),
+                int(1),
+                int(2),
+                int(2),
+                int(2),
+            ],
         );
         let g = h.mobius_inverse();
         assert_eq!(g[0], int(1));
@@ -430,7 +447,16 @@ mod tests {
     fn mobius_roundtrip() {
         let h = SetFunction::from_values(
             names(&["A", "B", "C"]),
-            vec![int(0), int(3), int(2), int(4), int(5), int(7), int(6), int(8)],
+            vec![
+                int(0),
+                int(3),
+                int(2),
+                int(4),
+                int(5),
+                int(7),
+                int(6),
+                int(8),
+            ],
         );
         let g = h.mobius_inverse();
         let back = SetFunction::from_mobius(names(&["A", "B", "C"]), &g);
@@ -441,7 +467,16 @@ mod tests {
     fn restriction() {
         let h = SetFunction::from_values(
             names(&["X", "Y", "Z"]),
-            vec![int(0), int(1), int(1), int(2), int(1), int(2), int(2), int(2)],
+            vec![
+                int(0),
+                int(1),
+                int(1),
+                int(2),
+                int(1),
+                int(2),
+                int(2),
+                int(2),
+            ],
         );
         let restricted = h.restrict(0b011); // keep X, Y
         assert_eq!(restricted.vars(), &["X", "Y"]);

@@ -45,7 +45,10 @@ pub fn elemental_inequalities(n: usize) -> Vec<ElementalInequality> {
     // Monotonicity at the top: h(V) - h(V \ {i}) >= 0.
     for i in 0..n {
         constraints.push(ElementalInequality {
-            terms: vec![(full, Rational::one()), (full & !(1 << i), -Rational::one())],
+            terms: vec![
+                (full, Rational::one()),
+                (full & !(1 << i), -Rational::one()),
+            ],
             label: format!("mono({i})"),
         });
     }
@@ -100,7 +103,9 @@ pub fn is_polymatroid(h: &SetFunction) -> bool {
             }
         }
     }
-    elemental_inequalities(n).iter().all(|c| !c.evaluate(h).is_negative())
+    elemental_inequalities(n)
+        .iter()
+        .all(|c| !c.evaluate(h).is_negative())
 }
 
 /// Checks whether a set function is modular:
@@ -134,7 +139,16 @@ mod tests {
     fn parity() -> SetFunction {
         SetFunction::from_values(
             names(&["X", "Y", "Z"]),
-            vec![int(0), int(1), int(1), int(2), int(1), int(2), int(2), int(2)],
+            vec![
+                int(0),
+                int(1),
+                int(1),
+                int(2),
+                int(1),
+                int(2),
+                int(2),
+                int(2),
+            ],
         )
     }
 
@@ -156,10 +170,7 @@ mod tests {
 
     #[test]
     fn independent_bits_are_modular() {
-        let h = SetFunction::from_values(
-            names(&["X", "Y"]),
-            vec![int(0), int(1), int(2), int(3)],
-        );
+        let h = SetFunction::from_values(names(&["X", "Y"]), vec![int(0), int(1), int(2), int(3)]);
         assert!(is_polymatroid(&h));
         assert!(is_modular(&h));
     }
@@ -179,7 +190,11 @@ mod tests {
     fn elemental_evaluation() {
         let h = parity();
         for c in elemental_inequalities(3) {
-            assert!(!c.evaluate(&h).is_negative(), "constraint {} violated", c.label);
+            assert!(
+                !c.evaluate(&h).is_negative(),
+                "constraint {} violated",
+                c.label
+            );
         }
     }
 

@@ -38,7 +38,10 @@ impl Graph {
             self.add_vertex(a);
             return;
         }
-        self.adjacency.entry(a.clone()).or_default().insert(b.clone());
+        self.adjacency
+            .entry(a.clone())
+            .or_default()
+            .insert(b.clone());
         self.adjacency.entry(b).or_default().insert(a);
     }
 
@@ -133,8 +136,7 @@ impl Graph {
     /// reverse of this order is a perfect elimination ordering iff the graph
     /// is chordal.
     pub fn maximum_cardinality_search(&self) -> Vec<Vertex> {
-        let mut weight: BTreeMap<&Vertex, usize> =
-            self.adjacency.keys().map(|v| (v, 0)).collect();
+        let mut weight: BTreeMap<&Vertex, usize> = self.adjacency.keys().map(|v| (v, 0)).collect();
         let mut visited: BTreeSet<&Vertex> = BTreeSet::new();
         let mut order = Vec::with_capacity(self.adjacency.len());
         while visited.len() < self.adjacency.len() {
@@ -164,8 +166,7 @@ impl Graph {
         let order = self.maximum_cardinality_search();
         for (i, v) in order.iter().enumerate() {
             // Neighbours of v that were visited before v, in visit order.
-            let prior: Vec<&Vertex> =
-                order[..i].iter().filter(|u| self.has_edge(v, u)).collect();
+            let prior: Vec<&Vertex> = order[..i].iter().filter(|u| self.has_edge(v, u)).collect();
             if prior.len() <= 1 {
                 continue;
             }
@@ -191,8 +192,11 @@ impl Graph {
         let order = self.maximum_cardinality_search();
         let mut candidates: Vec<BTreeSet<Vertex>> = Vec::new();
         for (i, v) in order.iter().enumerate() {
-            let mut clique: BTreeSet<Vertex> =
-                order[..i].iter().filter(|u| self.has_edge(v, u)).cloned().collect();
+            let mut clique: BTreeSet<Vertex> = order[..i]
+                .iter()
+                .filter(|u| self.has_edge(v, u))
+                .cloned()
+                .collect();
             clique.insert(v.clone());
             candidates.push(clique);
         }
@@ -349,9 +353,15 @@ mod tests {
         let mut g = Graph::from_cliques(vec![set(&["a", "b", "c"]), set(&["c", "d", "e"])]);
         g.add_edge("e", "f");
         let cliques = g.maximal_cliques_chordal().unwrap();
-        for (a, b) in
-            [("a", "b"), ("b", "c"), ("c", "d"), ("d", "e"), ("e", "f"), ("a", "c"), ("c", "e")]
-        {
+        for (a, b) in [
+            ("a", "b"),
+            ("b", "c"),
+            ("c", "d"),
+            ("d", "e"),
+            ("e", "f"),
+            ("a", "c"),
+            ("c", "e"),
+        ] {
             assert!(
                 cliques.iter().any(|c| c.contains(a) && c.contains(b)),
                 "edge ({a},{b}) not covered by any clique"

@@ -3,7 +3,7 @@
 //! A conjunctive query's hypergraph has one hyperedge per atom (the atom's
 //! variable set).  The paper's Definition 2.6 calls a query *acyclic* when it
 //! has a tree decomposition whose bags are exactly atom variable sets; this is
-//! the classic α-acyclicity of Fagin [10], which this module decides with the
+//! the classic α-acyclicity of Fagin \[10\], which this module decides with the
 //! GYO (Graham / Yu–Özsoyoğlu) reduction and, independently, by building a
 //! join tree with a maximum-weight spanning forest and validating it.
 
@@ -21,7 +21,9 @@ pub struct Hypergraph {
 impl Hypergraph {
     /// Creates a hypergraph from hyperedges (empty edges are dropped).
     pub fn new(edges: Vec<BTreeSet<Vertex>>) -> Hypergraph {
-        Hypergraph { edges: edges.into_iter().filter(|e| !e.is_empty()).collect() }
+        Hypergraph {
+            edges: edges.into_iter().filter(|e| !e.is_empty()).collect(),
+        }
     }
 
     /// The hyperedges.
@@ -88,9 +90,10 @@ impl Hypergraph {
                     changed = true;
                     continue;
                 }
-                let contained = edges.iter().enumerate().any(|(j, other)| {
-                    i != j && edge.is_subset(other) && (edge != other || j < i)
-                });
+                let contained = edges
+                    .iter()
+                    .enumerate()
+                    .any(|(j, other)| i != j && edge.is_subset(other) && (edge != other || j < i));
                 if contained {
                     changed = true;
                 } else {
@@ -149,7 +152,11 @@ mod tests {
 
     #[test]
     fn path_is_acyclic() {
-        let h = Hypergraph::new(vec![edge(&["x", "y"]), edge(&["y", "z"]), edge(&["z", "w"])]);
+        let h = Hypergraph::new(vec![
+            edge(&["x", "y"]),
+            edge(&["y", "z"]),
+            edge(&["z", "w"]),
+        ]);
         assert!(h.is_alpha_acyclic());
         let jt = h.join_tree().unwrap();
         assert!(jt.is_valid_for(h.edges()));
@@ -158,7 +165,11 @@ mod tests {
 
     #[test]
     fn triangle_of_binary_edges_is_cyclic() {
-        let h = Hypergraph::new(vec![edge(&["x", "y"]), edge(&["y", "z"]), edge(&["z", "x"])]);
+        let h = Hypergraph::new(vec![
+            edge(&["x", "y"]),
+            edge(&["y", "z"]),
+            edge(&["z", "x"]),
+        ]);
         assert!(!h.is_alpha_acyclic());
         assert!(h.join_tree().is_none());
     }
@@ -231,7 +242,11 @@ mod tests {
 
     #[test]
     fn duplicate_edges_do_not_break_acyclicity() {
-        let h = Hypergraph::new(vec![edge(&["x", "y"]), edge(&["x", "y"]), edge(&["y", "z"])]);
+        let h = Hypergraph::new(vec![
+            edge(&["x", "y"]),
+            edge(&["x", "y"]),
+            edge(&["y", "z"]),
+        ]);
         assert!(h.is_alpha_acyclic());
     }
 

@@ -33,7 +33,10 @@ impl TreeDecomposition {
     /// form a forest (i.e. they contain a cycle).
     pub fn new(bags: Vec<Bag>, edges: Vec<(usize, usize)>) -> TreeDecomposition {
         for &(a, b) in &edges {
-            assert!(a < bags.len() && b < bags.len(), "edge ({a},{b}) out of range");
+            assert!(
+                a < bags.len() && b < bags.len(),
+                "edge ({a},{b}) out of range"
+            );
             assert_ne!(a, b, "self-loop edge in tree decomposition");
         }
         let td = TreeDecomposition { bags, edges };
@@ -43,7 +46,10 @@ impl TreeDecomposition {
 
     /// A decomposition with a single bag and no edges.
     pub fn single_bag(bag: Bag) -> TreeDecomposition {
-        TreeDecomposition { bags: vec![bag], edges: Vec::new() }
+        TreeDecomposition {
+            bags: vec![bag],
+            edges: Vec::new(),
+        }
     }
 
     /// The bags.
@@ -68,7 +74,12 @@ impl TreeDecomposition {
 
     /// Width of the decomposition (largest bag size minus one).
     pub fn width(&self) -> usize {
-        self.bags.iter().map(|b| b.len()).max().unwrap_or(0).saturating_sub(1)
+        self.bags
+            .iter()
+            .map(|b| b.len())
+            .max()
+            .unwrap_or(0)
+            .saturating_sub(1)
     }
 
     fn adjacency(&self) -> Vec<Vec<usize>> {
@@ -121,8 +132,9 @@ impl TreeDecomposition {
         let adj = self.adjacency();
         let vertices = self.all_vertices();
         for vertex in &vertices {
-            let holders: Vec<usize> =
-                (0..self.bags.len()).filter(|&i| self.bags[i].contains(vertex)).collect();
+            let holders: Vec<usize> = (0..self.bags.len())
+                .filter(|&i| self.bags[i].contains(vertex))
+                .collect();
             if holders.len() <= 1 {
                 continue;
             }
@@ -147,7 +159,9 @@ impl TreeDecomposition {
     /// Checks the coverage property with respect to a set of hyperedges (atom
     /// variable sets): every hyperedge must be contained in some bag.
     pub fn covers(&self, hyperedges: &[BTreeSet<Vertex>]) -> bool {
-        hyperedges.iter().all(|e| self.bags.iter().any(|bag| e.is_subset(bag)))
+        hyperedges
+            .iter()
+            .all(|e| self.bags.iter().any(|bag| e.is_subset(bag)))
     }
 
     /// `true` iff this is a valid tree decomposition for the given hyperedges.
@@ -158,18 +172,25 @@ impl TreeDecomposition {
     /// A decomposition is *simple* when every pair of adjacent bags shares at
     /// most one vertex (Section 3.1).
     pub fn is_simple(&self) -> bool {
-        self.edges.iter().all(|&(a, b)| self.bags[a].intersection(&self.bags[b]).count() <= 1)
+        self.edges
+            .iter()
+            .all(|&(a, b)| self.bags[a].intersection(&self.bags[b]).count() <= 1)
     }
 
     /// A decomposition is *totally disconnected* when adjacent bags share no
     /// vertex; equivalently (footnote 5) all its edges can be removed.
     pub fn is_totally_disconnected(&self) -> bool {
-        self.edges.iter().all(|&(a, b)| self.bags[a].intersection(&self.bags[b]).count() == 0)
+        self.edges
+            .iter()
+            .all(|&(a, b)| self.bags[a].intersection(&self.bags[b]).count() == 0)
     }
 
     /// The separator (bag intersection) of a forest edge.
     pub fn separator(&self, edge: (usize, usize)) -> BTreeSet<Vertex> {
-        self.bags[edge.0].intersection(&self.bags[edge.1]).cloned().collect()
+        self.bags[edge.0]
+            .intersection(&self.bags[edge.1])
+            .cloned()
+            .collect()
     }
 
     /// Roots every connected component at its smallest node index and returns
@@ -354,8 +375,7 @@ mod tests {
         );
         assert!(!not_simple.is_simple());
 
-        let disconnected =
-            TreeDecomposition::new(vec![bag(&["a", "b"]), bag(&["c", "d"])], vec![]);
+        let disconnected = TreeDecomposition::new(vec![bag(&["a", "b"]), bag(&["c", "d"])], vec![]);
         assert!(disconnected.is_totally_disconnected());
         assert!(disconnected.is_simple());
     }

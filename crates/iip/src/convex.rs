@@ -36,7 +36,10 @@ pub fn find_convex_certificate(inequality: &MaxInequality) -> Option<ConvexCerti
     let variables = &inequality.variables;
     let n = variables.len();
     let index_of = |name: &str| -> usize {
-        variables.iter().position(|v| v == name).expect("variable in universe")
+        variables
+            .iter()
+            .position(|v| v == name)
+            .expect("variable in universe")
     };
 
     // Dense coefficient vectors of the disjuncts, indexed by subset mask.
@@ -71,7 +74,10 @@ pub fn find_convex_certificate(inequality: &MaxInequality) -> Option<ConvexCerti
 
     // Σ λ_ℓ = 1.
     lp.add_constraint(
-        lambda.iter().map(|&v| (v, Rational::one())).collect::<Vec<_>>(),
+        lambda
+            .iter()
+            .map(|&v| (v, Rational::one()))
+            .collect::<Vec<_>>(),
         ConstraintOp::Eq,
         Rational::one(),
     );
@@ -104,7 +110,10 @@ pub fn find_convex_certificate(inequality: &MaxInequality) -> Option<ConvexCerti
     if solution.status != LpStatus::Optimal {
         return None;
     }
-    let lambdas = lambda.iter().map(|&v| solution.values[v.0].clone()).collect();
+    let lambdas = lambda
+        .iter()
+        .map(|&v| solution.values[v.0].clone())
+        .collect();
     Some(ConvexCertificate { lambdas })
 }
 
@@ -187,8 +196,10 @@ mod tests {
         for (l, d) in cert.lambdas.iter().zip(&max.disjuncts) {
             combined = combined.add(&d.scale(l));
         }
-        assert!(crate::prover::check_linear_inequality(&LinearInequality::new(universe, combined))
-            .is_valid());
+        assert!(
+            crate::prover::check_linear_inequality(&LinearInequality::new(universe, combined))
+                .is_valid()
+        );
     }
 
     #[test]
@@ -204,10 +215,15 @@ mod tests {
     fn certificate_existence_matches_validity() {
         // Agreement between the two decision procedures on a small batch.
         let universe = vars(&["X", "Y", "Z"]);
-        let candidates = vec![
+        let candidates = [
             expr(&[(1, &["X", "Y"]), (-1, &["X"])]),
             expr(&[(1, &["X"]), (-1, &["X", "Y", "Z"])]),
-            expr(&[(1, &["X", "Z"]), (1, &["Y", "Z"]), (-1, &["X", "Y", "Z"]), (-1, &["Z"])]),
+            expr(&[
+                (1, &["X", "Z"]),
+                (1, &["Y", "Z"]),
+                (-1, &["X", "Y", "Z"]),
+                (-1, &["Z"]),
+            ]),
             expr(&[(2, &["X"]), (-1, &["Y"]), (-1, &["Z"])]),
         ];
         for (i, a) in candidates.iter().enumerate() {

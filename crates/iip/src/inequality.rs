@@ -31,7 +31,10 @@ impl LinearInequality {
     pub fn new(variables: Vec<String>, expr: EntropyExpr) -> LinearInequality {
         let universe: BTreeSet<&String> = variables.iter().collect();
         for v in expr.variables() {
-            assert!(universe.contains(&v), "expression variable {v} not in the declared universe");
+            assert!(
+                universe.contains(&v),
+                "expression variable {v} not in the declared universe"
+            );
         }
         LinearInequality { variables, expr }
     }
@@ -60,7 +63,10 @@ impl LinearInequality {
 
     /// Views this inequality as a single-disjunct max-inequality.
     pub fn to_max(&self) -> MaxInequality {
-        MaxInequality { variables: self.variables.clone(), disjuncts: vec![self.expr.clone()] }
+        MaxInequality {
+            variables: self.variables.clone(),
+            disjuncts: vec![self.expr.clone()],
+        }
     }
 }
 
@@ -87,7 +93,10 @@ impl MaxInequality {
     /// Panics if a disjunct mentions a variable outside the universe, or if
     /// there are no disjuncts.
     pub fn new(variables: Vec<String>, disjuncts: Vec<EntropyExpr>) -> MaxInequality {
-        assert!(!disjuncts.is_empty(), "a max-inequality needs at least one disjunct");
+        assert!(
+            !disjuncts.is_empty(),
+            "a max-inequality needs at least one disjunct"
+        );
         let universe: BTreeSet<&String> = variables.iter().collect();
         for d in &disjuncts {
             for v in d.variables() {
@@ -97,7 +106,10 @@ impl MaxInequality {
                 );
             }
         }
-        MaxInequality { variables, disjuncts }
+        MaxInequality {
+            variables,
+            disjuncts,
+        }
     }
 
     /// Number of disjuncts `k`.
@@ -157,16 +169,12 @@ mod tests {
     #[test]
     fn evaluate_linear() {
         let ineq = submodularity_xy();
-        let independent = SetFunction::from_values(
-            vars(&["X", "Y"]),
-            vec![int(0), int(1), int(1), int(2)],
-        );
+        let independent =
+            SetFunction::from_values(vars(&["X", "Y"]), vec![int(0), int(1), int(1), int(2)]);
         assert_eq!(ineq.evaluate(&independent), int(0));
         assert!(ineq.holds_on(&independent));
-        let correlated = SetFunction::from_values(
-            vars(&["X", "Y"]),
-            vec![int(0), int(1), int(1), int(1)],
-        );
+        let correlated =
+            SetFunction::from_values(vars(&["X", "Y"]), vec![int(0), int(1), int(1), int(1)]);
         assert_eq!(ineq.evaluate(&correlated), int(1));
     }
 
@@ -181,10 +189,8 @@ mod tests {
         };
         let e2 = e1.negate();
         let max = MaxInequality::new(vars(&["X", "Y"]), vec![e1, e2]);
-        let skewed = SetFunction::from_values(
-            vars(&["X", "Y"]),
-            vec![int(0), int(3), int(1), int(3)],
-        );
+        let skewed =
+            SetFunction::from_values(vars(&["X", "Y"]), vec![int(0), int(3), int(1), int(3)]);
         assert_eq!(max.evaluate(&skewed), int(2));
         assert!(max.holds_on(&skewed));
         assert_eq!(max.num_disjuncts(), 2);
@@ -192,10 +198,8 @@ mod tests {
 
     #[test]
     fn universe_can_exceed_mentioned_variables() {
-        let ineq = LinearInequality::from_terms(
-            vars(&["X", "Y", "Z"]),
-            vec![(int(1), vec!["X".into()])],
-        );
+        let ineq =
+            LinearInequality::from_terms(vars(&["X", "Y", "Z"]), vec![(int(1), vec!["X".into()])]);
         assert_eq!(ineq.variables.len(), 3);
     }
 

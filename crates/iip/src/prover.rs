@@ -16,7 +16,7 @@
 //! * **valid over `Γ_n`** ⇒ valid over the entropic functions `Γ*_n ⊆ Γ_n`
 //!   (the inequality is a *Shannon* inequality);
 //! * **invalid over `Γ_n`** ⇒ inconclusive for general inequalities (there are
-//!   non-Shannon valid inequalities, Zhang–Yeung [32]); but for the
+//!   non-Shannon valid inequalities, Zhang–Yeung \[32\]); but for the
 //!   *essentially Shannon* classes of Theorem 3.6 — in particular the
 //!   containment inequalities produced by chordal queries with simple junction
 //!   trees — the polymatroid counterexample can be pushed down into the normal
@@ -192,7 +192,10 @@ mod tests {
     #[test]
     fn basic_shannon_inequalities_are_valid() {
         // Submodularity: h(X) + h(Y) - h(XY) >= 0.
-        let ineq = LinearInequality::new(vars(&["X", "Y"]), expr(&[(1, &["X"]), (1, &["Y"]), (-1, &["X", "Y"])]));
+        let ineq = LinearInequality::new(
+            vars(&["X", "Y"]),
+            expr(&[(1, &["X"]), (1, &["Y"]), (-1, &["X", "Y"])]),
+        );
         assert!(check_linear_inequality(&ineq).is_valid());
         // Monotonicity: h(XY) - h(X) >= 0.
         let ineq =
@@ -202,7 +205,12 @@ mod tests {
         // h(XZ) + h(YZ) - h(XYZ) - h(Z) >= 0.
         let ineq = LinearInequality::new(
             vars(&["X", "Y", "Z"]),
-            expr(&[(1, &["X", "Z"]), (1, &["Y", "Z"]), (-1, &["X", "Y", "Z"]), (-1, &["Z"])]),
+            expr(&[
+                (1, &["X", "Z"]),
+                (1, &["Y", "Z"]),
+                (-1, &["X", "Y", "Z"]),
+                (-1, &["Z"]),
+            ]),
         );
         assert!(check_linear_inequality(&ineq).is_valid());
     }
@@ -285,10 +293,14 @@ mod tests {
         let universe = vars(&["X", "Y"]);
         let d1 = expr(&[(1, &["X"]), (-1, &["Y"])]);
         let d2 = expr(&[(1, &["Y"]), (-1, &["X"])]);
-        assert!(!check_linear_inequality(&LinearInequality::new(universe.clone(), d1.clone()))
-            .is_valid());
-        assert!(!check_linear_inequality(&LinearInequality::new(universe.clone(), d2.clone()))
-            .is_valid());
+        assert!(
+            !check_linear_inequality(&LinearInequality::new(universe.clone(), d1.clone()))
+                .is_valid()
+        );
+        assert!(
+            !check_linear_inequality(&LinearInequality::new(universe.clone(), d2.clone()))
+                .is_valid()
+        );
         assert!(check_max_inequality(&MaxInequality::new(universe, vec![d1, d2])).is_valid());
     }
 
@@ -313,7 +325,13 @@ mod tests {
             };
             e.add_term(int(coeff), join(a, cond));
             e.add_term(int(coeff), join(b, cond));
-            e.add_term(int(-coeff), join(&join(a, b).iter().map(|s| s.as_str()).collect::<Vec<_>>(), cond));
+            e.add_term(
+                int(-coeff),
+                join(
+                    &join(a, b).iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+                    cond,
+                ),
+            );
             e.add_term(int(-coeff), cond.iter().copied());
         };
         mi(&mut e, 1, &["A"], &["B"], &[]);
@@ -339,6 +357,9 @@ mod tests {
         assert_eq!(minimize_over_gamma(&valid, &universe, int(1)), Some(int(0)));
         // Invalid inequality: minimum is -1 with h(XY) <= 1.
         let invalid = expr(&[(1, &["X"]), (-1, &["Y"])]);
-        assert_eq!(minimize_over_gamma(&invalid, &universe, int(1)), Some(int(-1)));
+        assert_eq!(
+            minimize_over_gamma(&invalid, &universe, int(1)),
+            Some(int(-1))
+        );
     }
 }

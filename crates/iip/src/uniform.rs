@@ -204,11 +204,18 @@ pub fn uniformize(inequality: &MaxInequality, distinguished: &str) -> UniformMax
                 }
             }
         }
-        intermediates.push(Intermediate { positive_sets, negative_sets });
+        intermediates.push(Intermediate {
+            positive_sets,
+            negative_sets,
+        });
     }
 
     // n = max_ℓ n_ℓ (number of negative unit terms).
-    let n = intermediates.iter().map(|i| i.negative_sets.len()).max().unwrap_or(0);
+    let n = intermediates
+        .iter()
+        .map(|i| i.negative_sets.len())
+        .max()
+        .unwrap_or(0);
 
     // Step 2: build, per disjunct, the chain over the extended universe UV.
     //   E'_ℓ = n·h(U) + h(U|∅)
@@ -253,7 +260,10 @@ pub fn uniformize(inequality: &MaxInequality, distinguished: &str) -> UniformMax
         while chain.len() < max_p {
             chain.push((u_set.clone(), u_set.clone()));
         }
-        expressions.push(UniformExpression { head_count: n, chain: chain.clone() });
+        expressions.push(UniformExpression {
+            head_count: n,
+            chain: chain.clone(),
+        });
     }
 
     UniformMaxIip {
@@ -287,7 +297,9 @@ mod tests {
     /// (the proof of Lemma 5.3 goes through verbatim for polymatroids).
     fn assert_equivalent(original: &MaxInequality) {
         let uniform = uniformize(original, "U");
-        uniform.validate().expect("uniformization must produce a uniform inequality");
+        uniform
+            .validate()
+            .expect("uniformization must produce a uniform inequality");
         let transformed = uniform.to_max_inequality();
         let a = check_max_inequality(original).is_valid();
         let b = check_max_inequality(&transformed).is_valid();
@@ -317,8 +329,7 @@ mod tests {
 
     #[test]
     fn invalid_inequalities_stay_invalid() {
-        let ineq =
-            LinearInequality::new(vars(&["X", "Y"]), expr(&[(1, &["X"]), (-1, &["Y"])]));
+        let ineq = LinearInequality::new(vars(&["X", "Y"]), expr(&[(1, &["X"]), (-1, &["Y"])]));
         assert_equivalent(&ineq.to_max());
         // Supermodularity.
         let ineq = LinearInequality::new(
@@ -338,8 +349,14 @@ mod tests {
         let uniform = uniformize(&max, "U");
         assert_eq!(uniform.expressions.len(), 2);
         // Both disjuncts share n and p after padding.
-        assert_eq!(uniform.expressions[0].head_count, uniform.expressions[1].head_count);
-        assert_eq!(uniform.expressions[0].chain.len(), uniform.expressions[1].chain.len());
+        assert_eq!(
+            uniform.expressions[0].head_count,
+            uniform.expressions[1].head_count
+        );
+        assert_eq!(
+            uniform.expressions[0].chain.len(),
+            uniform.expressions[1].chain.len()
+        );
 
         // Invalid: max(h(X)-h(XY), h(Y)-h(XY)).
         let d1 = expr(&[(1, &["X"]), (-1, &["X", "Y"])]);
@@ -370,14 +387,20 @@ mod tests {
             expressions: vec![UniformExpression {
                 head_count: 0,
                 chain: vec![
-                    (bqc_entropy::varset(["U", "X"]), bqc_entropy::varset([] as [&str; 0])),
+                    (
+                        bqc_entropy::varset(["U", "X"]),
+                        bqc_entropy::varset([] as [&str; 0]),
+                    ),
                     // X_1 = {X} satisfies the chain condition but does not
                     // contain U: connectedness violated.
                     (bqc_entropy::varset(["U", "X"]), bqc_entropy::varset(["X"])),
                 ],
             }],
         };
-        assert!(matches!(bad.validate(), Err(UniformityError::ConnectednessViolated(1))));
+        assert!(matches!(
+            bad.validate(),
+            Err(UniformityError::ConnectednessViolated(1))
+        ));
 
         let bad_first = UniformMaxIip {
             variables: vars(&["X"]),
@@ -388,7 +411,10 @@ mod tests {
                 chain: vec![(bqc_entropy::varset(["U"]), bqc_entropy::varset(["X"]))],
             }],
         };
-        assert!(matches!(bad_first.validate(), Err(UniformityError::FirstConditionNotEmpty)));
+        assert!(matches!(
+            bad_first.validate(),
+            Err(UniformityError::FirstConditionNotEmpty)
+        ));
     }
 
     #[test]
@@ -407,12 +433,21 @@ mod tests {
             expressions: vec![UniformExpression {
                 head_count: 0,
                 chain: vec![
-                    (bqc_entropy::varset(["U", "X"]), bqc_entropy::varset([] as [&str; 0])),
+                    (
+                        bqc_entropy::varset(["U", "X"]),
+                        bqc_entropy::varset([] as [&str; 0]),
+                    ),
                     // X_1 = {U, Y} is not a subset of Y_0 = {U, X}.
-                    (bqc_entropy::varset(["U", "Y"]), bqc_entropy::varset(["U", "Y"])),
+                    (
+                        bqc_entropy::varset(["U", "Y"]),
+                        bqc_entropy::varset(["U", "Y"]),
+                    ),
                 ],
             }],
         };
-        assert!(matches!(bad.validate(), Err(UniformityError::ChainConditionViolated(1))));
+        assert!(matches!(
+            bad.validate(),
+            Err(UniformityError::ChainConditionViolated(1))
+        ));
     }
 }

@@ -117,13 +117,21 @@ impl LpSolution {
 impl LpProblem {
     /// Creates an empty problem with the given optimization sense.
     pub fn new(sense: Sense) -> LpProblem {
-        LpProblem { sense, variables: Vec::new(), objective: Vec::new(), constraints: Vec::new() }
+        LpProblem {
+            sense,
+            variables: Vec::new(),
+            objective: Vec::new(),
+            constraints: Vec::new(),
+        }
     }
 
     /// Declares a new decision variable and returns its identifier.
     pub fn add_variable(&mut self, name: impl Into<String>, bound: VarBound) -> VarId {
         let id = VarId(self.variables.len());
-        self.variables.push(Variable { name: name.into(), bound });
+        self.variables.push(Variable {
+            name: name.into(),
+            bound,
+        });
         id
     }
 
@@ -155,7 +163,11 @@ impl LpProblem {
         rhs: Rational,
     ) -> ConstraintId {
         let id = ConstraintId(self.constraints.len());
-        self.constraints.push(Constraint { coeffs: coeffs.into_iter().collect(), op, rhs });
+        self.constraints.push(Constraint {
+            coeffs: coeffs.into_iter().collect(),
+            op,
+            rhs,
+        });
         id
     }
 
@@ -164,7 +176,8 @@ impl LpProblem {
         // Column layout of the standard form:
         //   for each variable: one column if NonNegative, two (x⁺, x⁻) if Free;
         //   then one slack/surplus column per inequality constraint.
-        let mut column_of_var: Vec<(usize, Option<usize>)> = Vec::with_capacity(self.variables.len());
+        let mut column_of_var: Vec<(usize, Option<usize>)> =
+            Vec::with_capacity(self.variables.len());
         let mut next_col = 0usize;
         for var in &self.variables {
             match var.bound {
@@ -178,8 +191,11 @@ impl LpProblem {
                 }
             }
         }
-        let num_slacks =
-            self.constraints.iter().filter(|c| c.op != ConstraintOp::Eq).count();
+        let num_slacks = self
+            .constraints
+            .iter()
+            .filter(|c| c.op != ConstraintOp::Eq)
+            .count();
         let n = next_col + num_slacks;
         let m = self.constraints.len();
 
@@ -232,7 +248,10 @@ impl LpProblem {
                 objective: None,
                 values: vec![Rational::zero(); self.variables.len()],
             },
-            SimplexOutcome::Optimal { objective, solution } => {
+            SimplexOutcome::Optimal {
+                objective,
+                solution,
+            } => {
                 let mut values = Vec::with_capacity(self.variables.len());
                 for (pos, neg) in &column_of_var {
                     let mut v = solution[*pos].clone();
@@ -245,7 +264,11 @@ impl LpProblem {
                     Sense::Minimize => objective,
                     Sense::Maximize => -objective,
                 };
-                LpSolution { status: LpStatus::Optimal, objective: Some(objective), values }
+                LpSolution {
+                    status: LpStatus::Optimal,
+                    objective: Some(objective),
+                    values,
+                }
             }
         }
     }
@@ -346,7 +369,11 @@ mod tests {
         let y = lp.add_variable("y", VarBound::NonNegative);
         lp.set_objective(vec![(x, int(2)), (y, int(3))]);
         lp.add_constraint(vec![(x, int(1)), (y, int(1))], ConstraintOp::Eq, int(1));
-        lp.add_constraint(vec![(x, int(1)), (y, int(-1))], ConstraintOp::Eq, ratio(1, 3));
+        lp.add_constraint(
+            vec![(x, int(1)), (y, int(-1))],
+            ConstraintOp::Eq,
+            ratio(1, 3),
+        );
         let sol = lp.solve();
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_eq!(sol[x], ratio(2, 3));

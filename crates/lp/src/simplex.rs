@@ -137,12 +137,15 @@ pub fn solve_standard_form(a: &[Vec<Rational>], b: &[Rational], c: &[Rational]) 
     for i in 0..m {
         let negate = b[i].is_negative();
         let mut row: Vec<Rational> = Vec::with_capacity(total + 1);
-        for j in 0..n {
-            let v = if negate { -&a[i][j] } else { a[i][j].clone() };
-            row.push(v);
+        for value in &a[i] {
+            row.push(if negate { -value } else { value.clone() });
         }
         for j in 0..m {
-            row.push(if i == j { Rational::one() } else { Rational::zero() });
+            row.push(if i == j {
+                Rational::one()
+            } else {
+                Rational::zero()
+            });
         }
         row.push(if negate { -&b[i] } else { b[i].clone() });
         rows.push(row);
@@ -152,19 +155,22 @@ pub fn solve_standard_form(a: &[Vec<Rational>], b: &[Rational], c: &[Rational]) 
     // reduced-cost row starts as the cost vector and is then made consistent
     // with the initial (artificial) basis by subtracting each constraint row.
     let mut phase1_obj = vec![Rational::zero(); total + 1];
-    for j in n..total {
-        phase1_obj[j] = Rational::one();
+    for slot in &mut phase1_obj[n..total] {
+        *slot = Rational::one();
     }
-    for i in 0..m {
-        for j in 0..=total {
-            let delta = rows[i][j].clone();
-            phase1_obj[j] = &phase1_obj[j] - &delta;
+    for row in &rows {
+        for (slot, delta) in phase1_obj.iter_mut().zip(row) {
+            *slot = &*slot - delta;
         }
     }
     rows.push(phase1_obj);
 
-    let mut tableau =
-        Tableau { rows, basis: (n..total).collect(), m, n: total };
+    let mut tableau = Tableau {
+        rows,
+        basis: (n..total).collect(),
+        m,
+        n: total,
+    };
 
     let phase1_bounded = tableau.optimize(total);
     debug_assert!(phase1_bounded, "phase 1 objective is bounded below by 0");
@@ -203,9 +209,9 @@ pub fn solve_standard_form(a: &[Vec<Rational>], b: &[Rational], c: &[Rational]) 
         let basic = tableau.basis[row];
         if basic < n && !obj[basic].is_zero() {
             let factor = obj[basic].clone();
-            for col in 0..=total_cols {
-                let delta = &factor * &tableau.rows[row][col];
-                obj[col] = &obj[col] - &delta;
+            for (slot, cell) in obj.iter_mut().zip(&tableau.rows[row]) {
+                let delta = &factor * cell;
+                *slot = &*slot - &delta;
             }
         }
     }
@@ -231,7 +237,10 @@ pub fn solve_standard_form(a: &[Vec<Rational>], b: &[Rational], c: &[Rational]) 
             solution[basic] = tableau.rhs(row).clone();
         }
     }
-    SimplexOutcome::Optimal { objective: tableau.objective_value(), solution }
+    SimplexOutcome::Optimal {
+        objective: tableau.objective_value(),
+        solution,
+    }
 }
 
 #[cfg(test)]
@@ -250,7 +259,10 @@ mod tests {
         let b = vec![r(2), r(0)];
         let c = vec![r(1), r(1)];
         match solve_standard_form(&a, &b, &c) {
-            SimplexOutcome::Optimal { objective, solution } => {
+            SimplexOutcome::Optimal {
+                objective,
+                solution,
+            } => {
                 assert_eq!(objective, r(2));
                 assert_eq!(solution, vec![r(1), r(1)]);
             }
@@ -283,7 +295,10 @@ mod tests {
         let b = vec![r(-3)];
         let c = vec![r(1)];
         match solve_standard_form(&a, &b, &c) {
-            SimplexOutcome::Optimal { objective, solution } => {
+            SimplexOutcome::Optimal {
+                objective,
+                solution,
+            } => {
                 assert_eq!(objective, r(3));
                 assert_eq!(solution, vec![r(3)]);
             }
@@ -298,7 +313,10 @@ mod tests {
         let b = vec![r(1), r(1)];
         let c = vec![r(0), r(1)];
         match solve_standard_form(&a, &b, &c) {
-            SimplexOutcome::Optimal { objective, solution } => {
+            SimplexOutcome::Optimal {
+                objective,
+                solution,
+            } => {
                 assert_eq!(objective, r(0));
                 assert_eq!(&solution[0] + &solution[1], r(1));
             }
@@ -314,7 +332,10 @@ mod tests {
         let b = vec![r(5), r(5)];
         let c = vec![r(-1), r(-1)];
         match solve_standard_form(&a, &b, &c) {
-            SimplexOutcome::Optimal { objective, solution } => {
+            SimplexOutcome::Optimal {
+                objective,
+                solution,
+            } => {
                 assert_eq!(solution, vec![r(1), r(1)]);
                 assert_eq!(objective, r(-2));
             }
@@ -325,7 +346,10 @@ mod tests {
         let b = vec![r(2), r(2)];
         let c = vec![r(1), r(0)];
         match solve_standard_form(&a, &b, &c) {
-            SimplexOutcome::Optimal { objective, solution } => {
+            SimplexOutcome::Optimal {
+                objective,
+                solution,
+            } => {
                 assert_eq!(solution, vec![ratio(1, 2), ratio(1, 2)]);
                 assert_eq!(objective, ratio(1, 2));
             }

@@ -108,8 +108,16 @@ impl<'a> SearchPlan<'a> {
         let mut neighbors: BTreeMap<&Var, BTreeSet<&Var>> = BTreeMap::new();
         for (a, b) in &edges {
             let (a_ref, b_ref) = (
-                query.vars().iter().find(|v| *v == a).expect("edge var in query"),
-                query.vars().iter().find(|v| *v == b).expect("edge var in query"),
+                query
+                    .vars()
+                    .iter()
+                    .find(|v| *v == a)
+                    .expect("edge var in query"),
+                query
+                    .vars()
+                    .iter()
+                    .find(|v| *v == b)
+                    .expect("edge var in query"),
             );
             neighbors.entry(a_ref).or_default().insert(b_ref);
             neighbors.entry(b_ref).or_default().insert(a_ref);
@@ -156,7 +164,10 @@ impl<'a> SearchPlan<'a> {
                 .iter()
                 .map(|v| *position_of.get(v).expect("atom var is ordered"))
                 .collect();
-            let last = *positions.iter().max().expect("atom has at least one variable");
+            let last = *positions
+                .iter()
+                .max()
+                .expect("atom has at least one variable");
             checks[last].push(atom);
             for &p in &positions {
                 if p != last {
@@ -165,12 +176,25 @@ impl<'a> SearchPlan<'a> {
             }
         }
 
-        let candidate_lists: Vec<Vec<Value>> =
-            order.iter().map(|v| candidates[v].iter().cloned().collect()).collect();
-        Some(SearchPlan { order, candidates: candidate_lists, checks, partial_checks, data })
+        let candidate_lists: Vec<Vec<Value>> = order
+            .iter()
+            .map(|v| candidates[v].iter().cloned().collect())
+            .collect();
+        Some(SearchPlan {
+            order,
+            candidates: candidate_lists,
+            checks,
+            partial_checks,
+            data,
+        })
     }
 
-    fn run<F: FnMut(&Assignment)>(&self, depth: usize, assignment: &mut Assignment, callback: &mut F) {
+    fn run<F: FnMut(&Assignment)>(
+        &self,
+        depth: usize,
+        assignment: &mut Assignment,
+        callback: &mut F,
+    ) {
         if depth == self.order.len() {
             callback(assignment);
             return;
@@ -178,7 +202,9 @@ impl<'a> SearchPlan<'a> {
         let var = &self.order[depth];
         for value in &self.candidates[depth] {
             assignment.insert(var.clone(), value.clone());
-            if self.checks[depth].iter().all(|atom| self.atom_satisfied(atom, assignment))
+            if self.checks[depth]
+                .iter()
+                .all(|atom| self.atom_satisfied(atom, assignment))
                 && self.partial_checks[depth]
                     .iter()
                     .all(|atom| self.atom_partially_satisfiable(atom, assignment))
@@ -212,7 +238,10 @@ impl<'a> SearchPlan<'a> {
 ///
 /// Returns the query together with the list of domain values that occur in no
 /// tuple (isolated values), which the query cannot represent.
-pub fn structure_to_query(structure: &Structure, name: &str) -> (Option<ConjunctiveQuery>, Vec<Value>) {
+pub fn structure_to_query(
+    structure: &Structure,
+    name: &str,
+) -> (Option<ConjunctiveQuery>, Vec<Value>) {
     let mut var_of: BTreeMap<Value, Var> = BTreeMap::new();
     let mut next = 0usize;
     let mut atoms = Vec::new();
@@ -234,8 +263,11 @@ pub fn structure_to_query(structure: &Structure, name: &str) -> (Option<Conjunct
             atoms.push(Atom::new(symbol.name.clone(), args));
         }
     }
-    let isolated: Vec<Value> =
-        structure.active_domain().into_iter().filter(|v| !var_of.contains_key(v)).collect();
+    let isolated: Vec<Value> = structure
+        .active_domain()
+        .into_iter()
+        .filter(|v| !var_of.contains_key(v))
+        .collect();
     let query = if atoms.is_empty() {
         None
     } else {
@@ -267,8 +299,11 @@ mod tests {
 
     fn path_query() -> ConjunctiveQuery {
         // Q() :- R(x,y), R(y,z)
-        ConjunctiveQuery::boolean("P", vec![Atom::new("R", ["x", "y"]), Atom::new("R", ["y", "z"])])
-            .unwrap()
+        ConjunctiveQuery::boolean(
+            "P",
+            vec![Atom::new("R", ["x", "y"]), Atom::new("R", ["y", "z"])],
+        )
+        .unwrap()
     }
 
     fn cycle_structure(n: i64) -> Structure {
@@ -329,11 +364,9 @@ mod tests {
 
     #[test]
     fn empty_relation_means_no_homomorphisms() {
-        let q = ConjunctiveQuery::boolean(
-            "Q",
-            vec![Atom::new("R", ["x", "y"]), Atom::new("S", ["y"])],
-        )
-        .unwrap();
+        let q =
+            ConjunctiveQuery::boolean("Q", vec![Atom::new("R", ["x", "y"]), Atom::new("S", ["y"])])
+                .unwrap();
         let s = cycle_structure(3);
         assert_eq!(count_homomorphisms(&q, &s), 0);
         assert!(enumerate_homomorphisms(&q, &s).is_empty());
@@ -342,12 +375,8 @@ mod tests {
     #[test]
     fn bag_set_answer_group_by() {
         // Q(x) :- R(x,y): out-degree of every vertex.
-        let q = ConjunctiveQuery::new(
-            "Q",
-            vec!["x".to_string()],
-            vec![Atom::new("R", ["x", "y"])],
-        )
-        .unwrap();
+        let q = ConjunctiveQuery::new("Q", vec!["x".to_string()], vec![Atom::new("R", ["x", "y"])])
+            .unwrap();
         let mut s = cycle_structure(3);
         s.add_fact("R", vec![Value::int(0), Value::int(2)]);
         let answer = bag_set_answer(&q, &s);

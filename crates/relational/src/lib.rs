@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! # bqc-relational — relational substrate
 //!
 //! Conjunctive queries, relational structures (database instances),

@@ -25,11 +25,21 @@ use std::fmt;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ParseError {
     /// Unexpected character at the given byte offset.
-    UnexpectedChar { position: usize, found: char },
+    UnexpectedChar {
+        /// Byte offset of the offending character.
+        position: usize,
+        /// The character that was found.
+        found: char,
+    },
     /// The input ended while more tokens were expected.
     UnexpectedEnd,
     /// Expected a specific token.
-    Expected { position: usize, expected: &'static str },
+    Expected {
+        /// Byte offset where the token was expected.
+        position: usize,
+        /// Human-readable description of the expected token.
+        expected: &'static str,
+    },
     /// The parsed query was structurally invalid.
     InvalidQuery(QueryError),
 }
@@ -76,7 +86,11 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn tokenize(input: &'a str) -> Result<Vec<(usize, Token)>, ParseError> {
-        let mut lexer = Lexer { input, position: 0, tokens: Vec::new() };
+        let mut lexer = Lexer {
+            input,
+            position: 0,
+            tokens: Vec::new(),
+        };
         lexer.run()?;
         Ok(lexer.tokens)
     }
@@ -85,7 +99,10 @@ impl<'a> Lexer<'a> {
         let bytes = self.input.as_bytes();
         while self.position < bytes.len() {
             let start = self.position;
-            let c = self.input[self.position..].chars().next().expect("in range");
+            let c = self.input[self.position..]
+                .chars()
+                .next()
+                .expect("in range");
             match c {
                 c if c.is_whitespace() => self.position += c.len_utf8(),
                 '%' | '#' => {
@@ -115,7 +132,10 @@ impl<'a> Lexer<'a> {
                         self.tokens.push((start, Token::Turnstile));
                         self.position += 2;
                     } else {
-                        return Err(ParseError::UnexpectedChar { position: start, found: ':' });
+                        return Err(ParseError::UnexpectedChar {
+                            position: start,
+                            found: ':',
+                        });
                     }
                 }
                 '-' => {
@@ -141,7 +161,12 @@ impl<'a> Lexer<'a> {
                     self.position = end;
                     self.tokens.push((start, Token::Ident(ident)));
                 }
-                other => return Err(ParseError::UnexpectedChar { position: start, found: other }),
+                other => {
+                    return Err(ParseError::UnexpectedChar {
+                        position: start,
+                        found: other,
+                    })
+                }
             }
         }
         Ok(())
@@ -154,11 +179,17 @@ impl<'a> Lexer<'a> {
             self.position += 1;
         }
         if self.position == digits_start {
-            return Err(ParseError::Expected { position: start, expected: "digit" });
+            return Err(ParseError::Expected {
+                position: start,
+                expected: "digit",
+            });
         }
         let magnitude: i64 = self.input[digits_start..self.position]
             .parse()
-            .map_err(|_| ParseError::Expected { position: start, expected: "integer that fits i64" })?;
+            .map_err(|_| ParseError::Expected {
+                position: start,
+                expected: "integer that fits i64",
+            })?;
         Ok(Token::Number(if negative { -magnitude } else { magnitude }))
     }
 }
@@ -174,7 +205,11 @@ impl Parser {
     }
 
     fn next(&mut self) -> Result<(usize, Token), ParseError> {
-        let item = self.tokens.get(self.index).cloned().ok_or(ParseError::UnexpectedEnd)?;
+        let item = self
+            .tokens
+            .get(self.index)
+            .cloned()
+            .ok_or(ParseError::UnexpectedEnd)?;
         self.index += 1;
         Ok(item)
     }
@@ -184,7 +219,10 @@ impl Parser {
         if &token == expected {
             Ok(())
         } else {
-            Err(ParseError::Expected { position, expected: label })
+            Err(ParseError::Expected {
+                position,
+                expected: label,
+            })
         }
     }
 
@@ -192,7 +230,10 @@ impl Parser {
         let (position, token) = self.next()?;
         match token {
             Token::Ident(s) => Ok(s),
-            _ => Err(ParseError::Expected { position, expected: label }),
+            _ => Err(ParseError::Expected {
+                position,
+                expected: label,
+            }),
         }
     }
 
@@ -213,7 +254,10 @@ impl Parser {
                 (_, Token::Comma) => continue,
                 (_, Token::RParen) => break,
                 (position, _) => {
-                    return Err(ParseError::Expected { position, expected: "',' or ')'" })
+                    return Err(ParseError::Expected {
+                        position,
+                        expected: "',' or ')'",
+                    })
                 }
             }
         }
@@ -244,13 +288,19 @@ pub fn parse_query(input: &str) -> Result<ConjunctiveQuery, ParseError> {
             None => break,
             Some(_) => {
                 let (position, _) = parser.next()?;
-                return Err(ParseError::Expected { position, expected: "',' or '.'" });
+                return Err(ParseError::Expected {
+                    position,
+                    expected: "',' or '.'",
+                });
             }
         }
     }
     if !parser.done() {
         let (position, _) = parser.next()?;
-        return Err(ParseError::Expected { position, expected: "end of input" });
+        return Err(ParseError::Expected {
+            position,
+            expected: "end of input",
+        });
     }
     Ok(ConjunctiveQuery::new(name, head, atoms)?)
 }
@@ -271,14 +321,22 @@ pub fn parse_structure(input: &str) -> Result<Structure, ParseError> {
                 let value = match token {
                     Token::Number(n) => Value::Int(n),
                     Token::Ident(s) => Value::Text(s),
-                    _ => return Err(ParseError::Expected { position, expected: "constant" }),
+                    _ => {
+                        return Err(ParseError::Expected {
+                            position,
+                            expected: "constant",
+                        })
+                    }
                 };
                 tuple.push(value);
                 match parser.next()? {
                     (_, Token::Comma) => continue,
                     (_, Token::RParen) => break,
                     (position, _) => {
-                        return Err(ParseError::Expected { position, expected: "',' or ')'" })
+                        return Err(ParseError::Expected {
+                            position,
+                            expected: "',' or ')'",
+                        })
                     }
                 }
             }
@@ -317,22 +375,32 @@ mod tests {
 
     #[test]
     fn parse_with_comments_and_whitespace() {
-        let q = parse_query(
-            "Q() :- % the triangle\n  R(x, y),\n  R(y, z), # wraps around\n  R(z, x).",
-        )
-        .unwrap();
+        let q =
+            parse_query("Q() :- % the triangle\n  R(x, y),\n  R(y, z), # wraps around\n  R(z, x).")
+                .unwrap();
         assert_eq!(q.atoms().len(), 3);
     }
 
     #[test]
     fn parse_errors_are_reported() {
-        assert!(matches!(parse_query("Q(x)"), Err(ParseError::UnexpectedEnd)));
-        assert!(matches!(parse_query("Q(x) : R(x)"), Err(ParseError::UnexpectedChar { .. })));
+        assert!(matches!(
+            parse_query("Q(x)"),
+            Err(ParseError::UnexpectedEnd)
+        ));
+        assert!(matches!(
+            parse_query("Q(x) : R(x)"),
+            Err(ParseError::UnexpectedChar { .. })
+        ));
         assert!(matches!(
             parse_query("Q(z) :- R(x, y)."),
-            Err(ParseError::InvalidQuery(QueryError::HeadVariableNotInBody(_)))
+            Err(ParseError::InvalidQuery(QueryError::HeadVariableNotInBody(
+                _
+            )))
         ));
-        assert!(matches!(parse_query("Q(x) :- R(x) S(x)"), Err(ParseError::Expected { .. })));
+        assert!(matches!(
+            parse_query("Q(x) :- R(x) S(x)"),
+            Err(ParseError::Expected { .. })
+        ));
     }
 
     #[test]
@@ -356,5 +424,188 @@ mod tests {
         let q = parse_query("Q() :- R(x, y), R(y, z)").unwrap();
         let s = parse_structure("R(1,2). R(2,3). R(3,1).").unwrap();
         assert_eq!(count_homomorphisms(&q, &s), 3);
+    }
+
+    // ---- error paths: malformed atoms ------------------------------------
+
+    #[test]
+    fn atom_missing_closing_paren() {
+        assert_eq!(parse_query("Q(x) :- R(x"), Err(ParseError::UnexpectedEnd));
+        assert_eq!(parse_structure("R(1"), Err(ParseError::UnexpectedEnd));
+        assert_eq!(parse_structure("R(1, 2"), Err(ParseError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn atom_missing_argument_list() {
+        assert_eq!(parse_query("Q(x) :- R"), Err(ParseError::UnexpectedEnd));
+        assert_eq!(
+            parse_query("Q(x) :- R x"),
+            Err(ParseError::Expected {
+                position: 10,
+                expected: "'('",
+            })
+        );
+    }
+
+    #[test]
+    fn atom_with_dangling_or_leading_comma() {
+        assert_eq!(
+            parse_query("Q(x) :- R(x,)"),
+            Err(ParseError::Expected {
+                position: 12,
+                expected: "variable name",
+            })
+        );
+        assert_eq!(
+            parse_query("Q(x) :- R(,x)"),
+            Err(ParseError::Expected {
+                position: 10,
+                expected: "variable name",
+            })
+        );
+    }
+
+    #[test]
+    fn atom_arguments_without_separator() {
+        assert_eq!(
+            parse_query("Q(x) :- R(x y)"),
+            Err(ParseError::Expected {
+                position: 12,
+                expected: "',' or ')'",
+            })
+        );
+        assert_eq!(
+            parse_structure("R(1 2)"),
+            Err(ParseError::Expected {
+                position: 4,
+                expected: "',' or ')'",
+            })
+        );
+    }
+
+    #[test]
+    fn structure_rejects_non_constant_arguments() {
+        assert_eq!(
+            parse_structure("R((1))"),
+            Err(ParseError::Expected {
+                position: 2,
+                expected: "constant",
+            })
+        );
+        assert_eq!(
+            parse_structure("R(-)"),
+            Err(ParseError::Expected {
+                position: 2,
+                expected: "digit",
+            })
+        );
+        assert_eq!(
+            parse_structure("R(99999999999999999999)"),
+            Err(ParseError::Expected {
+                position: 2,
+                expected: "integer that fits i64",
+            })
+        );
+    }
+
+    #[test]
+    fn garbage_characters_are_located() {
+        assert_eq!(
+            parse_query("Q(x) ? R(x)"),
+            Err(ParseError::UnexpectedChar {
+                position: 5,
+                found: '?',
+            })
+        );
+        assert_eq!(
+            parse_structure("R(1). @"),
+            Err(ParseError::UnexpectedChar {
+                position: 6,
+                found: '@',
+            })
+        );
+    }
+
+    #[test]
+    fn trailing_tokens_after_query_are_rejected() {
+        assert_eq!(
+            parse_query("Q(x) :- R(x). extra"),
+            Err(ParseError::Expected {
+                position: 14,
+                expected: "end of input",
+            })
+        );
+        assert_eq!(
+            parse_query("Q(x) :- R(x) S(x)"),
+            Err(ParseError::Expected {
+                position: 13,
+                expected: "',' or '.'",
+            })
+        );
+    }
+
+    // ---- error paths: unbound head variables -----------------------------
+
+    #[test]
+    fn unbound_head_variable_is_named() {
+        assert_eq!(
+            parse_query("Q(x, y) :- R(x, x)"),
+            Err(ParseError::InvalidQuery(QueryError::HeadVariableNotInBody(
+                "y".to_string()
+            )))
+        );
+        // All head variables are checked, not just the first atom's.
+        assert!(parse_query("Q(a, b, c) :- R(a, b), S(b, a)").is_err());
+        assert!(parse_query("Q(x') :- R(x)").is_err());
+    }
+
+    #[test]
+    fn inconsistent_arity_reports_both_uses() {
+        assert_eq!(
+            parse_query("Q() :- R(x), R(x, y)"),
+            Err(ParseError::InvalidQuery(QueryError::InconsistentArity {
+                relation: "R".to_string(),
+                first: 1,
+                second: 2,
+            }))
+        );
+    }
+
+    // ---- error paths: empty bodies ---------------------------------------
+
+    #[test]
+    fn empty_and_truncated_bodies() {
+        assert_eq!(parse_query(""), Err(ParseError::UnexpectedEnd));
+        assert_eq!(parse_query("Q()"), Err(ParseError::UnexpectedEnd));
+        assert_eq!(parse_query("Q() :-"), Err(ParseError::UnexpectedEnd));
+        assert_eq!(
+            parse_query("Q() :- ."),
+            Err(ParseError::Expected {
+                position: 7,
+                expected: "relation name",
+            })
+        );
+    }
+
+    #[test]
+    fn empty_body_query_error_surfaces_through_from() {
+        let direct = ConjunctiveQuery::new("Q".to_string(), vec![], vec![]);
+        assert_eq!(direct.unwrap_err(), QueryError::EmptyBody);
+        assert_eq!(
+            ParseError::from(QueryError::EmptyBody),
+            ParseError::InvalidQuery(QueryError::EmptyBody)
+        );
+    }
+
+    #[test]
+    fn parse_errors_display_positions() {
+        let err = parse_query("Q(x) ? R(x)").unwrap_err();
+        assert_eq!(err.to_string(), "unexpected character '?' at byte 5");
+        let err = parse_query("Q(x)").unwrap_err();
+        assert_eq!(err.to_string(), "unexpected end of input");
+        let err = parse_query("Q(x) :- R(x,)").unwrap_err();
+        assert_eq!(err.to_string(), "expected variable name at byte 12");
+        let err = parse_query("Q(z) :- R(x)").unwrap_err();
+        assert!(err.to_string().starts_with("invalid query:"), "{err}");
     }
 }

@@ -31,8 +31,14 @@ pub struct Atom {
 
 impl Atom {
     /// Creates an atom.
-    pub fn new(relation: impl Into<String>, args: impl IntoIterator<Item = impl Into<Var>>) -> Atom {
-        Atom { relation: relation.into(), args: args.into_iter().map(Into::into).collect() }
+    pub fn new(
+        relation: impl Into<String>,
+        args: impl IntoIterator<Item = impl Into<Var>>,
+    ) -> Atom {
+        Atom {
+            relation: relation.into(),
+            args: args.into_iter().map(Into::into).collect(),
+        }
     }
 
     /// The set of distinct variables occurring in this atom.
@@ -58,7 +64,14 @@ pub enum QueryError {
     /// A head variable does not occur in any atom.
     HeadVariableNotInBody(Var),
     /// The same relation symbol is used with two different arities.
-    InconsistentArity { relation: String, first: usize, second: usize },
+    InconsistentArity {
+        /// The relation symbol with conflicting uses.
+        relation: String,
+        /// Arity seen first.
+        first: usize,
+        /// Conflicting arity seen later.
+        second: usize,
+    },
     /// The query has no atoms.
     EmptyBody,
 }
@@ -69,7 +82,11 @@ impl fmt::Display for QueryError {
             QueryError::HeadVariableNotInBody(v) => {
                 write!(f, "head variable {v} does not occur in the body")
             }
-            QueryError::InconsistentArity { relation, first, second } => write!(
+            QueryError::InconsistentArity {
+                relation,
+                first,
+                second,
+            } => write!(
                 f,
                 "relation {relation} used with inconsistent arities {first} and {second}"
             ),
@@ -137,16 +154,27 @@ impl ConjunctiveQuery {
         }
         let mut vars = Vec::new();
         let mut var_seen = BTreeSet::new();
-        for v in head.iter().chain(unique_atoms.iter().flat_map(|a| a.args.iter())) {
+        for v in head
+            .iter()
+            .chain(unique_atoms.iter().flat_map(|a| a.args.iter()))
+        {
             if var_seen.insert(v.clone()) {
                 vars.push(v.clone());
             }
         }
-        Ok(ConjunctiveQuery { name: name.into(), head, atoms: unique_atoms, vars })
+        Ok(ConjunctiveQuery {
+            name: name.into(),
+            head,
+            atoms: unique_atoms,
+            vars,
+        })
     }
 
     /// Creates a Boolean query (no head variables).
-    pub fn boolean(name: impl Into<String>, atoms: Vec<Atom>) -> Result<ConjunctiveQuery, QueryError> {
+    pub fn boolean(
+        name: impl Into<String>,
+        atoms: Vec<Atom>,
+    ) -> Result<ConjunctiveQuery, QueryError> {
         ConjunctiveQuery::new(name, Vec::new(), atoms)
     }
 
@@ -240,11 +268,14 @@ impl ConjunctiveQuery {
     /// query with a disjoint variable set.
     pub fn rename_vars(&self, suffix: &str) -> ConjunctiveQuery {
         let rename = |v: &Var| format!("{v}{suffix}");
-        let head = self.head.iter().map(|v| rename(v)).collect();
+        let head = self.head.iter().map(&rename).collect();
         let atoms = self
             .atoms
             .iter()
-            .map(|a| Atom { relation: a.relation.clone(), args: a.args.iter().map(|v| rename(v)).collect() })
+            .map(|a| Atom {
+                relation: a.relation.clone(),
+                args: a.args.iter().map(&rename).collect(),
+            })
             .collect();
         ConjunctiveQuery::new(format!("{}{suffix}", self.name), head, atoms)
             .expect("renaming preserves validity")
@@ -252,7 +283,7 @@ impl ConjunctiveQuery {
 
     /// Conjunction of two Boolean queries (their atom sets are unioned).  The
     /// variable sets are used as-is, so take care to rename apart first if a
-    /// disjoint conjunction is intended (cf. `n · A` in Lemma 2.2 of [21]).
+    /// disjoint conjunction is intended (cf. `n · A` in Lemma 2.2 of \[21\]).
     pub fn conjunction(&self, other: &ConjunctiveQuery) -> ConjunctiveQuery {
         let mut atoms = self.atoms.clone();
         atoms.extend(other.atoms.iter().cloned());
@@ -283,8 +314,12 @@ impl ConjunctiveQuery {
     /// all atoms whose variables are contained in `bag`.  Returns `None` when
     /// no atom fits inside the bag.
     pub fn subquery_at(&self, bag: &BTreeSet<Var>) -> Option<ConjunctiveQuery> {
-        let atoms: Vec<Atom> =
-            self.atoms.iter().filter(|a| a.var_set().is_subset(bag)).cloned().collect();
+        let atoms: Vec<Atom> = self
+            .atoms
+            .iter()
+            .filter(|a| a.var_set().is_subset(bag))
+            .cloned()
+            .collect();
         if atoms.is_empty() {
             None
         } else {
@@ -297,7 +332,8 @@ impl ConjunctiveQuery {
 
     /// Connected components of the query's Gaifman graph, as sets of variables.
     pub fn connected_components(&self) -> Vec<BTreeSet<Var>> {
-        let mut parent: BTreeMap<Var, Var> = self.vars.iter().map(|v| (v.clone(), v.clone())).collect();
+        let mut parent: BTreeMap<Var, Var> =
+            self.vars.iter().map(|v| (v.clone(), v.clone())).collect();
         fn find(parent: &mut BTreeMap<Var, Var>, v: &Var) -> Var {
             let p = parent[v].clone();
             if &p == v {
@@ -346,7 +382,11 @@ mod tests {
     fn triangle() -> ConjunctiveQuery {
         ConjunctiveQuery::boolean(
             "Q1",
-            vec![Atom::new("R", ["x1", "x2"]), Atom::new("R", ["x2", "x3"]), Atom::new("R", ["x3", "x1"])],
+            vec![
+                Atom::new("R", ["x1", "x2"]),
+                Atom::new("R", ["x2", "x3"]),
+                Atom::new("R", ["x3", "x1"]),
+            ],
         )
         .unwrap()
     }
@@ -366,7 +406,11 @@ mod tests {
         // R(x) ∧ R(x) ∧ S(x,y) is the same as R(x) ∧ S(x,y) under bag-set semantics.
         let q = ConjunctiveQuery::boolean(
             "Q",
-            vec![Atom::new("R", ["x"]), Atom::new("R", ["x"]), Atom::new("S", ["x", "y"])],
+            vec![
+                Atom::new("R", ["x"]),
+                Atom::new("R", ["x"]),
+                Atom::new("S", ["x", "y"]),
+            ],
         )
         .unwrap();
         assert_eq!(q.atoms().len(), 2);
@@ -374,28 +418,26 @@ mod tests {
 
     #[test]
     fn head_variable_validation() {
-        let err = ConjunctiveQuery::new(
-            "Q",
-            vec!["z".to_string()],
-            vec![Atom::new("R", ["x", "y"])],
-        )
-        .unwrap_err();
+        let err =
+            ConjunctiveQuery::new("Q", vec!["z".to_string()], vec![Atom::new("R", ["x", "y"])])
+                .unwrap_err();
         assert_eq!(err, QueryError::HeadVariableNotInBody("z".to_string()));
     }
 
     #[test]
     fn arity_consistency_validation() {
-        let err = ConjunctiveQuery::boolean(
-            "Q",
-            vec![Atom::new("R", ["x", "y"]), Atom::new("R", ["x"])],
-        )
-        .unwrap_err();
+        let err =
+            ConjunctiveQuery::boolean("Q", vec![Atom::new("R", ["x", "y"]), Atom::new("R", ["x"])])
+                .unwrap_err();
         assert!(matches!(err, QueryError::InconsistentArity { .. }));
     }
 
     #[test]
     fn empty_body_is_rejected() {
-        assert_eq!(ConjunctiveQuery::boolean("Q", vec![]).unwrap_err(), QueryError::EmptyBody);
+        assert_eq!(
+            ConjunctiveQuery::boolean("Q", vec![]).unwrap_err(),
+            QueryError::EmptyBody
+        );
     }
 
     #[test]
@@ -428,8 +470,14 @@ mod tests {
         let b = q.to_boolean("U");
         assert!(b.is_boolean());
         assert_eq!(b.atoms().len(), 4);
-        assert!(b.atoms().iter().any(|a| a.relation == "U1" && a.args == vec!["x".to_string()]));
-        assert!(b.atoms().iter().any(|a| a.relation == "U2" && a.args == vec!["z".to_string()]));
+        assert!(b
+            .atoms()
+            .iter()
+            .any(|a| a.relation == "U1" && a.args == vec!["x".to_string()]));
+        assert!(b
+            .atoms()
+            .iter()
+            .any(|a| a.relation == "U2" && a.args == vec!["z".to_string()]));
         // Already-Boolean queries are returned unchanged.
         assert_eq!(triangle().to_boolean("U").atoms().len(), 3);
     }
@@ -459,7 +507,11 @@ mod tests {
     fn connected_components() {
         let q = ConjunctiveQuery::boolean(
             "Q",
-            vec![Atom::new("R", ["a", "b"]), Atom::new("R", ["c", "d"]), Atom::new("S", ["b", "e"])],
+            vec![
+                Atom::new("R", ["a", "b"]),
+                Atom::new("R", ["c", "d"]),
+                Atom::new("S", ["b", "e"]),
+            ],
         )
         .unwrap();
         let components = q.connected_components();

@@ -20,7 +20,10 @@ pub struct RelationSymbol {
 impl RelationSymbol {
     /// Creates a relation symbol.
     pub fn new(name: impl Into<String>, arity: usize) -> RelationSymbol {
-        RelationSymbol { name: name.into(), arity }
+        RelationSymbol {
+            name: name.into(),
+            arity,
+        }
     }
 }
 
@@ -100,7 +103,10 @@ impl Vocabulary {
 
     /// Iterates over the declared symbols in name order.
     pub fn symbols(&self) -> impl Iterator<Item = RelationSymbol> + '_ {
-        self.symbols.iter().map(|(name, &arity)| RelationSymbol { name: name.clone(), arity })
+        self.symbols.iter().map(|(name, &arity)| RelationSymbol {
+            name: name.clone(),
+            arity,
+        })
     }
 
     /// Merges another vocabulary into this one.

@@ -22,9 +22,15 @@ pub struct Structure {
 impl Structure {
     /// Creates an empty structure over the given vocabulary.
     pub fn new(vocabulary: Vocabulary) -> Structure {
-        let relations =
-            vocabulary.symbols().map(|s| (s.name, BTreeSet::new())).collect();
-        Structure { vocabulary, relations, extra_domain: BTreeSet::new() }
+        let relations = vocabulary
+            .symbols()
+            .map(|s| (s.name, BTreeSet::new()))
+            .collect();
+        Structure {
+            vocabulary,
+            relations,
+            extra_domain: BTreeSet::new(),
+        }
     }
 
     /// Creates an empty structure with an empty vocabulary; symbols are
@@ -54,7 +60,10 @@ impl Structure {
                 self.vocabulary.declare(name, tuple.len());
             }
         }
-        self.relations.entry(name.to_string()).or_default().insert(tuple);
+        self.relations
+            .entry(name.to_string())
+            .or_default()
+            .insert(tuple);
     }
 
     /// Adds an isolated value to the domain.
@@ -98,7 +107,10 @@ impl Structure {
 
     /// Names of relations that have at least one tuple.
     pub fn non_empty_relations(&self) -> impl Iterator<Item = &str> {
-        self.relations.iter().filter(|(_, t)| !t.is_empty()).map(|(n, _)| n.as_str())
+        self.relations
+            .iter()
+            .filter(|(_, t)| !t.is_empty())
+            .map(|(n, _)| n.as_str())
     }
 
     /// Checks whether `map` (a function on domain values) is a homomorphism
@@ -131,8 +143,10 @@ impl Structure {
             }
             for (name, tuples) in &self.relations {
                 for tuple in tuples {
-                    let tagged: Tuple =
-                        tuple.iter().map(|v| Value::tagged(tag.clone(), v.clone())).collect();
+                    let tagged: Tuple = tuple
+                        .iter()
+                        .map(|v| Value::tagged(tag.clone(), v.clone()))
+                        .collect();
                     result.add_fact(name, tagged);
                 }
             }
@@ -227,12 +241,13 @@ mod tests {
         // Map everything to a self-loop structure.
         let mut loop_structure = Structure::empty();
         loop_structure.add_fact("R", vec![Value::int(0), Value::int(0)]);
-        let map: BTreeMap<Value, Value> =
-            [1, 2, 3].iter().map(|&v| (Value::int(v), Value::int(0))).collect();
+        let map: BTreeMap<Value, Value> = [1, 2, 3]
+            .iter()
+            .map(|&v| (Value::int(v), Value::int(0)))
+            .collect();
         assert!(s.is_homomorphism(&loop_structure, &map));
         // The reverse direction is not a homomorphism under the identity.
-        let id: BTreeMap<Value, Value> =
-            [(Value::int(0), Value::int(0))].into_iter().collect();
+        let id: BTreeMap<Value, Value> = [(Value::int(0), Value::int(0))].into_iter().collect();
         assert!(!loop_structure.is_homomorphism(&s, &id));
     }
 

@@ -143,7 +143,10 @@ mod tests {
         assert_eq!(Value::int(7).to_string(), "7");
         assert_eq!(Value::text("a").to_string(), "a");
         assert_eq!(Value::tagged("X", Value::int(1)).to_string(), "X:1");
-        assert_eq!(Value::pair(Value::int(1), Value::int(2)).to_string(), "(1,2)");
+        assert_eq!(
+            Value::pair(Value::int(1), Value::int(2)).to_string(),
+            "(1,2)"
+        );
         assert_eq!(
             Value::tuple([Value::int(1), Value::text("u")]).to_string(),
             "<1,u>"

@@ -30,8 +30,15 @@ impl VRelation {
     /// Panics if a column name is repeated.
     pub fn new(columns: Vec<Var>) -> VRelation {
         let distinct: BTreeSet<&Var> = columns.iter().collect();
-        assert_eq!(distinct.len(), columns.len(), "duplicate column names in VRelation");
-        VRelation { columns, rows: BTreeSet::new() }
+        assert_eq!(
+            distinct.len(),
+            columns.len(),
+            "duplicate column names in VRelation"
+        );
+        VRelation {
+            columns,
+            rows: BTreeSet::new(),
+        }
     }
 
     /// Creates a relation from rows.
@@ -96,7 +103,10 @@ impl VRelation {
     pub fn project(&self, columns: &[Var]) -> VRelation {
         let indices: Vec<usize> = columns
             .iter()
-            .map(|c| self.column_index(c).unwrap_or_else(|| panic!("unknown column {c}")))
+            .map(|c| {
+                self.column_index(c)
+                    .unwrap_or_else(|| panic!("unknown column {c}"))
+            })
             .collect();
         let rows = self
             .rows
@@ -112,7 +122,10 @@ impl VRelation {
     pub fn generalized_project(&self, phi: &[(Var, Var)]) -> VRelation {
         let indices: Vec<usize> = phi
             .iter()
-            .map(|(_, src)| self.column_index(src).unwrap_or_else(|| panic!("unknown column {src}")))
+            .map(|(_, src)| {
+                self.column_index(src)
+                    .unwrap_or_else(|| panic!("unknown column {src}"))
+            })
             .collect();
         let out_columns: Vec<Var> = phi.iter().map(|(out, _)| out.clone()).collect();
         let rows = self
@@ -136,7 +149,10 @@ impl VRelation {
             let indices: Vec<usize> = atom
                 .args
                 .iter()
-                .map(|v| self.column_index(v).unwrap_or_else(|| panic!("query variable {v} is not a column")))
+                .map(|v| {
+                    self.column_index(v)
+                        .unwrap_or_else(|| panic!("query variable {v} is not a column"))
+                })
                 .collect();
             for row in &self.rows {
                 let tuple: Tuple = indices.iter().map(|&i| row[i].clone()).collect();
@@ -207,7 +223,13 @@ impl VRelation {
         for j in 1..=m {
             let row: Tuple = columns
                 .iter()
-                .map(|c| if w.contains(c) { Value::int(1) } else { Value::int(j as i64) })
+                .map(|c| {
+                    if w.contains(c) {
+                        Value::int(1)
+                    } else {
+                        Value::int(j as i64)
+                    }
+                })
                 .collect();
             rel.insert(row);
         }
@@ -221,7 +243,10 @@ impl VRelation {
     ///
     /// Panics if the column lists differ.
     pub fn domain_product(&self, other: &VRelation) -> VRelation {
-        assert_eq!(self.columns, other.columns, "domain product requires identical columns");
+        assert_eq!(
+            self.columns, other.columns,
+            "domain product requires identical columns"
+        );
         let mut rel = VRelation::new(self.columns.clone());
         for f in self.rows() {
             for g in other.rows() {
@@ -274,8 +299,16 @@ impl VRelation {
                 xy.push(v.clone());
             }
         }
-        let xy_count = if xy.is_empty() { 1 } else { self.project(&xy).len() };
-        let x_count = if x.is_empty() { 1 } else { self.project(x).len() };
+        let xy_count = if xy.is_empty() {
+            1
+        } else {
+            self.project(&xy).len()
+        };
+        let x_count = if x.is_empty() {
+            1
+        } else {
+            self.project(x).len()
+        };
         xy_count as f64 / x_count as f64
     }
 }
@@ -365,7 +398,10 @@ mod tests {
     fn product_relation() {
         let rel = VRelation::product(&[
             ("x".to_string(), vec![Value::int(1), Value::int(2)]),
-            ("y".to_string(), vec![Value::int(1), Value::int(2), Value::int(3)]),
+            (
+                "y".to_string(),
+                vec![Value::int(1), Value::int(2), Value::int(3)],
+            ),
         ]);
         assert_eq!(rel.len(), 6);
         assert!(rel.is_totally_uniform());
@@ -402,7 +438,10 @@ mod tests {
             ("v".to_string(), (1..=2).map(Value::int).collect()),
         ]);
         let psi: Vec<(Var, BTreeSet<Var>)> = vec![
-            ("a".to_string(), ["u".to_string(), "v".to_string()].into_iter().collect()),
+            (
+                "a".to_string(),
+                ["u".to_string(), "v".to_string()].into_iter().collect(),
+            ),
             ("b".to_string(), ["u".to_string()].into_iter().collect()),
             ("c".to_string(), ["v".to_string()].into_iter().collect()),
             ("d".to_string(), ["v".to_string()].into_iter().collect()),
@@ -461,7 +500,9 @@ mod tests {
         let parity = VRelation::from_rows(
             cols(&["x", "y", "z"]),
             (0..2i64)
-                .flat_map(|a| (0..2i64).map(move |b| vec![Value::int(a), Value::int(b), Value::int(a ^ b)]))
+                .flat_map(|a| {
+                    (0..2i64).map(move |b| vec![Value::int(a), Value::int(b), Value::int(a ^ b)])
+                })
                 .collect::<Vec<_>>(),
         );
         assert!(parity.is_totally_uniform());

@@ -17,7 +17,10 @@ use bqc_entropy::modularize;
 fn main() {
     // ---- The parity function --------------------------------------------
     let relation = parity_relation(["X", "Y", "Z"]);
-    println!("parity relation (X ⊕ Y ⊕ Z = 0), {} tuples:", relation.len());
+    println!(
+        "parity relation (X ⊕ Y ⊕ Z = 0), {} tuples:",
+        relation.len()
+    );
     for line in relation.to_string().lines() {
         println!("  {line}");
     }
@@ -31,21 +34,44 @@ fn main() {
 
     let parity = SetFunction::from_values(
         vec!["X".into(), "Y".into(), "Z".into()],
-        vec![int(0), int(1), int(1), int(2), int(1), int(2), int(2), int(2)],
+        vec![
+            int(0),
+            int(1),
+            int(1),
+            int(2),
+            int(1),
+            int(2),
+            int(2),
+            int(2),
+        ],
     );
-    println!("exact parity function is a polymatroid: {}", is_polymatroid(&parity));
-    println!("exact parity function is modular:       {}", is_modular(&parity));
-    println!("exact parity function is normal:        {}", is_normal(&parity));
+    println!(
+        "exact parity function is a polymatroid: {}",
+        is_polymatroid(&parity)
+    );
+    println!(
+        "exact parity function is modular:       {}",
+        is_modular(&parity)
+    );
+    println!(
+        "exact parity function is normal:        {}",
+        is_normal(&parity)
+    );
     let mobius = parity.mobius_inverse();
-    println!("Möbius inverse g (Appendix B): g(∅)={}, g(X)={}, g(XYZ)={}",
-        mobius[0], mobius[0b001], mobius[0b111]);
+    println!(
+        "Möbius inverse g (Appendix B): g(∅)={}, g(X)={}, g(XYZ)={}",
+        mobius[0], mobius[0b001], mobius[0b111]
+    );
     println!();
 
     // ---- Lemma 3.7: dominate the parity function from below --------------
     let modular = modularize(&parity);
     let normal = normalize(&parity);
-    println!("Lemma 3.7(1) modularization: h'(XYZ) = {} (= h(XYZ)), h'(Z) = {}",
-        modular.value_of(["X", "Y", "Z"]), modular.value_of(["Z"]));
+    println!(
+        "Lemma 3.7(1) modularization: h'(XYZ) = {} (= h(XYZ)), h'(Z) = {}",
+        modular.value_of(["X", "Y", "Z"]),
+        modular.value_of(["Z"])
+    );
     println!(
         "Lemma 3.7(2) normalization:  h'(XYZ) = {}, h'(X) = {}, h'(Y) = {}, h'(Z) = {} (all singletons preserved)",
         normal.value_of(["X", "Y", "Z"]),
@@ -64,16 +90,20 @@ fn main() {
     submodularity.add_term(int(1), ["Y"]);
     submodularity.add_term(int(-1), ["X", "Y"]);
     let ineq = LinearInequality::new(vec!["X".into(), "Y".into()], submodularity);
-    println!("submodularity h(X)+h(Y) >= h(XY) is Shannon-provable: {}",
-        check_linear_inequality(&ineq).is_valid());
+    println!(
+        "submodularity h(X)+h(Y) >= h(XY) is Shannon-provable: {}",
+        check_linear_inequality(&ineq).is_valid()
+    );
 
     // The Zhang–Yeung inequality is valid for entropic functions but not
     // Shannon-provable; the prover reports the violating polymatroid.
     let zy = zhang_yeung();
     match check_linear_inequality(&zy) {
         bqc_iip::GammaValidity::NotShannonProvable { counterexample } => {
-            println!("Zhang–Yeung is NOT Shannon-provable; violating polymatroid has h(ABCD) = {}",
-                counterexample.value(counterexample.full_mask()));
+            println!(
+                "Zhang–Yeung is NOT Shannon-provable; violating polymatroid has h(ABCD) = {}",
+                counterexample.value(counterexample.full_mask())
+            );
         }
         bqc_iip::GammaValidity::ValidShannon => unreachable!("ZY is not a Shannon inequality"),
     }
@@ -85,7 +115,10 @@ fn main() {
     d1.add_term(int(-1), ["Y"]);
     let d2 = d1.negate();
     let max = MaxInequality::new(vec!["X".into(), "Y".into()], vec![d1, d2]);
-    println!("max(h(X)-h(Y), h(Y)-h(X)) >= 0 is valid: {}", check_max_inequality(&max).is_valid());
+    println!(
+        "max(h(X)-h(Y), h(Y)-h(X)) >= 0 is valid: {}",
+        check_max_inequality(&max).is_valid()
+    );
     let certificate = find_convex_certificate(&max).expect("Theorem 6.1 certificate");
     println!(
         "Theorem 6.1 convex certificate: lambda = ({})",
@@ -104,24 +137,23 @@ fn main() {
 fn zhang_yeung() -> LinearInequality {
     let universe: Vec<String> = ["A", "B", "C", "D"].iter().map(|s| s.to_string()).collect();
     let mut expr = EntropyExpr::zero();
-    let mut mutual =
-        |coeff: i64, a: &[&str], b: &[&str], cond: &[&str], expr: &mut EntropyExpr| {
-            let join = |x: &[&str], y: &[&str]| -> Vec<String> {
-                let mut out: Vec<String> = x.iter().map(|s| s.to_string()).collect();
-                for s in y {
-                    if !out.contains(&s.to_string()) {
-                        out.push(s.to_string());
-                    }
+    let mutual = |coeff: i64, a: &[&str], b: &[&str], cond: &[&str], expr: &mut EntropyExpr| {
+        let join = |x: &[&str], y: &[&str]| -> Vec<String> {
+            let mut out: Vec<String> = x.iter().map(|s| s.to_string()).collect();
+            for s in y {
+                if !out.contains(&s.to_string()) {
+                    out.push(s.to_string());
                 }
-                out
-            };
-            expr.add_term(int(coeff), join(a, cond));
-            expr.add_term(int(coeff), join(b, cond));
-            let ab: Vec<String> = join(a, b);
-            let ab_refs: Vec<&str> = ab.iter().map(|s| s.as_str()).collect();
-            expr.add_term(int(-coeff), join(&ab_refs, cond));
-            expr.add_term(int(-coeff), cond.iter().map(|s| s.to_string()));
+            }
+            out
         };
+        expr.add_term(int(coeff), join(a, cond));
+        expr.add_term(int(coeff), join(b, cond));
+        let ab: Vec<String> = join(a, b);
+        let ab_refs: Vec<&str> = ab.iter().map(|s| s.as_str()).collect();
+        expr.add_term(int(-coeff), join(&ab_refs, cond));
+        expr.add_term(int(-coeff), cond.iter().map(|s| s.to_string()));
+    };
     mutual(1, &["A"], &["B"], &[], &mut expr);
     mutual(1, &["A"], &["C", "D"], &[], &mut expr);
     mutual(3, &["C"], &["D"], &["A"], &mut expr);

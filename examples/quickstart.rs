@@ -50,7 +50,11 @@ fn main() {
     println!();
 
     // Spot-check the containment on a few concrete databases.
-    for facts in ["R(1,2). R(2,3). R(3,1).", "R(1,1).", "R(1,2). R(1,3). R(2,3). R(3,2)."] {
+    for facts in [
+        "R(1,2). R(2,3). R(3,1).",
+        "R(1,1).",
+        "R(1,2). R(1,3). R(2,3). R(3,2).",
+    ] {
         let db = parse_structure(facts).unwrap();
         let triangles = count_homomorphisms(&triangle, &db);
         let stars = count_homomorphisms(&star, &db);

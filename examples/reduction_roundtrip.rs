@@ -35,16 +35,20 @@ fn part_1_structure_of_example_5_2() {
     expr.add_term(int(1), ["X3"]);
     expr.add_term(int(-1), ["X1", "X2"]);
     expr.add_term(int(-1), ["X2", "X3"]);
-    let original =
-        LinearInequality::new(vec!["X1".into(), "X2".into(), "X3".into()], expr);
+    let original = LinearInequality::new(vec!["X1".into(), "X2".into(), "X3".into()], expr);
     println!("== Part 1: Example 5.2 =============================================");
     println!("original inequality:   {original}");
-    println!("Shannon-valid:         {}", check_linear_inequality(&original).is_valid());
+    println!(
+        "Shannon-valid:         {}",
+        check_linear_inequality(&original).is_valid()
+    );
 
     // Lemma 5.3: uniformize.  Eq. (20) of the paper rewrites Eq. (19) with
     // q = 3 copies of h(X1X2X3) on the left; the uniformization reproduces that.
     let uniform = uniformize(&original.to_max(), "U");
-    uniform.validate().expect("uniformization produces a Uniform-Max-IIP");
+    uniform
+        .validate()
+        .expect("uniformization produces a Uniform-Max-IIP");
     println!(
         "uniformized: q = {}, n = {}, p = {}, {} disjunct(s)",
         uniform.q,
@@ -86,17 +90,23 @@ fn part_2_semantic_roundtrip() {
         let uniform = uniformize(&original.to_max(), "U");
         let reduction = max_iip_to_containment(&uniform);
         let hypergraph = Hypergraph::new(reduction.q2.hyperedges());
-        let join_tree = hypergraph.join_tree().expect("acyclic query has a join tree");
-        let (containment, _) =
-            containment_inequality(&reduction.q1, &reduction.q2, &join_tree)
-                .expect("the construction always admits homomorphisms");
+        let join_tree = hypergraph
+            .join_tree()
+            .expect("acyclic query has a join tree");
+        let (containment, _) = containment_inequality(&reduction.q1, &reduction.q2, &join_tree)
+            .expect("the construction always admits homomorphisms");
         let roundtrip_valid = check_max_inequality(&containment).is_valid();
         println!(
             "{label}: original valid = {original_valid}, containment inequality valid = {roundtrip_valid}  (Q1 has {} vars, Q2 has {} vars)",
             reduction.q1.num_vars(),
             reduction.q2.num_vars()
         );
-        assert_eq!(original_valid, roundtrip_valid, "the reduction must preserve validity");
+        assert_eq!(
+            original_valid, roundtrip_valid,
+            "the reduction must preserve validity"
+        );
     }
-    println!("round-trip successful: validity preserved through Lemma 5.3 + Section 5.3 + Eq. (8).");
+    println!(
+        "round-trip successful: validity preserved through Lemma 5.3 + Section 5.3 + Eq. (8)."
+    );
 }

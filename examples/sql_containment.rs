@@ -81,6 +81,20 @@ fn main() {
     println!("Q4: {q4}");
     let a3 = decide_containment(&q3, &q4).unwrap();
     let a4 = decide_containment(&q4, &q3).unwrap();
-    println!("Q3 ⊑ Q4: {}", if a3.is_contained() { "contained" } else { "not contained" });
-    println!("Q4 ⊑ Q3: {}", if a4.is_contained() { "contained" } else { "not contained" });
+    println!(
+        "Q3 ⊑ Q4: {}",
+        if a3.is_contained() {
+            "contained"
+        } else {
+            "not contained"
+        }
+    );
+    println!(
+        "Q4 ⊑ Q3: {}",
+        if a4.is_contained() {
+            "contained"
+        } else {
+            "not contained"
+        }
+    );
 }

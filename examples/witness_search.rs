@@ -17,10 +17,9 @@ use bag_query_containment::prelude::*;
 use std::collections::BTreeSet;
 
 fn main() {
-    let q1 = parse_query(
-        "Q1() :- A(x1,x2), B(x1,x2), C(x1,x2), A(x1',x2'), B(x1',x2'), C(x1',x2')",
-    )
-    .unwrap();
+    let q1 =
+        parse_query("Q1() :- A(x1,x2), B(x1,x2), C(x1,x2), A(x1',x2'), B(x1',x2'), C(x1',x2')")
+            .unwrap();
     let q2 = parse_query("Q2() :- A(y1,y2), B(y1,y3), C(y4,y2)").unwrap();
     println!("Q1: {q1}");
     println!("Q2: {q2}");
@@ -37,7 +36,10 @@ fn main() {
 
     // 1. The decision procedure.
     match decide_containment(&q1, &q2).unwrap() {
-        ContainmentAnswer::NotContained { witness, counterexample } => {
+        ContainmentAnswer::NotContained {
+            witness,
+            counterexample,
+        } => {
             println!("decision: Q1 ⋢ Q2");
             if let Some(h) = counterexample {
                 println!("violating polymatroid found by the LP:");
@@ -81,7 +83,11 @@ fn main() {
     let product_attempt = search_product_witness(&q1, &q2, &[1, 2, 3, 4], 512);
     println!(
         "exhaustive small product-witness search: {}",
-        if product_attempt.is_none() { "none found (as the paper predicts)" } else { "FOUND?!" }
+        if product_attempt.is_none() {
+            "none found (as the paper predicts)"
+        } else {
+            "FOUND?!"
+        }
     );
     assert!(product_attempt.is_none());
 }

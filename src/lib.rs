@@ -55,8 +55,8 @@ pub mod prelude {
         LinearInequality, MaxInequality,
     };
     pub use bqc_relational::{
-        bag_set_answer, count_homomorphisms, parse_query, parse_structure, Atom,
-        ConjunctiveQuery, Structure, VRelation, Value,
+        bag_set_answer, count_homomorphisms, parse_query, parse_structure, Atom, ConjunctiveQuery,
+        Structure, VRelation, Value,
     };
 }
 

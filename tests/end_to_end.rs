@@ -12,7 +12,11 @@ use bqc_core::{count_homomorphisms_acyclic, dom_to_containment, saturate_pair};
 #[test]
 fn decisions_are_consistent_with_evaluation() {
     let instances = [
-        ("Q1() :- R(x,y), R(y,z), R(z,x)", "Q2() :- R(u,v), R(u,w)", true),
+        (
+            "Q1() :- R(x,y), R(y,z), R(z,x)",
+            "Q2() :- R(u,v), R(u,w)",
+            true,
+        ),
         ("Q1() :- R(x,y), S(x,y)", "Q2() :- R(u,v)", true),
         ("Q1() :- R(x,y), R(y,x)", "Q2() :- R(u,v)", true),
         ("Q1() :- R(x,y), R(y,z)", "Q2() :- R(u,v)", false),

@@ -7,7 +7,6 @@
 use bag_query_containment::prelude::*;
 use bqc_arith::int;
 use bqc_entropy::varset;
-use bqc_iip::GammaValidity;
 use std::collections::BTreeSet;
 
 /// E1 — Example 4.3 (Eric Vee): the triangle is contained in the 2-out-star,
@@ -19,7 +18,9 @@ fn example_4_3_and_3_8() {
 
     // The decision procedure agrees with the paper.
     assert!(decide_containment(&triangle, &star).unwrap().is_contained());
-    assert!(decide_containment(&star, &triangle).unwrap().is_not_contained());
+    assert!(decide_containment(&star, &triangle)
+        .unwrap()
+        .is_not_contained());
 
     // Example 3.8's max-inequality h(X1X2X3) <= max(E1, E2, E3) is valid.
     let universe: Vec<String> = vec!["X1".into(), "X2".into(), "X3".into()];
@@ -54,10 +55,9 @@ fn example_4_3_and_3_8() {
 /// E2 — Example 3.5: a normal witness exists, no product witness does.
 #[test]
 fn example_3_5() {
-    let q1 = parse_query(
-        "Q1() :- A(x1,x2), B(x1,x2), C(x1,x2), A(x1',x2'), B(x1',x2'), C(x1',x2')",
-    )
-    .unwrap();
+    let q1 =
+        parse_query("Q1() :- A(x1,x2), B(x1,x2), C(x1,x2), A(x1',x2'), B(x1',x2'), C(x1',x2')")
+            .unwrap();
     let q2 = parse_query("Q2() :- A(y1,y2), B(y1,y3), C(y4,y2)").unwrap();
 
     // Q2 is acyclic with a simple junction tree (the paper's chain
@@ -90,7 +90,10 @@ fn example_3_5() {
 
     // The decision procedure returns NotContained with a verified witness.
     match decide_containment(&q1, &q2).unwrap() {
-        ContainmentAnswer::NotContained { witness, counterexample } => {
+        ContainmentAnswer::NotContained {
+            witness,
+            counterexample,
+        } => {
             assert!(counterexample.is_some());
             assert!(witness.is_some());
         }
@@ -108,8 +111,7 @@ fn example_5_2_reduction() {
     expr.add_term(int(1), ["X3"]);
     expr.add_term(int(-1), ["X1", "X2"]);
     expr.add_term(int(-1), ["X2", "X3"]);
-    let inequality =
-        LinearInequality::new(vec!["X1".into(), "X2".into(), "X3".into()], expr);
+    let inequality = LinearInequality::new(vec!["X1".into(), "X2".into(), "X3".into()], expr);
     // Eq. (19) is a Shannon inequality.
     assert!(check_linear_inequality(&inequality).is_valid());
 
@@ -141,7 +143,16 @@ fn example_b_4_parity() {
 
     let parity = SetFunction::from_values(
         vec!["X".into(), "Y".into(), "Z".into()],
-        vec![int(0), int(1), int(1), int(2), int(1), int(2), int(2), int(2)],
+        vec![
+            int(0),
+            int(1),
+            int(1),
+            int(2),
+            int(1),
+            int(2),
+            int(2),
+            int(2),
+        ],
     );
     assert!(is_polymatroid(&parity));
     assert!(!is_normal(&parity));
@@ -159,13 +170,25 @@ fn example_b_4_parity() {
 fn example_c_4_normalization() {
     let parity = SetFunction::from_values(
         vec!["X".into(), "Y".into(), "Z".into()],
-        vec![int(0), int(1), int(1), int(2), int(1), int(2), int(2), int(2)],
+        vec![
+            int(0),
+            int(1),
+            int(1),
+            int(2),
+            int(1),
+            int(2),
+            int(2),
+            int(2),
+        ],
     );
     let normalized = normalize(&parity);
     assert!(is_normal(&normalized));
     assert!(normalized.dominated_by(&parity));
     // Properties (2) and (3) of Theorem C.3.
-    assert_eq!(normalized.value(parity.full_mask()), parity.value(parity.full_mask()));
+    assert_eq!(
+        normalized.value(parity.full_mask()),
+        parity.value(parity.full_mask())
+    );
     for v in ["X", "Y", "Z"] {
         assert_eq!(normalized.value_of([v]), parity.value_of([v]));
     }

@@ -32,8 +32,10 @@ fn capped_polymatroid(n: usize) -> impl Strategy<Value = SetFunction> {
         let vars: Vec<String> = (0..n).map(|i| format!("V{i}")).collect();
         let mut h = SetFunction::zero(vars);
         for mask in all_masks(n) {
-            let total: i64 =
-                (0..n).filter(|i| mask & (1 << i) != 0).map(|i| weights[i]).sum();
+            let total: i64 = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| weights[i])
+                .sum();
             h.set_value(mask, int(total.min(cap)));
         }
         h
