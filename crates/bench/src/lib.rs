@@ -44,15 +44,87 @@ pub fn star_query(n: usize) -> ConjunctiveQuery {
 
 /// A random directed graph database with `vertices` vertices and `edges`
 /// (not necessarily distinct) edges, deterministic in `seed`.
-pub fn random_graph(vertices: i64, edges: usize, seed: u64) -> Structure {
+pub fn random_graph(vertices: usize, edges: usize, seed: u64) -> Structure {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut db = Structure::empty();
     for _ in 0..edges {
         let a = rng.gen_range(0..vertices);
         let b = rng.gen_range(0..vertices);
-        db.add_fact("R", vec![Value::int(a), Value::int(b)]);
+        db.add_fact("R", vec![Value::int(a as i64), Value::int(b as i64)]);
     }
     db
+}
+
+/// An isomorphic copy of `query`: variables renamed by a random permutation
+/// (to fresh `p{i}` names) and atoms shuffled, deterministic in `seed`.
+///
+/// The result is canonically equal to `query` — exactly the kind of repeat a
+/// containment-serving engine must recognize — while sharing no variable
+/// names and no atom order with it.
+pub fn rename_shuffle(query: &ConjunctiveQuery, seed: u64) -> ConjunctiveQuery {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vars = query.vars();
+    // Random permutation of 0..n decides which fresh name each variable gets.
+    let mut perm: Vec<usize> = (0..vars.len()).collect();
+    shuffle(&mut perm, &mut rng);
+    let rename = |v: &str| {
+        let i = vars.iter().position(|w| w == v).expect("var in vars()");
+        format!("p{}", perm[i])
+    };
+    let head: Vec<String> = query.head().iter().map(|v| rename(v)).collect();
+    let mut atoms: Vec<Atom> = query
+        .atoms()
+        .iter()
+        .map(|a| Atom::new(a.relation.clone(), a.args.iter().map(|v| rename(v))))
+        .collect();
+    shuffle(&mut atoms, &mut rng);
+    ConjunctiveQuery::new(query.name.clone(), head, atoms)
+        .expect("renaming and reordering preserve validity")
+}
+
+/// A batch-engine workload: each base containment question appears `repeats`
+/// times, every occurrence as a differently renamed and reordered isomorphic
+/// copy, with the whole request list shuffled.  Deterministic in `seed`.
+///
+/// The base questions cover the decision procedure's branches on small
+/// queries (Shannon-valid containment, refuted containment, the
+/// no-homomorphism shortcut), so the workload exercises both the LP path and
+/// the cache/dedup machinery of the engine.
+pub fn engine_workload(repeats: usize, seed: u64) -> Vec<(ConjunctiveQuery, ConjunctiveQuery)> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+    let base: Vec<(ConjunctiveQuery, ConjunctiveQuery)> = vec![
+        // Example 4.3: triangle ⊑ 2-out-star (the LP-valid direction).
+        (cycle_query(3), star_query(2)),
+        // The refuted reverse direction.
+        (star_query(2), cycle_query(3)),
+        // Paths in both directions (chordal, simple junction trees).
+        (path_query(3), path_query(2)),
+        (path_query(2), path_query(3)),
+        // Stars against stars: dropping a leaf keeps containment.
+        (star_query(3), star_query(2)),
+    ];
+    let mut workload = Vec::with_capacity(base.len() * repeats);
+    for (i, (q1, q2)) in base.iter().enumerate() {
+        for r in 0..repeats {
+            let variant_seed = seed
+                .wrapping_mul(0x1000_0000_01b3)
+                .wrapping_add((i * repeats + r) as u64);
+            workload.push((
+                rename_shuffle(q1, variant_seed),
+                rename_shuffle(q2, variant_seed.wrapping_add(0x5bd1_e995)),
+            ));
+        }
+    }
+    shuffle(&mut workload, &mut rng);
+    workload
+}
+
+/// In-place Fisher–Yates shuffle driven by the deterministic [`StdRng`].
+fn shuffle<T>(items: &mut [T], rng: &mut StdRng) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..i + 1);
+        items.swap(i, j);
+    }
 }
 
 /// A random exact polymatroid over `n` named variables, built as a random
@@ -106,6 +178,7 @@ pub fn random_capped_polymatroid(n: usize, seed: u64) -> SetFunction {
 mod tests {
     use super::*;
     use bqc_entropy::{is_normal, is_polymatroid};
+    use std::collections::BTreeSet;
 
     #[test]
     fn generators_produce_valid_objects() {
@@ -129,5 +202,54 @@ mod tests {
             random_normal_polymatroid(3, 9),
             random_normal_polymatroid(3, 9)
         );
+        assert_eq!(rename_shuffle(&cycle_query(4), 3), {
+            rename_shuffle(&cycle_query(4), 3)
+        });
+        let (a, b) = (engine_workload(3, 11), engine_workload(3, 11));
+        assert_eq!(a.len(), b.len());
+        for ((a1, a2), (b1, b2)) in a.iter().zip(&b) {
+            assert_eq!((a1, a2), (b1, b2));
+        }
+    }
+
+    #[test]
+    fn rename_shuffle_preserves_structure() {
+        let q = ConjunctiveQuery::new(
+            "Q".to_string(),
+            vec!["x".to_string(), "z".to_string()],
+            vec![
+                Atom::new("R", ["x", "y"]),
+                Atom::new("S", ["y", "z"]),
+                Atom::new("T", ["z", "x"]),
+            ],
+        )
+        .unwrap();
+        let shuffled = rename_shuffle(&q, 5);
+        assert_eq!(shuffled.num_vars(), q.num_vars());
+        assert_eq!(shuffled.atoms().len(), q.atoms().len());
+        assert_eq!(shuffled.head().len(), q.head().len());
+        // Fresh names: disjoint from the original's.
+        assert!(shuffled.vars().iter().all(|v| v.starts_with('p')));
+        // Same relation multiset.
+        fn rels(q: &ConjunctiveQuery) -> Vec<&str> {
+            let mut r: Vec<&str> = q.atoms().iter().map(|a| a.relation.as_str()).collect();
+            r.sort();
+            r
+        }
+        assert_eq!(rels(&q), rels(&shuffled));
+    }
+
+    #[test]
+    fn engine_workload_repeats_each_base_pair() {
+        let workload = engine_workload(4, 2);
+        assert_eq!(workload.len(), 5 * 4);
+        // No two requests share variable names with equal spelling AND equal
+        // atom order for the repeated pairs (they are distinct isomorphic
+        // copies); we spot-check that at least the spellings vary.
+        let texts: BTreeSet<String> = workload
+            .iter()
+            .map(|(q1, q2)| format!("{q1} ; {q2}"))
+            .collect();
+        assert!(texts.len() > 5, "shuffled copies must not be identical");
     }
 }

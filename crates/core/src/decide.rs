@@ -28,13 +28,24 @@ use bqc_iip::{check_max_inequality, GammaValidity, MaxInequality};
 use bqc_relational::{ConjunctiveQuery, VRelation, Value};
 
 /// Why the decision procedure could not reach a yes/no answer.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Obstruction {
     /// `Q2`'s Gaifman graph is not chordal, so no junction tree exists.
     NotChordal,
     /// `Q2` is chordal but its junction tree is not simple, so Theorem 3.6
     /// does not apply and a polymatroid counterexample is inconclusive.
     JunctionTreeNotSimple,
+}
+
+impl std::fmt::Display for Obstruction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Obstruction::NotChordal => write!(f, "containing query is not chordal"),
+            Obstruction::JunctionTreeNotSimple => {
+                write!(f, "junction tree of the containing query is not simple")
+            }
+        }
+    }
 }
 
 /// The answer of [`decide_containment`].
@@ -83,6 +94,104 @@ impl ContainmentAnswer {
     /// `true` iff the procedure could not decide.
     pub fn is_unknown(&self) -> bool {
         matches!(self, ContainmentAnswer::Unknown { .. })
+    }
+
+    /// A cheap, `Copy`-able summary of the answer, suitable for caching and
+    /// batch reporting.  Drops the heavyweight payloads (inequality, witness
+    /// database, counterexample polymatroid) and keeps the verdict.
+    pub fn summary(&self) -> AnswerSummary {
+        match self {
+            ContainmentAnswer::Contained { .. } => AnswerSummary::Contained,
+            ContainmentAnswer::NotContained { witness, .. } => AnswerSummary::NotContained {
+                witness_verified: witness.is_some(),
+            },
+            ContainmentAnswer::Unknown { obstruction, .. } => AnswerSummary::Unknown {
+                obstruction: *obstruction,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for ContainmentAnswer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContainmentAnswer::Contained { .. } => write!(f, "contained"),
+            ContainmentAnswer::NotContained {
+                witness: Some(w), ..
+            } => write!(
+                f,
+                "not contained (witness: {} Q1-homomorphisms vs {} Q2-homomorphisms)",
+                w.hom_q1, w.hom_q2
+            ),
+            ContainmentAnswer::NotContained { witness: None, .. } => write!(f, "not contained"),
+            ContainmentAnswer::Unknown { obstruction, .. } => {
+                write!(f, "undecided: {obstruction}")
+            }
+        }
+    }
+}
+
+/// The verdict of a containment decision without its heavyweight payloads.
+///
+/// [`ContainmentAnswer`] carries witnesses, polymatroids and inequalities;
+/// this summary is `Copy`, hashable and a few machine words, which is what a
+/// decision cache wants to store and what batch reports want to print.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AnswerSummary {
+    /// `Q1 ⊑ Q2` holds for every database.
+    Contained,
+    /// `Q1 ⋢ Q2`.
+    NotContained {
+        /// Whether a concrete counterexample database was materialized and
+        /// verified by counting when the full answer was produced.
+        witness_verified: bool,
+    },
+    /// The instance falls outside the decidable class of Theorem 3.1.
+    Unknown {
+        /// What kept the instance out of the decidable class.
+        obstruction: Obstruction,
+    },
+}
+
+impl AnswerSummary {
+    /// `true` iff the verdict is a definite "contained".
+    pub fn is_contained(&self) -> bool {
+        matches!(self, AnswerSummary::Contained)
+    }
+
+    /// `true` iff the verdict is a definite "not contained".
+    pub fn is_not_contained(&self) -> bool {
+        matches!(self, AnswerSummary::NotContained { .. })
+    }
+
+    /// `true` iff the procedure could not decide.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, AnswerSummary::Unknown { .. })
+    }
+
+    /// The three-way verdict with payload flags erased, for comparing a
+    /// summary against a [`ContainmentAnswer`] produced elsewhere.
+    pub fn verdict(&self) -> &'static str {
+        match self {
+            AnswerSummary::Contained => "contained",
+            AnswerSummary::NotContained { .. } => "not contained",
+            AnswerSummary::Unknown { .. } => "undecided",
+        }
+    }
+}
+
+impl std::fmt::Display for AnswerSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnswerSummary::Contained => write!(f, "contained"),
+            AnswerSummary::NotContained {
+                witness_verified: true,
+            } => write!(f, "not contained (verified witness)"),
+            AnswerSummary::NotContained {
+                witness_verified: false,
+            } => write!(f, "not contained"),
+            AnswerSummary::Unknown { obstruction } => write!(f, "undecided: {obstruction}"),
+        }
     }
 }
 
@@ -141,7 +250,11 @@ pub fn decide_containment_with(
     // Step 2: no homomorphism Q2 → Q1 means the canonical database of Q1
     // separates the queries immediately.
     if query_homomorphisms(&q2, &q1).is_empty() {
-        let witness = canonical_witness(&q1, &q2);
+        let witness = if options.extract_witness {
+            canonical_witness(&q1, &q2)
+        } else {
+            None
+        };
         return Ok(ContainmentAnswer::NotContained {
             witness,
             counterexample: None,
@@ -176,7 +289,11 @@ pub fn decide_containment_with(
 
     // Step 4: build and check the containment inequality.
     let Some((inequality, composed)) = containment_inequality(&q1, &q2, &td) else {
-        let witness = canonical_witness(&q1, &q2);
+        let witness = if options.extract_witness {
+            canonical_witness(&q1, &q2)
+        } else {
+            None
+        };
         return Ok(ContainmentAnswer::NotContained {
             witness,
             counterexample: None,
@@ -363,6 +480,74 @@ mod tests {
                 _ => {}
             }
         }
+    }
+
+    #[test]
+    fn extract_witness_false_suppresses_every_witness_path() {
+        let options = DecideOptions {
+            extract_witness: false,
+            ..DecideOptions::default()
+        };
+        // No-homomorphism shortcut, missing-inequality path, and the
+        // Theorem 3.1 refutation path must all respect the flag.
+        let cases = [
+            ("Q1() :- R(x,y)", "Q2() :- S(u,v)"),
+            ("Q1() :- R(u,v), R(u,w)", "Q2() :- R(x,y), R(y,z), R(z,x)"),
+        ];
+        for (t1, t2) in cases {
+            let q1 = parse_query(t1).unwrap();
+            let q2 = parse_query(t2).unwrap();
+            let answer = decide_containment_with(&q1, &q2, &options).unwrap();
+            match answer {
+                ContainmentAnswer::NotContained { witness, .. } => {
+                    assert!(witness.is_none(), "{t1} vs {t2} must skip the witness")
+                }
+                other => panic!("expected NotContained for {t1} vs {t2}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn summaries_and_display_track_the_full_answer() {
+        let triangle = parse_query("Q1() :- R(x1,x2), R(x2,x3), R(x3,x1)").unwrap();
+        let star = parse_query("Q2() :- R(y1,y2), R(y1,y3)").unwrap();
+        let contained = decide_containment(&triangle, &star).unwrap();
+        assert_eq!(contained.summary(), AnswerSummary::Contained);
+        assert_eq!(contained.to_string(), "contained");
+        assert_eq!(contained.summary().verdict(), "contained");
+
+        let not = decide_containment(&star, &triangle).unwrap();
+        assert_eq!(
+            not.summary(),
+            AnswerSummary::NotContained {
+                witness_verified: true
+            }
+        );
+        assert!(not.to_string().starts_with("not contained (witness:"));
+        assert_eq!(
+            not.summary().to_string(),
+            "not contained (verified witness)"
+        );
+
+        let square = parse_query("Q() :- R(a,b), R(b,c), R(c,d), R(d,a)").unwrap();
+        let q1 = parse_query("Q1() :- R(x,y), R(y,z), R(z,w), R(w,x), R(x,z)").unwrap();
+        let answer = decide_containment(&q1, &square).unwrap();
+        if answer.is_unknown() {
+            assert_eq!(
+                answer.summary(),
+                AnswerSummary::Unknown {
+                    obstruction: Obstruction::NotChordal
+                }
+            );
+            assert_eq!(
+                answer.to_string(),
+                "undecided: containing query is not chordal"
+            );
+        }
+        assert_eq!(
+            Obstruction::JunctionTreeNotSimple.to_string(),
+            "junction tree of the containing query is not simple"
+        );
     }
 
     #[test]

@@ -188,13 +188,13 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn random_graph_db(vertices: i64, edges: usize, seed: u64) -> Structure {
+    fn random_graph_db(vertices: usize, edges: usize, seed: u64) -> Structure {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut db = Structure::empty();
         for _ in 0..edges {
             let a = rng.gen_range(0..vertices);
             let b = rng.gen_range(0..vertices);
-            db.add_fact("R", vec![Value::int(a), Value::int(b)]);
+            db.add_fact("R", vec![Value::int(a as i64), Value::int(b as i64)]);
         }
         db
     }

@@ -1,0 +1,259 @@
+//! A sharded, LRU-bounded cache of containment decisions.
+//!
+//! The cache maps the canonical hash of a `(Q1, Q2)` pair (see
+//! [`crate::canon`]) to the [`AnswerSummary`] of the decision procedure.
+//! Entries are spread over `N` independently locked shards so concurrent
+//! workers rarely contend; each shard is bounded and evicts its
+//! least-recently-used entry when full.  Hits, misses and evictions are
+//! counted with relaxed atomics.
+//!
+//! Keying on a 64-bit hash alone would make a (cosmically unlikely) hash
+//! collision silently return the wrong verdict, which would violate the
+//! cache-determinism invariant (ARCHITECTURE.md): *a cached answer must equal
+//! the freshly computed one*.  Each entry therefore stores the canonical pair
+//! text and a lookup whose text mismatches is treated as a miss.
+
+use bqc_core::AnswerSummary;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Point-in-time counters of cache activity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing (or a colliding entry).
+    pub misses: u64,
+    /// Entries displaced by the per-shard LRU bound.
+    pub evictions: u64,
+    /// Entries currently resident, summed over shards.
+    pub entries: u64,
+}
+
+struct Entry {
+    /// Canonical pair text, the collision guard.
+    key_text: String,
+    summary: AnswerSummary,
+    /// Logical timestamp of the last hit or insertion (shard-local clock).
+    last_used: u64,
+}
+
+struct Shard {
+    map: HashMap<u64, Entry>,
+    clock: u64,
+}
+
+/// The sharded decision cache.  Shared by reference across worker threads;
+/// all methods take `&self`.
+pub struct DecisionCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl DecisionCache {
+    /// Creates a cache with `shards` shards of `capacity_per_shard` entries
+    /// each.  Both are clamped to at least 1.
+    pub fn new(shards: usize, capacity_per_shard: usize) -> DecisionCache {
+        let shards = shards.max(1);
+        DecisionCache {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        clock: 0,
+                    })
+                })
+                .collect(),
+            capacity_per_shard: capacity_per_shard.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, hash: u64) -> &Mutex<Shard> {
+        // The low bits of FNV-1a are well mixed; simple modulo sharding.
+        &self.shards[(hash % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up the summary cached for `hash`, verifying `key_text` against
+    /// the stored canonical text.  Counts a hit or a miss.
+    pub fn get(&self, hash: u64, key_text: &str) -> Option<AnswerSummary> {
+        let mut shard = self.shard_for(hash).lock().expect("cache shard poisoned");
+        shard.clock += 1;
+        let clock = shard.clock;
+        match shard.map.get_mut(&hash) {
+            Some(entry) if entry.key_text == key_text => {
+                entry.last_used = clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.summary)
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) the summary for `hash`, evicting the shard's
+    /// least-recently-used entry when the shard is at capacity.
+    pub fn insert(&self, hash: u64, key_text: &str, summary: AnswerSummary) {
+        let mut shard = self.shard_for(hash).lock().expect("cache shard poisoned");
+        shard.clock += 1;
+        let clock = shard.clock;
+        if let Some(entry) = shard.map.get_mut(&hash) {
+            // Refresh in place; on a text collision the newer pair wins.
+            entry.key_text.clear();
+            entry.key_text.push_str(key_text);
+            entry.summary = summary;
+            entry.last_used = clock;
+            return;
+        }
+        if shard.map.len() >= self.capacity_per_shard {
+            // O(shard) scan for the LRU victim.  Shards are small (default
+            // 1024 entries) and evictions only happen at capacity, so this
+            // stays off the hot path; a doubly-linked LRU list is not worth
+            // the unsafe or the extra allocation per entry here.
+            if let Some(&victim) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                shard.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.map.insert(
+            hash,
+            Entry {
+                key_text: key_text.to_string(),
+                summary,
+                last_used: clock,
+            },
+        );
+    }
+
+    /// Current hit/miss/eviction counters and resident entry count.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len() as u64)
+            .sum();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache shard poisoned").map.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contained() -> AnswerSummary {
+        AnswerSummary::Contained
+    }
+
+    fn not_contained() -> AnswerSummary {
+        AnswerSummary::NotContained {
+            witness_verified: false,
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let cache = DecisionCache::new(4, 8);
+        assert_eq!(cache.get(1, "a"), None);
+        cache.insert(1, "a", contained());
+        assert_eq!(cache.get(1, "a"), Some(contained()));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn colliding_text_is_a_miss_then_replaced() {
+        let cache = DecisionCache::new(1, 8);
+        cache.insert(7, "pair-a", contained());
+        // Same hash, different canonical text: must not return the wrong
+        // answer.
+        assert_eq!(cache.get(7, "pair-b"), None);
+        cache.insert(7, "pair-b", not_contained());
+        assert_eq!(cache.get(7, "pair-b"), Some(not_contained()));
+        assert_eq!(cache.get(7, "pair-a"), None);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let cache = DecisionCache::new(1, 2);
+        cache.insert(1, "one", contained());
+        cache.insert(2, "two", contained());
+        // Touch 1 so 2 becomes the LRU victim.
+        assert_eq!(cache.get(1, "one"), Some(contained()));
+        cache.insert(3, "three", contained());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.get(2, "two"), None, "LRU entry evicted");
+        assert_eq!(cache.get(1, "one"), Some(contained()));
+        assert_eq!(cache.get(3, "three"), Some(contained()));
+    }
+
+    #[test]
+    fn sharding_spreads_entries() {
+        let cache = DecisionCache::new(4, 2);
+        for hash in 0..8u64 {
+            cache.insert(hash, &format!("k{hash}"), contained());
+        }
+        // 8 keys over 4 shards of capacity 2: everything fits, no evictions.
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 8);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let cache = DecisionCache::new(2, 4);
+        cache.insert(1, "a", contained());
+        assert_eq!(cache.get(1, "a"), Some(contained()));
+        cache.clear();
+        assert_eq!(cache.get(1, "a"), None);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = DecisionCache::new(8, 64);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        let hash = t * 1000 + i;
+                        let key = format!("k{hash}");
+                        cache.insert(hash, &key, contained());
+                        assert_eq!(cache.get(hash, &key), Some(contained()));
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.stats().hits, 400);
+    }
+}

@@ -1,0 +1,486 @@
+//! Canonical forms of conjunctive queries modulo variable renaming and atom
+//! reordering.
+//!
+//! Two queries that differ only in variable names and in the order of their
+//! body atoms are the same query for every semantic purpose in this
+//! workspace — the decision procedure, homomorphism counts and witnesses are
+//! all invariant under such relabelings.  A serving engine wants to detect
+//! that equivalence in microseconds so it can answer the repeat from cache
+//! instead of re-running an exponential decision procedure.
+//!
+//! [`canonicalize`] computes a *canonical form*: a renaming of the query's
+//! variables to `v0, v1, …` such that the renamed, atom-sorted query is
+//! lexicographically minimal over all renamings.  The search is the classic
+//! individualization–refinement scheme:
+//!
+//! 1. **Iterative refinement** partitions variables by invariant signatures
+//!    (head positions, then `(relation, position, argument colors)`
+//!    occurrence multisets), iterated to a fixed point;
+//! 2. when a color class still holds several variables, the search
+//!    **backtracks**: each member is tentatively assigned the next canonical
+//!    index, refinement resumes, and the lexicographically smallest complete
+//!    rendering wins;
+//! 3. branches are pruned when swapping the candidate with an
+//!    already-explored one is a **transposition automorphism** of the query —
+//!    which collapses the factorial blow-up on highly symmetric queries
+//!    (stars, cliques of identical atoms) to a single branch per level.
+//!
+//! Every choice made by the search (class order, candidate pruning) depends
+//! only on renaming-invariant data, so the resulting canonical form — and the
+//! 64-bit FNV-1a [`CanonicalQuery::hash`] derived from it — is identical for
+//! every member of an isomorphism class.  The query *name* is cosmetic and
+//! excluded from the form.
+
+use bqc_relational::{Atom, ConjunctiveQuery};
+
+/// A query in canonical form, with its canonical text and stable hash.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CanonicalQuery {
+    /// The canonical representative: variables renamed to `v0, v1, …` in
+    /// canonical order, atoms sorted.  Semantically equivalent to the input
+    /// (for containment purposes) and byte-identical across the whole
+    /// isomorphism class of the input.
+    pub query: ConjunctiveQuery,
+    /// The canonical rendering, e.g. `(v0,v1)|R(v0,v1)|S(v1,v2)`.
+    pub text: String,
+    /// 64-bit FNV-1a hash of [`text`](CanonicalQuery::text).  Stable across
+    /// processes and platforms (no `DefaultHasher` seeding involved).
+    pub hash: u64,
+}
+
+/// A canonicalized `(Q1, Q2)` request, the unit the decision cache keys on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CanonicalPair {
+    /// Canonical form of the contained-candidate query.
+    pub q1: CanonicalQuery,
+    /// Canonical form of the containing-candidate query.
+    pub q2: CanonicalQuery,
+    /// The joined canonical text `{q1.text} |= {q2.text}` — exactly the byte
+    /// string [`hash`](CanonicalPair::hash) is computed from.  Two requests
+    /// are the same containment question iff their keys are equal; the engine
+    /// dedups on it and the cache stores it as its collision guard.
+    pub key: String,
+    /// 64-bit FNV-1a hash of [`key`](CanonicalPair::key), order-sensitive
+    /// (`Q1 ⊑ Q2` and `Q2 ⊑ Q1` are different questions).
+    pub hash: u64,
+}
+
+/// Computes the canonical form of a query.  See the module docs for the
+/// algorithm and its invariance guarantee.
+pub fn canonicalize(query: &ConjunctiveQuery) -> CanonicalQuery {
+    let indexed = IndexedQuery::from_query(query);
+    let rendering = indexed.minimal_rendering();
+    let (text, canonical) = rendering.into_query();
+    let hash = fnv1a(text.as_bytes());
+    CanonicalQuery {
+        query: canonical,
+        text,
+        hash,
+    }
+}
+
+/// Canonicalizes a `(Q1, Q2)` containment request.
+pub fn canonicalize_pair(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> CanonicalPair {
+    let q1 = canonicalize(q1);
+    let q2 = canonicalize(q2);
+    let key = format!("{} |= {}", q1.text, q2.text);
+    let hash = fnv1a(key.as_bytes());
+    CanonicalPair { q1, q2, key, hash }
+}
+
+/// 64-bit FNV-1a.  Chosen over `std`'s `DefaultHasher` because the output
+/// must be stable across runs, processes and Rust versions — cache keys and
+/// workload reports may be persisted and compared.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------------
+// Internal representation: variables as dense indices.
+// ---------------------------------------------------------------------------
+
+/// The query with variables replaced by dense indices `0..n` (in the
+/// original `vars()` order, which is *not* invariant — every invariant-
+/// sensitive step below works on colors, never on these raw indices).
+struct IndexedQuery {
+    head: Vec<usize>,
+    /// `(relation, argument variable indices)` per atom.
+    atoms: Vec<(String, Vec<usize>)>,
+    /// `occurrences[v]` lists `(atom index, position)` pairs where `v` occurs.
+    occurrences: Vec<Vec<(usize, usize)>>,
+    n: usize,
+}
+
+/// A complete canonical rendering: the head as canonical indices and the
+/// sorted atom list.  `Ord` is the lexicographic order the search minimizes.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Rendering {
+    head: Vec<usize>,
+    atoms: Vec<(String, Vec<usize>)>,
+}
+
+impl Rendering {
+    /// Materializes the canonical text and the canonical representative query.
+    fn into_query(self) -> (String, ConjunctiveQuery) {
+        let var = |i: &usize| format!("v{i}");
+        let mut text = String::new();
+        text.push('(');
+        for (k, i) in self.head.iter().enumerate() {
+            if k > 0 {
+                text.push(',');
+            }
+            text.push_str(&var(i));
+        }
+        text.push(')');
+        for (relation, args) in &self.atoms {
+            text.push('|');
+            text.push_str(relation);
+            text.push('(');
+            for (k, i) in args.iter().enumerate() {
+                if k > 0 {
+                    text.push(',');
+                }
+                text.push_str(&var(i));
+            }
+            text.push(')');
+        }
+        let head: Vec<String> = self.head.iter().map(var).collect();
+        let atoms: Vec<Atom> = self
+            .atoms
+            .iter()
+            .map(|(relation, args)| Atom::new(relation.clone(), args.iter().map(var)))
+            .collect();
+        let query = ConjunctiveQuery::new("canon", head, atoms)
+            .expect("renaming a valid query preserves validity");
+        (text, query)
+    }
+}
+
+impl IndexedQuery {
+    fn from_query(query: &ConjunctiveQuery) -> IndexedQuery {
+        let vars = query.vars();
+        let index_of = |v: &str| vars.iter().position(|w| w == v).expect("var in vars()");
+        let head: Vec<usize> = query.head().iter().map(|v| index_of(v)).collect();
+        let atoms: Vec<(String, Vec<usize>)> = query
+            .atoms()
+            .iter()
+            .map(|a| {
+                (
+                    a.relation.clone(),
+                    a.args.iter().map(|v| index_of(v)).collect(),
+                )
+            })
+            .collect();
+        let mut occurrences = vec![Vec::new(); vars.len()];
+        for (ai, (_, args)) in atoms.iter().enumerate() {
+            for (pos, &v) in args.iter().enumerate() {
+                occurrences[v].push((ai, pos));
+            }
+        }
+        IndexedQuery {
+            head,
+            atoms,
+            occurrences,
+            n: vars.len(),
+        }
+    }
+
+    /// The lexicographically minimal rendering over all canonical orderings
+    /// reachable through individualization–refinement.
+    fn minimal_rendering(&self) -> Rendering {
+        let colors = self.refine(self.initial_colors(), &vec![None; self.n]);
+        let mut best: Option<Rendering> = None;
+        self.search(colors, vec![None; self.n], 0, &mut best);
+        best.expect("search assigns every variable")
+    }
+
+    /// Initial colors: rank of `(head positions, sorted (relation, position)
+    /// occurrence multiset)`.  Invariant under renaming and atom reordering.
+    fn initial_colors(&self) -> Vec<usize> {
+        type InitialSig<'a> = (Vec<usize>, Vec<(&'a str, usize)>);
+        let sigs: Vec<InitialSig<'_>> = (0..self.n)
+            .map(|v| {
+                let head_positions: Vec<usize> = self
+                    .head
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &h)| h == v)
+                    .map(|(p, _)| p)
+                    .collect();
+                let mut occ: Vec<(&str, usize)> = self.occurrences[v]
+                    .iter()
+                    .map(|&(ai, pos)| (self.atoms[ai].0.as_str(), pos))
+                    .collect();
+                occ.sort();
+                (head_positions, occ)
+            })
+            .collect();
+        rank_signatures(&sigs)
+    }
+
+    /// Refines `colors` to a fixed point.  Individualized variables (present
+    /// in `assigned`) contribute their assigned canonical index to their
+    /// signature, which makes them singletons and propagates the distinction.
+    fn refine(&self, mut colors: Vec<usize>, assigned: &[Option<usize>]) -> Vec<usize> {
+        // Signature: (assigned index, own color, sorted occurrence
+        // descriptors with the full argument color vector of each atom).
+        type RefineSig<'a> = (Option<usize>, usize, Vec<(&'a str, usize, Vec<usize>)>);
+        loop {
+            let class_count = count_distinct(&colors);
+            let sigs: Vec<RefineSig<'_>> = (0..self.n)
+                .map(|v| {
+                    let mut occ: Vec<(&str, usize, Vec<usize>)> = self.occurrences[v]
+                        .iter()
+                        .map(|&(ai, pos)| {
+                            let (relation, args) = &self.atoms[ai];
+                            let arg_colors: Vec<usize> = args.iter().map(|&w| colors[w]).collect();
+                            (relation.as_str(), pos, arg_colors)
+                        })
+                        .collect();
+                    occ.sort();
+                    (assigned[v], colors[v], occ)
+                })
+                .collect();
+            colors = rank_signatures(&sigs);
+            // Refinement only ever splits classes; a fixed point is reached
+            // when the class count stops growing.
+            if count_distinct(&colors) == class_count {
+                return colors;
+            }
+        }
+    }
+
+    /// Individualization–refinement search for the minimal rendering.
+    fn search(
+        &self,
+        colors: Vec<usize>,
+        assigned: Vec<Option<usize>>,
+        next_index: usize,
+        best: &mut Option<Rendering>,
+    ) {
+        if next_index == self.n {
+            let perm: Vec<usize> = assigned
+                .iter()
+                .map(|a| a.expect("complete assignment"))
+                .collect();
+            let rendering = self.render(&perm);
+            if best.as_ref().is_none_or(|b| rendering < *b) {
+                *best = Some(rendering);
+            }
+            return;
+        }
+        // Target class: the unassigned variables of minimal color.  Colors
+        // are invariant ranks, so this selection is invariant.
+        let min_color = (0..self.n)
+            .filter(|&v| assigned[v].is_none())
+            .map(|v| colors[v])
+            .min()
+            .expect("next_index < n implies an unassigned variable");
+        let candidates: Vec<usize> = (0..self.n)
+            .filter(|&v| assigned[v].is_none() && colors[v] == min_color)
+            .collect();
+        let mut tried: Vec<usize> = Vec::new();
+        for v in candidates {
+            // Pruning: if swapping v with an already-explored candidate is an
+            // automorphism, the branch through v yields the same renderings.
+            if tried
+                .iter()
+                .any(|&u| self.transposition_is_automorphism(u, v))
+            {
+                continue;
+            }
+            tried.push(v);
+            let mut next_assigned = assigned.clone();
+            next_assigned[v] = Some(next_index);
+            let refined = self.refine(colors.clone(), &next_assigned);
+            self.search(refined, next_assigned, next_index + 1, best);
+        }
+    }
+
+    /// Whether the transposition `(u v)` is an automorphism of the query.
+    fn transposition_is_automorphism(&self, u: usize, v: usize) -> bool {
+        let swap = |w: usize| {
+            if w == u {
+                v
+            } else if w == v {
+                u
+            } else {
+                w
+            }
+        };
+        if self.head.iter().any(|&h| h == u || h == v) {
+            // The head is an ordered tuple; swapping a head variable moves it.
+            return false;
+        }
+        let mut swapped: Vec<(&str, Vec<usize>)> = self
+            .atoms
+            .iter()
+            .map(|(relation, args)| {
+                (
+                    relation.as_str(),
+                    args.iter().map(|&w| swap(w)).collect::<Vec<usize>>(),
+                )
+            })
+            .collect();
+        let mut original: Vec<(&str, Vec<usize>)> = self
+            .atoms
+            .iter()
+            .map(|(relation, args)| (relation.as_str(), args.clone()))
+            .collect();
+        swapped.sort();
+        original.sort();
+        swapped == original
+    }
+
+    /// Renders the query under a complete variable → canonical index map.
+    fn render(&self, perm: &[usize]) -> Rendering {
+        let head: Vec<usize> = self.head.iter().map(|&v| perm[v]).collect();
+        let mut atoms: Vec<(String, Vec<usize>)> = self
+            .atoms
+            .iter()
+            .map(|(relation, args)| {
+                (
+                    relation.clone(),
+                    args.iter().map(|&v| perm[v]).collect::<Vec<usize>>(),
+                )
+            })
+            .collect();
+        atoms.sort();
+        Rendering { head, atoms }
+    }
+}
+
+/// Ranks signatures: equal signatures get equal ranks, ranks follow the
+/// signatures' own ordering (hence are invariant whenever the signatures are).
+fn rank_signatures<S: Ord + Clone>(sigs: &[S]) -> Vec<usize> {
+    let mut sorted: Vec<&S> = sigs.iter().collect();
+    sorted.sort();
+    sorted.dedup();
+    sigs.iter()
+        .map(|s| sorted.binary_search(&s).expect("signature present"))
+        .collect()
+}
+
+fn count_distinct(colors: &[usize]) -> usize {
+    let mut seen = colors.to_vec();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqc_relational::parse_query;
+
+    fn canon_text(text: &str) -> String {
+        canonicalize(&parse_query(text).unwrap()).text
+    }
+
+    #[test]
+    fn renaming_and_reordering_are_normalized() {
+        let variants = [
+            "Q() :- R(x,y), S(y,z)",
+            "Q() :- S(b,c), R(a,b)",
+            "Qx() :- R(u1,u2), S(u2,u3)",
+            "Z() :- S(y,x), R(z,y)",
+        ];
+        let forms: Vec<String> = variants.iter().map(|t| canon_text(t)).collect();
+        assert!(
+            forms.iter().all(|f| f == &forms[0]),
+            "all variants must canonicalize identically: {forms:?}"
+        );
+    }
+
+    #[test]
+    fn head_order_is_significant() {
+        let a = canon_text("Q(x,y) :- R(x,y)");
+        let b = canon_text("Q(y,x) :- R(x,y)");
+        assert_ne!(a, b, "head tuples are ordered");
+        // But renaming the whole query still normalizes.
+        assert_eq!(a, canon_text("Q(u,w) :- R(u,w)"));
+        assert_eq!(b, canon_text("Q(w,u) :- R(u,w)"));
+    }
+
+    #[test]
+    fn symmetric_queries_canonicalize_fast_and_stably() {
+        // An 8-leaf out-star has 8! leaf orderings; transposition pruning
+        // must collapse them to one branch per level.
+        let atoms: Vec<String> = (0..8).map(|i| format!("R(c,l{i})")).collect();
+        let star = format!("Q() :- {}", atoms.join(", "));
+        let shuffled =
+            "Q() :- R(hub,a), R(hub,z), R(hub,m), R(hub,b), R(hub,q), R(hub,c), R(hub,x), R(hub,d)";
+        assert_eq!(canon_text(&star), canon_text(shuffled));
+    }
+
+    #[test]
+    fn directed_cycles_are_invariant_under_rotation() {
+        let a = canon_text("Q() :- R(x1,x2), R(x2,x3), R(x3,x1)");
+        let b = canon_text("Q() :- R(b,c), R(c,a), R(a,b)");
+        assert_eq!(a, b);
+        // The triangle and the 2-star are different queries.
+        assert_ne!(a, canon_text("Q() :- R(y1,y2), R(y1,y3)"));
+    }
+
+    #[test]
+    fn self_loops_and_repeated_variables_are_distinguished() {
+        let loop_q = canon_text("Q() :- R(x,x)");
+        let edge_q = canon_text("Q() :- R(x,y)");
+        assert_ne!(loop_q, edge_q);
+        assert_eq!(loop_q, canon_text("Q() :- R(w,w)"));
+    }
+
+    #[test]
+    fn refinement_equivalent_but_nonisomorphic_queries_differ() {
+        // A 6-cycle vs. two disjoint triangles: every variable has the same
+        // degree profile, so naive refinement alone cannot separate them —
+        // the backtracking search must.
+        let six = canon_text("Q() :- R(a,b), R(b,c), R(c,d), R(d,e), R(e,f), R(f,a)");
+        let two_triangles = canon_text("Q() :- R(p,q), R(q,r), R(r,p), R(s,t), R(t,u), R(u,s)");
+        assert_ne!(six, two_triangles);
+        // And each is invariant under its own relabelings.
+        assert_eq!(
+            six,
+            canon_text("Q() :- R(f,a), R(e,f), R(a,b), R(d,e), R(b,c), R(c,d)")
+        );
+        assert_eq!(
+            two_triangles,
+            canon_text("Q() :- R(y,z), R(x,y), R(n,l), R(z,x), R(l,m), R(m,n)")
+        );
+    }
+
+    #[test]
+    fn canonical_representative_is_a_valid_equivalent_query() {
+        let q = parse_query("Q(x,z) :- R(x,y), S(y,z), T(z,x)").unwrap();
+        let canon = canonicalize(&q);
+        assert_eq!(canon.query.head().len(), 2);
+        assert_eq!(canon.query.atoms().len(), 3);
+        // Canonicalizing the representative is a fixed point.
+        let again = canonicalize(&canon.query);
+        assert_eq!(again.text, canon.text);
+        assert_eq!(again.hash, canon.hash);
+    }
+
+    #[test]
+    fn pair_hash_is_order_sensitive_and_stable() {
+        let q1 = parse_query("Q1() :- R(x,y), R(y,z), R(z,x)").unwrap();
+        let q2 = parse_query("Q2() :- R(u,v), R(u,w)").unwrap();
+        let forward = canonicalize_pair(&q1, &q2);
+        let backward = canonicalize_pair(&q2, &q1);
+        assert_ne!(forward.hash, backward.hash);
+        // Stable across calls (FNV-1a, no per-process seeding).
+        assert_eq!(forward.hash, canonicalize_pair(&q1, &q2).hash);
+    }
+
+    #[test]
+    fn fnv1a_reference_vector() {
+        // Well-known FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+    }
+}

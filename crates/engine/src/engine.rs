@@ -1,0 +1,407 @@
+//! The batch containment engine: canonicalize → dedup → cache → fan out.
+//!
+//! [`Engine::decide_batch`] takes a slice of `(Q1, Q2)` requests and answers
+//! all of them while computing each *distinct canonical pair* at most once:
+//!
+//! 1. every request is canonicalized ([`crate::canon`]), collapsing variable
+//!    renamings and atom reorderings onto one key;
+//! 2. requests sharing a key are deduplicated — the first occurrence becomes
+//!    the group leader, later ones are answered from the leader's result with
+//!    [`Provenance::DedupedInFlight`];
+//! 3. leaders probe the sharded decision cache ([`crate::cache`]); hits are
+//!    answered immediately with [`Provenance::CachedHit`];
+//! 4. the remaining leaders fan out over a `std::thread::scope` worker pool
+//!    (no external dependencies), each running the Theorem 3.1 decision
+//!    procedure **on the canonical representative** of its pair, and the
+//!    summaries are inserted into the cache.
+//!
+//! Running the procedure on the canonical representative (rather than on
+//! whichever spelling of the pair arrived first) is what makes the cache
+//! *deterministic*: every member of an isomorphism class maps to the same
+//! input bytes, so the cached summary is byte-identical to what a fresh
+//! computation of any member would produce through the engine.
+
+use crate::cache::{CacheStats, DecisionCache};
+use crate::canon::{canonicalize_pair, CanonicalPair};
+use bqc_core::{decide_containment_with, AnswerSummary, DecideError, DecideOptions};
+use bqc_relational::ConjunctiveQuery;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// How a request in a batch obtained its answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Provenance {
+    /// The decision procedure ran for this request.
+    Fresh,
+    /// The answer came from the decision cache.
+    CachedHit,
+    /// The request is canonically equal to an earlier request in the same
+    /// batch and shares its result.
+    DedupedInFlight,
+}
+
+impl std::fmt::Display for Provenance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Provenance::Fresh => write!(f, "fresh"),
+            Provenance::CachedHit => write!(f, "cached"),
+            Provenance::DedupedInFlight => write!(f, "deduped"),
+        }
+    }
+}
+
+/// Per-request result of [`Engine::decide_batch`].
+#[derive(Clone, Debug)]
+pub struct BatchResult {
+    /// The verdict summary, or the error that prevented the decision.
+    pub answer: Result<AnswerSummary, DecideError>,
+    /// How the answer was obtained.
+    pub provenance: Provenance,
+    /// Wall time attributable to this request: the decision-procedure run for
+    /// `Fresh` requests, (approximately) zero for cache hits and dedups.
+    pub micros: u64,
+    /// The request's canonical pair hash (shared by all requests the engine
+    /// considered equal).
+    pub pair_hash: u64,
+}
+
+/// Tuning knobs for [`Engine`].
+#[derive(Clone, Debug)]
+pub struct EngineOptions {
+    /// Number of independently locked cache shards.
+    pub cache_shards: usize,
+    /// LRU bound per shard; total capacity is `cache_shards × shard_capacity`.
+    pub shard_capacity: usize,
+    /// Worker threads for batch fan-out.  Capped by the number of distinct
+    /// uncached pairs in the batch; `0` means "number of available cores".
+    pub workers: usize,
+    /// Options forwarded to the decision procedure.
+    pub decide: DecideOptions,
+}
+
+impl Default for EngineOptions {
+    fn default() -> EngineOptions {
+        EngineOptions {
+            cache_shards: 8,
+            shard_capacity: 1024,
+            workers: 0,
+            decide: DecideOptions::default(),
+        }
+    }
+}
+
+/// A concurrent, caching batch containment engine.  Cheap to share by
+/// reference; all methods take `&self`.
+pub struct Engine {
+    cache: DecisionCache,
+    options: EngineOptions,
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::new(EngineOptions::default())
+    }
+}
+
+impl Engine {
+    /// Creates an engine with the given options.
+    pub fn new(options: EngineOptions) -> Engine {
+        Engine {
+            cache: DecisionCache::new(options.cache_shards, options.shard_capacity),
+            options,
+        }
+    }
+
+    /// The effective worker count for a batch with `jobs` uncached distinct
+    /// pairs.
+    fn worker_count(&self, jobs: usize) -> usize {
+        let configured = if self.options.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        } else {
+            self.options.workers
+        };
+        configured.clamp(1, jobs.max(1))
+    }
+
+    /// Decides a single containment question through the cache.
+    pub fn decide(
+        &self,
+        q1: &ConjunctiveQuery,
+        q2: &ConjunctiveQuery,
+    ) -> Result<AnswerSummary, DecideError> {
+        let pair = canonicalize_pair(q1, q2);
+        if let Some(summary) = self.cache.get(pair.hash, &pair.key) {
+            return Ok(summary);
+        }
+        let summary =
+            decide_containment_with(&pair.q1.query, &pair.q2.query, &self.options.decide)?
+                .summary();
+        self.cache.insert(pair.hash, &pair.key, summary);
+        Ok(summary)
+    }
+
+    /// Decides a batch of containment questions, deduplicating canonically
+    /// equal requests, serving repeats from the cache, and fanning the
+    /// remaining distinct pairs out over a scoped worker pool.  Results are
+    /// returned in request order.
+    pub fn decide_batch(
+        &self,
+        requests: &[(ConjunctiveQuery, ConjunctiveQuery)],
+    ) -> Vec<BatchResult> {
+        // Phase 1: canonicalize every request, in parallel — on a warm batch
+        // this is the whole cost, and the backtracking search can be slow on
+        // large symmetric queries.
+        let workers = self.worker_count(requests.len());
+        let pairs: Vec<CanonicalPair> =
+            parallel_map(requests, workers, |(q1, q2)| canonicalize_pair(q1, q2));
+
+        // Group by the full canonical key text, NOT by the 64-bit hash: the
+        // cache-determinism invariant requires that a hash collision between
+        // two distinct questions is never allowed to merge them (the cache
+        // layer enforces the same with its stored key text).
+        let mut leader_of: HashMap<&str, usize> = HashMap::new();
+        let mut leaders: Vec<usize> = Vec::new();
+        for (i, pair) in pairs.iter().enumerate() {
+            leader_of.entry(pair.key.as_str()).or_insert_with(|| {
+                leaders.push(i);
+                i
+            });
+        }
+
+        // Phase 2: leaders probe the cache.
+        struct LeaderOutcome {
+            answer: Result<AnswerSummary, DecideError>,
+            provenance: Provenance,
+            micros: u64,
+        }
+        let mut outcomes: HashMap<&str, LeaderOutcome> = HashMap::new();
+        let mut jobs: Vec<usize> = Vec::new();
+        for &i in &leaders {
+            let pair = &pairs[i];
+            if let Some(summary) = self.cache.get(pair.hash, &pair.key) {
+                outcomes.insert(
+                    pair.key.as_str(),
+                    LeaderOutcome {
+                        answer: Ok(summary),
+                        provenance: Provenance::CachedHit,
+                        micros: 0,
+                    },
+                );
+            } else {
+                jobs.push(i);
+            }
+        }
+
+        // Phase 3: fan the uncached leaders out over scoped workers.
+        let workers = self.worker_count(jobs.len());
+        let computed = parallel_map(&jobs, workers, |&i| {
+            let pair = &pairs[i];
+            let start = Instant::now();
+            let answer =
+                decide_containment_with(&pair.q1.query, &pair.q2.query, &self.options.decide)
+                    .map(|full| full.summary());
+            (answer, start.elapsed().as_micros() as u64)
+        });
+        for (&i, (answer, micros)) in jobs.iter().zip(computed) {
+            let pair = &pairs[i];
+            if let Ok(summary) = &answer {
+                self.cache.insert(pair.hash, &pair.key, *summary);
+            }
+            outcomes.insert(
+                pair.key.as_str(),
+                LeaderOutcome {
+                    answer,
+                    provenance: Provenance::Fresh,
+                    micros,
+                },
+            );
+        }
+
+        // Phase 4: assemble per-request results in request order.
+        pairs
+            .iter()
+            .enumerate()
+            .map(|(i, pair)| {
+                let leader = leader_of[pair.key.as_str()];
+                let outcome = &outcomes[pair.key.as_str()];
+                let provenance = if i == leader {
+                    outcome.provenance
+                } else {
+                    Provenance::DedupedInFlight
+                };
+                BatchResult {
+                    answer: outcome.answer.clone(),
+                    provenance,
+                    micros: if i == leader { outcome.micros } else { 0 },
+                    pair_hash: pair.hash,
+                }
+            })
+            .collect()
+    }
+
+    /// Snapshot of the decision cache's counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops every cached decision (counters are kept).
+    pub fn clear_cache(&self) {
+        self.cache.clear()
+    }
+
+    /// The engine's configuration.
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+}
+
+/// Applies `f` to every item over a `std::thread::scope` worker pool and
+/// returns the outputs in item order.  Workers pull the next index from a
+/// shared atomic counter, so long-running items don't stall the queue.
+fn parallel_map<T: Sync, U: Send>(
+    items: &[T],
+    workers: usize,
+    f: impl Fn(&T) -> U + Sync,
+) -> Vec<U> {
+    let workers = workers.clamp(1, items.len().max(1));
+    if workers == 1 {
+        return items.iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                *slots[i].lock().expect("result slot poisoned") = Some(f(&items[i]));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqc_relational::parse_query;
+
+    fn q(text: &str) -> ConjunctiveQuery {
+        parse_query(text).unwrap()
+    }
+
+    fn small_batch() -> Vec<(ConjunctiveQuery, ConjunctiveQuery)> {
+        vec![
+            // Example 4.3 and a renamed, reordered copy of it.
+            (
+                q("Q1() :- R(x,y), R(y,z), R(z,x)"),
+                q("Q2() :- R(u,v), R(u,w)"),
+            ),
+            (
+                q("A() :- R(c,a), R(a,b), R(b,c)"),
+                q("B() :- R(h,l2), R(h,l1)"),
+            ),
+            // The reverse direction.
+            (
+                q("Q3() :- R(u,v), R(u,w)"),
+                q("Q4() :- R(x,y), R(y,z), R(z,x)"),
+            ),
+        ]
+    }
+
+    #[test]
+    fn batch_dedups_canonically_equal_requests() {
+        let engine = Engine::default();
+        let results = engine.decide_batch(&small_batch());
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].provenance, Provenance::Fresh);
+        assert_eq!(results[1].provenance, Provenance::DedupedInFlight);
+        assert_eq!(results[2].provenance, Provenance::Fresh);
+        assert_eq!(results[0].pair_hash, results[1].pair_hash);
+        assert_ne!(results[0].pair_hash, results[2].pair_hash);
+        assert!(results[0].answer.as_ref().unwrap().is_contained());
+        assert!(results[1].answer.as_ref().unwrap().is_contained());
+        assert!(results[2].answer.as_ref().unwrap().is_not_contained());
+        // Only the two distinct pairs went through the procedure.
+        let stats = engine.cache_stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.hits, 0);
+    }
+
+    #[test]
+    fn second_batch_is_served_from_cache() {
+        let engine = Engine::default();
+        engine.decide_batch(&small_batch());
+        let results = engine.decide_batch(&small_batch());
+        assert_eq!(results[0].provenance, Provenance::CachedHit);
+        assert_eq!(results[1].provenance, Provenance::DedupedInFlight);
+        assert_eq!(results[2].provenance, Provenance::CachedHit);
+        assert_eq!(engine.cache_stats().hits, 2);
+    }
+
+    #[test]
+    fn single_decide_caches_and_agrees_across_spellings() {
+        let engine = Engine::default();
+        let first = engine
+            .decide(
+                &q("Q1() :- R(x,y), R(y,z), R(z,x)"),
+                &q("Q2() :- R(u,v), R(u,w)"),
+            )
+            .unwrap();
+        let second = engine
+            .decide(
+                &q("Z1() :- R(m,n), R(p,m), R(n,p)"),
+                &q("Z2() :- R(a,b), R(a,c)"),
+            )
+            .unwrap();
+        assert_eq!(first, second);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn errors_are_reported_per_request_and_not_cached() {
+        let engine = Engine::default();
+        let batch = vec![
+            (q("Q1(x) :- R(x,y)"), q("Q2(u,v) :- R(u,v)")),
+            (q("Q1() :- R(x,y)"), q("Q2() :- R(u,v)")),
+        ];
+        let results = engine.decide_batch(&batch);
+        assert!(results[0].answer.is_err());
+        assert!(results[1].answer.as_ref().unwrap().is_contained());
+        assert_eq!(engine.cache_stats().entries, 1);
+    }
+
+    #[test]
+    fn explicit_worker_counts_work() {
+        for workers in [1usize, 2, 7] {
+            let engine = Engine::new(EngineOptions {
+                workers,
+                ..EngineOptions::default()
+            });
+            let results = engine.decide_batch(&small_batch());
+            assert!(results[0].answer.as_ref().unwrap().is_contained());
+            assert!(results[2].answer.as_ref().unwrap().is_not_contained());
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let engine = Engine::default();
+        assert!(engine.decide_batch(&[]).is_empty());
+    }
+}

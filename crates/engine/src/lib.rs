@@ -1,0 +1,65 @@
+#![warn(missing_docs)]
+//! # bqc-engine — a concurrent, caching batch containment engine
+//!
+//! The rest of the workspace proves Theorems 2.7/3.1/6.1 one query pair at a
+//! time through [`bqc_core::decide_containment`].  This crate turns that
+//! decision procedure into a *serving subsystem* that amortizes work across
+//! requests, exploiting the fact that real containment workloads are highly
+//! repetitive — the same pair re-asked modulo variable renaming and atom
+//! reordering — while each individual decision solves an exact LP with
+//! exponentially many columns:
+//!
+//! * [`canon`] — canonical forms of conjunctive queries modulo variable
+//!   renaming and atom reordering (iterative refinement with a backtracking
+//!   individualization search, transposition-automorphism pruning), plus
+//!   stable 64-bit FNV-1a hashes for queries and `(Q1, Q2)` pairs;
+//! * [`cache`] — a sharded, LRU-bounded decision cache storing
+//!   [`bqc_core::AnswerSummary`] values, with hit/miss/eviction counters and
+//!   a canonical-text collision guard;
+//! * [`engine`] — [`Engine::decide_batch`]: canonicalize, dedup, serve
+//!   repeats from cache, and fan the remaining distinct pairs out over a
+//!   `std::thread::scope` worker pool, reporting per-request provenance
+//!   ([`Provenance::Fresh`] / [`Provenance::CachedHit`] /
+//!   [`Provenance::DedupedInFlight`]) and timing;
+//! * [`workload`] — the textual workload format consumed by the `bqc` CLI
+//!   (one `Q1 … ; Q2 …` question per line) and a small JSON string escaper
+//!   for the machine-readable report.
+//!
+//! **Cache determinism invariant** (see ARCHITECTURE.md): a cached answer is
+//! byte-identical to the answer a fresh computation would produce, because
+//! the engine always runs the decision procedure on the *canonical
+//! representative* of a pair — every spelling of the pair maps to the same
+//! input — and the procedure itself is deterministic.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bqc_engine::{Engine, Provenance};
+//! use bqc_relational::parse_query;
+//!
+//! let engine = Engine::default();
+//! let batch = vec![
+//!     (
+//!         parse_query("Q1() :- R(x,y), R(y,z), R(z,x)").unwrap(),
+//!         parse_query("Q2() :- R(u,v), R(u,w)").unwrap(),
+//!     ),
+//!     // The same question, renamed and reordered: deduplicated in flight.
+//!     (
+//!         parse_query("A() :- R(c,a), R(a,b), R(b,c)").unwrap(),
+//!         parse_query("B() :- R(h,k), R(h,j)").unwrap(),
+//!     ),
+//! ];
+//! let results = engine.decide_batch(&batch);
+//! assert!(results[0].answer.as_ref().unwrap().is_contained());
+//! assert_eq!(results[1].provenance, Provenance::DedupedInFlight);
+//! ```
+
+pub mod cache;
+pub mod canon;
+pub mod engine;
+pub mod workload;
+
+pub use cache::{CacheStats, DecisionCache};
+pub use canon::{canonicalize, canonicalize_pair, fnv1a, CanonicalPair, CanonicalQuery};
+pub use engine::{BatchResult, Engine, EngineOptions, Provenance};
+pub use workload::{json_escape, parse_workload, WorkloadEntry, WorkloadError};

@@ -1,0 +1,186 @@
+//! Workload files: batches of containment questions in textual form.
+//!
+//! A workload file holds one containment question per line, written as the
+//! two queries in the [`bqc_relational::parser`] syntax separated by `;`:
+//!
+//! ```text
+//! # does the triangle query count no more than the 2-star?
+//! Q1() :- R(x,y), R(y,z), R(z,x) ; Q2() :- R(u,v), R(u,w)
+//! Q1() :- R(u,v), R(u,w)         ; Q2() :- R(x,y), R(y,z), R(z,x)
+//! ```
+//!
+//! Blank lines are skipped and everything from the first `#` or `%` on a
+//! line is a comment — so whole-line comments, trailing comments, and even
+//! comments containing `;` are all fine.
+
+use bqc_relational::{parse_query, ConjunctiveQuery, ParseError};
+use std::fmt;
+
+/// One parsed request with the line it came from (1-based, for messages).
+#[derive(Clone, Debug)]
+pub struct WorkloadEntry {
+    /// Source line number in the workload text, 1-based.
+    pub line: usize,
+    /// The contained-candidate query (left of `;`).
+    pub q1: ConjunctiveQuery,
+    /// The containing-candidate query (right of `;`).
+    pub q2: ConjunctiveQuery,
+}
+
+/// Errors reading a workload file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// A non-comment line did not contain exactly one `;` separator.
+    MissingSeparator {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// One of the two queries on a line failed to parse.
+    BadQuery {
+        /// 1-based line number.
+        line: usize,
+        /// Which side of the `;` failed: `"Q1"` or `"Q2"`.
+        side: &'static str,
+        /// The underlying parser error.
+        error: ParseError,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::MissingSeparator { line } => write!(
+                f,
+                "line {line}: expected `Q1 … ; Q2 …` (exactly one `;` separating the two queries)"
+            ),
+            WorkloadError::BadQuery { line, side, error } => {
+                write!(f, "line {line}: {side} does not parse: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+/// Parses a workload text into its entries.
+pub fn parse_workload(text: &str) -> Result<Vec<WorkloadEntry>, WorkloadError> {
+    let mut entries = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        // Strip the comment tail before splitting on `;`, so a comment
+        // containing a semicolon cannot break the separator count.
+        let code = raw
+            .split(['#', '%'])
+            .next()
+            .expect("split yields at least one piece")
+            .trim();
+        if code.is_empty() {
+            continue;
+        }
+        let mut sides = code.split(';');
+        let (left, right) = match (sides.next(), sides.next(), sides.next()) {
+            (Some(l), Some(r), None) => (l, r),
+            _ => return Err(WorkloadError::MissingSeparator { line }),
+        };
+        let q1 = parse_query(left).map_err(|error| WorkloadError::BadQuery {
+            line,
+            side: "Q1",
+            error,
+        })?;
+        let q2 = parse_query(right).map_err(|error| WorkloadError::BadQuery {
+            line,
+            side: "Q2",
+            error,
+        })?;
+        entries.push(WorkloadEntry { line, q1, q2 });
+    }
+    Ok(entries)
+}
+
+/// Escapes a string for inclusion in a JSON string literal (quotes not
+/// included).  Hand-rolled on purpose: the workspace has no registry access,
+/// and the engine's report surface is small enough that a serializer
+/// dependency would be all cost.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_skips_comments() {
+        let text = "\
+# a comment
+Q1() :- R(x,y), R(y,z), R(z,x) ; Q2() :- R(u,v), R(u,w)
+
+% another comment
+Q1(a) :- S(a,b) ; Q2(c) :- S(c,c)
+";
+        let entries = parse_workload(text).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].line, 2);
+        assert_eq!(entries[0].q1.atoms().len(), 3);
+        assert_eq!(entries[1].line, 5);
+        assert_eq!(entries[1].q2.head().len(), 1);
+    }
+
+    #[test]
+    fn trailing_comments_may_contain_semicolons() {
+        let text = "Q1() :- R(x,y) ; Q2() :- R(u,v) # see also Q3; Q4\n\
+                    Q1() :- S(a,b) ; Q2() :- S(c,d) % likewise; really";
+        let entries = parse_workload(text).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].q2.name, "Q2");
+        assert_eq!(entries[1].q1.atoms()[0].relation, "S");
+    }
+
+    #[test]
+    fn missing_separator_is_reported_with_line() {
+        let err = parse_workload("Q1() :- R(x,y)").unwrap_err();
+        assert_eq!(err, WorkloadError::MissingSeparator { line: 1 });
+        let err = parse_workload("Q1() :- R(x,y) ; Q2() :- R(u,v) ; Q3() :- R(a,b)").unwrap_err();
+        assert_eq!(err, WorkloadError::MissingSeparator { line: 1 });
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn bad_queries_name_the_side() {
+        let err = parse_workload("nonsense ; Q2() :- R(u,v)").unwrap_err();
+        match &err {
+            WorkloadError::BadQuery { line: 1, side, .. } => assert_eq!(*side, "Q1"),
+            other => panic!("unexpected error {other:?}"),
+        }
+        let err = parse_workload("Q1() :- R(x,y) ; nonsense").unwrap_err();
+        assert!(matches!(
+            err,
+            WorkloadError::BadQuery {
+                line: 1,
+                side: "Q2",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\n\t\u{1}"), "x\\n\\t\\u0001");
+    }
+}

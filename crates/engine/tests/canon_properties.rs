@@ -1,0 +1,112 @@
+//! Property tests (vendored proptest) for query canonicalization.
+//!
+//! The contract under test: canonical forms and hashes are *invariant* under
+//! variable renaming and atom reordering (every isomorphic copy of a query
+//! produces byte-identical output), and *discriminating* across the
+//! structurally distinct workload generators (cycles, paths, stars of
+//! different sizes never share a canonical form).
+
+use bqc_bench::{cycle_query, path_query, rename_shuffle, star_query};
+use bqc_engine::{canonicalize, canonicalize_pair};
+use bqc_relational::{Atom, ConjunctiveQuery};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random conjunctive query, deterministic in `seed`: up to `max_atoms`
+/// atoms over up to `max_vars` variables drawn from a 3-relation vocabulary
+/// of mixed arities, with a random (possibly empty) head.
+fn random_query(max_vars: usize, max_atoms: usize, seed: u64) -> ConjunctiveQuery {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(1..max_vars + 1);
+    let atom_count = rng.gen_range(1..max_atoms + 1);
+    let relations: [(&str, usize); 3] = [("R", 2), ("S", 2), ("T", 3)];
+    let atoms: Vec<Atom> = (0..atom_count)
+        .map(|_| {
+            let (relation, arity) = relations[rng.gen_range(0..relations.len())];
+            let args: Vec<String> = (0..arity)
+                .map(|_| format!("x{}", rng.gen_range(0..n)))
+                .collect();
+            Atom::new(relation, args)
+        })
+        .collect();
+    // A random subset of the occurring variables becomes the head.
+    let occurring: Vec<String> = {
+        let mut vs: Vec<String> = atoms.iter().flat_map(|a| a.args.clone()).collect();
+        vs.sort();
+        vs.dedup();
+        vs
+    };
+    let head: Vec<String> = occurring
+        .iter()
+        .filter(|_| rng.gen_range(0..4usize) == 0)
+        .cloned()
+        .collect();
+    ConjunctiveQuery::new("Q", head, atoms).expect("head vars occur in body")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Isomorphic copies (random variable permutation + atom shuffle)
+    /// canonicalize to byte-identical forms and equal hashes.
+    #[test]
+    fn canonical_form_is_renaming_invariant(
+        seed in 0u64..10_000,
+        shuffle_seed in 0u64..10_000,
+    ) {
+        let query = random_query(6, 7, seed);
+        let copy = rename_shuffle(&query, shuffle_seed);
+        let canon_q = canonicalize(&query);
+        let canon_c = canonicalize(&copy);
+        prop_assert_eq!(&canon_q.text, &canon_c.text);
+        prop_assert_eq!(canon_q.hash, canon_c.hash);
+        // The canonical representative is itself a fixed point.
+        let canon_r = canonicalize(&canon_q.query);
+        prop_assert_eq!(&canon_r.text, &canon_q.text);
+    }
+
+    /// Pair canonicalization is invariant when both sides are independently
+    /// renamed and reordered.
+    #[test]
+    fn pair_hash_is_renaming_invariant(
+        seed in 0u64..10_000,
+        s1 in 0u64..10_000,
+        s2 in 0u64..10_000,
+    ) {
+        let q1 = random_query(5, 5, seed);
+        let q2 = random_query(5, 5, seed.wrapping_add(77));
+        let original = canonicalize_pair(&q1, &q2);
+        let renamed = canonicalize_pair(&rename_shuffle(&q1, s1), &rename_shuffle(&q2, s2));
+        prop_assert_eq!(original.hash, renamed.hash);
+        prop_assert_eq!(&original.q1.text, &renamed.q1.text);
+        prop_assert_eq!(&original.q2.text, &renamed.q2.text);
+    }
+
+    /// Structurally distinct generator outputs never collide on canonical
+    /// form — cycles vs. paths vs. stars, across sizes.
+    #[test]
+    fn distinct_generators_do_not_collide(
+        n in 2usize..7,
+        m in 2usize..7,
+        shuffle_seed in 0u64..10_000,
+    ) {
+        let queries = [
+            cycle_query(n),
+            path_query(n),
+            star_query(n),
+            cycle_query(m + 7),
+            path_query(m + 7),
+            star_query(m + 7),
+        ];
+        let forms: Vec<String> = queries
+            .iter()
+            .map(|q| canonicalize(&rename_shuffle(q, shuffle_seed)).text)
+            .collect();
+        for i in 0..forms.len() {
+            for j in (i + 1)..forms.len() {
+                prop_assert_ne!(&forms[i], &forms[j]);
+            }
+        }
+    }
+}

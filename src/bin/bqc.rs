@@ -1,0 +1,282 @@
+//! `bqc` — batch bag-containment checking from the command line.
+//!
+//! Reads a workload file of containment questions (one `Q1 … ; Q2 …` pair
+//! per line, `#`/`%` comments — see `bqc_engine::workload`), runs the whole
+//! batch through the caching engine, and prints a per-question report plus
+//! cache and timing totals.  `--json` switches to a machine-readable report.
+//!
+//! ```text
+//! bqc [--json] [--workers N] [--shards N] [--capacity N] [--no-witness] [--repeat N] FILE
+//! ```
+
+use bag_query_containment::engine::{
+    json_escape, parse_workload, BatchResult, Engine, EngineOptions, Provenance, WorkloadEntry,
+};
+use bqc_core::DecideOptions;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Cli {
+    file: String,
+    json: bool,
+    workers: usize,
+    shards: usize,
+    capacity: usize,
+    extract_witness: bool,
+    repeat: usize,
+}
+
+const USAGE: &str = "\
+usage: bqc [OPTIONS] FILE
+
+Decide every containment question in FILE (one `Q1 … ; Q2 …` per line,
+blank lines and #/% comments skipped) through the caching batch engine.
+
+options:
+  --json          machine-readable JSON report instead of the text report
+  --workers N     worker threads for the batch fan-out (default: all cores)
+  --shards N      decision-cache shards (default 8)
+  --capacity N    LRU capacity per cache shard (default 1024)
+  --no-witness    skip materializing non-containment witnesses
+  --repeat N      run the workload N times back to back (cache warm-up demo)
+  --help          this message
+
+exit status: 0 on success, 1 on usage/IO/parse errors, 2 when the workload
+ran but some requests failed with decision errors (reported per line).";
+
+/// Why argument parsing did not yield a runnable configuration.
+enum CliExit {
+    /// `--help` was requested: print usage to stdout, exit 0.
+    Help,
+    /// Bad arguments: print the message to stderr, exit 1.
+    Usage(String),
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, CliExit> {
+    let mut cli = Cli {
+        file: String::new(),
+        json: false,
+        workers: 0,
+        shards: 8,
+        capacity: 1024,
+        extract_witness: true,
+        repeat: 1,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut numeric = |name: &str| -> Result<usize, CliExit> {
+            it.next()
+                .ok_or_else(|| CliExit::Usage(format!("{name} requires a value")))?
+                .parse::<usize>()
+                .map_err(|_| CliExit::Usage(format!("{name} requires a non-negative integer")))
+        };
+        match arg.as_str() {
+            "--json" => cli.json = true,
+            "--workers" => cli.workers = numeric("--workers")?,
+            "--shards" => cli.shards = numeric("--shards")?.max(1),
+            "--capacity" => cli.capacity = numeric("--capacity")?.max(1),
+            "--no-witness" => cli.extract_witness = false,
+            "--repeat" => cli.repeat = numeric("--repeat")?.max(1),
+            "--help" | "-h" => return Err(CliExit::Help),
+            other if other.starts_with('-') => {
+                return Err(CliExit::Usage(format!("unknown option {other}")))
+            }
+            other if cli.file.is_empty() => cli.file = other.to_string(),
+            _ => {
+                return Err(CliExit::Usage(
+                    "exactly one workload FILE is expected".into(),
+                ))
+            }
+        }
+    }
+    if cli.file.is_empty() {
+        return Err(CliExit::Usage(USAGE.to_string()));
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(CliExit::Help) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(CliExit::Usage(message)) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(&cli.file) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!("bqc: cannot read {}: {error}", cli.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let entries = match parse_workload(&text) {
+        Ok(entries) => entries,
+        Err(error) => {
+            eprintln!("bqc: {}: {error}", cli.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let engine = Engine::new(EngineOptions {
+        cache_shards: cli.shards,
+        shard_capacity: cli.capacity,
+        workers: cli.workers,
+        decide: DecideOptions {
+            extract_witness: cli.extract_witness,
+            ..DecideOptions::default()
+        },
+    });
+    let requests: Vec<_> = entries
+        .iter()
+        .map(|e| (e.q1.clone(), e.q2.clone()))
+        .collect();
+
+    let start = Instant::now();
+    let mut runs: Vec<Vec<BatchResult>> = Vec::with_capacity(cli.repeat);
+    for _ in 0..cli.repeat {
+        runs.push(engine.decide_batch(&requests));
+    }
+    let wall_micros = start.elapsed().as_micros() as u64;
+
+    if cli.json {
+        print_json(&cli, &engine, &entries, &runs, wall_micros);
+    } else {
+        print_text(&cli, &engine, &entries, &runs, wall_micros);
+    }
+    // A run with per-request decision errors is a failed run for scripts,
+    // even though the report itself was printed.
+    let any_error = runs.iter().flatten().any(|result| result.answer.is_err());
+    if any_error {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Distinct canonical pairs in one batch, counted by provenance (the engine
+/// dedups by full canonical key text, so every non-deduped request is the
+/// leader of exactly one distinct pair — hashes alone could collide).
+fn distinct_pairs(results: &[BatchResult]) -> usize {
+    results
+        .iter()
+        .filter(|r| r.provenance != Provenance::DedupedInFlight)
+        .count()
+}
+
+fn print_text(
+    cli: &Cli,
+    engine: &Engine,
+    entries: &[WorkloadEntry],
+    runs: &[Vec<BatchResult>],
+    wall_micros: u64,
+) {
+    let first = &runs[0];
+    println!(
+        "bqc: {} requests ({} distinct canonical pairs), {} run(s)",
+        entries.len(),
+        distinct_pairs(first),
+        runs.len()
+    );
+    for (run_index, results) in runs.iter().enumerate() {
+        if runs.len() > 1 {
+            println!("-- run {} --", run_index + 1);
+        }
+        for (entry, result) in entries.iter().zip(results) {
+            let verdict = match &result.answer {
+                Ok(summary) => summary.to_string(),
+                Err(error) => format!("error: {error}"),
+            };
+            println!(
+                "[line {:>3}] {:<8} {:>9.3}ms  {} vs {}: {verdict}",
+                entry.line,
+                result.provenance.to_string(),
+                result.micros as f64 / 1000.0,
+                entry.q1.name,
+                entry.q2.name,
+            );
+        }
+    }
+    let mut contained = 0usize;
+    let mut not_contained = 0usize;
+    let mut undecided = 0usize;
+    let mut errors = 0usize;
+    for result in runs.iter().flatten() {
+        match &result.answer {
+            Ok(s) if s.is_contained() => contained += 1,
+            Ok(s) if s.is_not_contained() => not_contained += 1,
+            Ok(_) => undecided += 1,
+            Err(_) => errors += 1,
+        }
+    }
+    println!(
+        "verdicts: {contained} contained, {not_contained} not contained, \
+         {undecided} undecided, {errors} errors"
+    );
+    let stats = engine.cache_stats();
+    println!(
+        "cache: {} hits, {} misses, {} evictions, {} entries ({} shards x {})",
+        stats.hits, stats.misses, stats.evictions, stats.entries, cli.shards, cli.capacity
+    );
+    println!("wall time: {:.3}ms", wall_micros as f64 / 1000.0);
+}
+
+fn print_json(
+    cli: &Cli,
+    engine: &Engine,
+    entries: &[WorkloadEntry],
+    runs: &[Vec<BatchResult>],
+    wall_micros: u64,
+) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"workload\": \"{}\",\n  \"requests\": {},\n  \"runs\": {},\n",
+        json_escape(&cli.file),
+        entries.len(),
+        runs.len()
+    ));
+    out.push_str(&format!(
+        "  \"distinct_pairs\": {},\n  \"results\": [\n",
+        distinct_pairs(&runs[0])
+    ));
+    let mut first_row = true;
+    for (run_index, results) in runs.iter().enumerate() {
+        for (entry, result) in entries.iter().zip(results) {
+            if !first_row {
+                out.push_str(",\n");
+            }
+            first_row = false;
+            let (verdict, detail) = match &result.answer {
+                Ok(summary) => (summary.verdict().to_string(), summary.to_string()),
+                Err(error) => ("error".to_string(), error.to_string()),
+            };
+            out.push_str(&format!(
+                "    {{\"run\": {}, \"line\": {}, \"q1\": \"{}\", \"q2\": \"{}\", \
+                 \"verdict\": \"{}\", \"detail\": \"{}\", \"provenance\": \"{}\", \
+                 \"pair_hash\": \"{:016x}\", \"micros\": {}}}",
+                run_index + 1,
+                entry.line,
+                json_escape(&entry.q1.to_string()),
+                json_escape(&entry.q2.to_string()),
+                json_escape(&verdict),
+                json_escape(&detail),
+                result.provenance,
+                result.pair_hash,
+                result.micros
+            ));
+        }
+    }
+    out.push_str("\n  ],\n");
+    let stats = engine.cache_stats();
+    out.push_str(&format!(
+        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {}}},\n",
+        stats.hits, stats.misses, stats.evictions, stats.entries
+    ));
+    out.push_str(&format!("  \"wall_micros\": {wall_micros}\n}}"));
+    println!("{out}");
+}

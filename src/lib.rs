@@ -16,7 +16,9 @@
 //! * [`iip`] — the (max-)information-inequality prover over the Shannon cone,
 //!   uniformization (Lemma 5.3) and convex certificates (Theorem 6.1);
 //! * [`core`] — the containment inequality (Eq. 8), the decision procedure of
-//!   Theorem 3.1, witness extraction, and both reductions of Theorem 2.7.
+//!   Theorem 3.1, witness extraction, and both reductions of Theorem 2.7;
+//! * [`engine`] — the serving layer: query canonicalization, a sharded LRU
+//!   decision cache, and the concurrent batch executor behind the `bqc` CLI.
 //!
 //! ## Quickstart
 //!
@@ -30,6 +32,7 @@
 
 pub use bqc_arith as arith;
 pub use bqc_core as core;
+pub use bqc_engine as engine;
 pub use bqc_entropy as entropy;
 pub use bqc_hypergraph as hypergraph;
 pub use bqc_iip as iip;
@@ -42,9 +45,10 @@ pub mod prelude {
     pub use bqc_core::{
         containment_inequality, decide_containment, decide_containment_with,
         exhaustive_containment_check, max_iip_to_containment, search_product_witness,
-        sufficient_containment_check, verify_witness, witness_from_counterexample,
+        sufficient_containment_check, verify_witness, witness_from_counterexample, AnswerSummary,
         ContainmentAnswer, DecideOptions,
     };
+    pub use bqc_engine::{canonicalize, canonicalize_pair, Engine, EngineOptions, Provenance};
     pub use bqc_entropy::{
         is_modular, is_normal, is_polymatroid, normalize, parity_relation, relation_entropy,
         EntropyExpr, NormalFunction, SetFunction,
