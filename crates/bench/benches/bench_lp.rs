@@ -1,17 +1,29 @@
-//! Experiment E11: the exact rational simplex solver on Shannon-cone
-//! feasibility programs and on dense random LPs.
+//! Experiment E11: the exact LP solvers on Shannon-cone feasibility programs.
+//!
+//! Three groups feed the CI bench-regression gate (`BENCH_PR3.json`):
+//!
+//! * `lp/shannon_cone_feasibility` — the *identical* standard-form program
+//!   through the sparse revised simplex (`revised/n`, n = 3..6) and through
+//!   the retained dense tableau oracle (`dense/n`, capped at n = 5: the
+//!   dense tableau on the 247-row n = 6 cone is minutes-slow and would blow
+//!   the CI budget without adding signal);
+//! * `lp/warm_start` — repeated same-shaped cone probes, cold versus seeded
+//!   with the previous optimal basis via [`LpProblem::solve_from`];
+//! * `lp/random_dense` — dense random LPs through the modelling layer, as a
+//!   guard against the sparse solver regressing on non-sparse inputs.
 
 use bqc_arith::{int, Rational};
 use bqc_entropy::elemental_inequalities;
-use bqc_lp::{ConstraintOp, LpProblem, Sense, VarBound};
+use bqc_lp::oracle::solve_standard_form_dense;
+use bqc_lp::{solve_standard_form, ConstraintOp, LpBasis, LpProblem, Sense, VarBound};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Duration;
 
-/// Builds the LP "is there a polymatroid with h(V) >= 1 and all singletons = s?"
-/// — a feasibility problem whose size matches the prover's programs.
-fn shannon_cone_lp(n: usize) -> LpProblem {
+/// Builds the LP "is there a polymatroid with h(V) >= 1?" — a feasibility
+/// problem whose size matches the prover's programs — in the modelling layer.
+fn shannon_cone_problem(n: usize, extra_disjuncts: usize) -> LpProblem {
     let mut lp = LpProblem::new(Sense::Minimize);
     let mut columns = vec![None; 1 << n];
     for mask in 1u32..(1 << n) {
@@ -31,7 +43,86 @@ fn shannon_cone_lp(n: usize) -> LpProblem {
         ConstraintOp::Ge,
         int(1),
     );
+    // Optional prover-style disjunct rows E(h) <= -1 (kept violated-feasible
+    // by using singleton negative coefficients), for the warm-start scenario.
+    for d in 0..extra_disjuncts {
+        let var = columns[1 + (d % full)].unwrap();
+        lp.add_constraint(vec![(var, int(-1))], ConstraintOp::Le, int(-1));
+    }
     lp
+}
+
+/// The same cone feasibility program as an explicit dense standard form
+/// (surplus column per `>=` row), so the dense oracle and the revised solver
+/// can be timed on byte-identical input.
+fn shannon_cone_standard_form(n: usize) -> (Vec<Vec<Rational>>, Vec<Rational>, Vec<Rational>) {
+    let vars = (1usize << n) - 1;
+    let elementals: Vec<_> = elemental_inequalities(n).into_iter().collect();
+    let rows = elementals.len() + 1;
+    let cols = vars + rows;
+    let mut a = vec![vec![Rational::zero(); cols]; rows];
+    for (i, constraint) in elementals.iter().enumerate() {
+        for (mask, coeff) in &constraint.terms {
+            if *mask != 0 {
+                a[i][*mask as usize - 1] = coeff.clone();
+            }
+        }
+        a[i][vars + i] = -Rational::one();
+    }
+    let last = rows - 1;
+    a[last][vars - 1] = Rational::one();
+    a[last][vars + last] = -Rational::one();
+    let mut b = vec![Rational::zero(); rows];
+    b[last] = Rational::one();
+    let c = vec![Rational::zero(); cols];
+    (a, b, c)
+}
+
+fn bench_shannon_cone(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp/shannon_cone_feasibility");
+    group.sample_size(10);
+    for n in [3usize, 4, 5, 6] {
+        let (a, b, cost) = shannon_cone_standard_form(n);
+        group.bench_with_input(BenchmarkId::new("revised", n), &n, |bencher, _| {
+            bencher.iter(|| {
+                assert!(matches!(
+                    solve_standard_form(&a, &b, &cost),
+                    bqc_lp::SimplexOutcome::Optimal { .. }
+                ))
+            })
+        });
+        // The dense tableau is O(m·n) big-rational work per pivot; n = 6
+        // (247 rows) takes minutes and is deliberately excluded.
+        if n <= 5 {
+            group.bench_with_input(BenchmarkId::new("dense", n), &n, |bencher, _| {
+                bencher.iter(|| {
+                    assert!(matches!(
+                        solve_standard_form_dense(&a, &b, &cost),
+                        bqc_lp::SimplexOutcome::Optimal { .. }
+                    ))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_warm_start(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp/warm_start");
+    group.sample_size(10);
+    for n in [4usize, 5] {
+        let lp = shannon_cone_problem(n, 2);
+        let (solution, basis) = lp.solve_from(None);
+        assert!(solution.is_optimal());
+        let basis: LpBasis = basis.expect("cone probe has a clean optimal basis");
+        group.bench_with_input(BenchmarkId::new("cold", n), &n, |bencher, _| {
+            bencher.iter(|| assert!(lp.solve_from(None).0.is_optimal()))
+        });
+        group.bench_with_input(BenchmarkId::new("warm", n), &n, |bencher, _| {
+            bencher.iter(|| assert!(lp.solve_from(Some(&basis)).0.is_optimal()))
+        });
+    }
+    group.finish();
 }
 
 fn random_lp(variables: usize, constraints: usize, seed: u64) -> LpProblem {
@@ -55,18 +146,6 @@ fn random_lp(variables: usize, constraints: usize, seed: u64) -> LpProblem {
     lp
 }
 
-fn bench_shannon_cone(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lp/shannon_cone_feasibility");
-    group.sample_size(10);
-    for n in [3usize, 4, 5] {
-        let lp = shannon_cone_lp(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| assert!(lp.solve().is_optimal()))
-        });
-    }
-    group.finish();
-}
-
 fn bench_random_lps(c: &mut Criterion) {
     let mut group = c.benchmark_group("lp/random_dense");
     group.sample_size(10);
@@ -87,6 +166,6 @@ criterion_group! {
     config = Criterion::default()
         .warm_up_time(Duration::from_millis(500))
         .measurement_time(Duration::from_secs(2));
-    targets = bench_shannon_cone, bench_random_lps
+    targets = bench_shannon_cone, bench_warm_start, bench_random_lps
 }
 criterion_main!(benches);

@@ -1,0 +1,332 @@
+//! Benchmark median reports and the CI regression comparison.
+//!
+//! The vendored criterion harness appends one JSON-lines record
+//! `{"id": "...", "median_ns": ...}` per benchmark when `BQC_BENCH_JSON` is
+//! set.  This module parses those records (and the collected baseline
+//! documents built from them), renders the canonical committed form
+//! (`BENCH_PR3.json`), and implements the regression comparison that the CI
+//! `bench` job runs through the `bench_compare` binary.
+//!
+//! Everything is hand-rolled string processing: the build environment has no
+//! serde, and the format is fully under this repository's control.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Median nanoseconds per scenario id, ordered by id.
+pub type Medians = BTreeMap<String, f64>;
+
+/// Parses every `{"id": ..., "median_ns": ...}` record in `text`.
+///
+/// Accepts both the raw JSON-lines stream written by the harness and the
+/// collected document rendered by [`render_baseline`].  Duplicate ids keep
+/// the **smallest** value: the gate script appends several runs of each
+/// suite to one stream, and best-of-N medians is far more robust to
+/// scheduler noise (which only ever inflates timings) than any single run —
+/// on both sides of the comparison, since baselines are collected the same
+/// way.  Returns an error naming the first malformed record.
+pub fn parse_medians(text: &str) -> Result<Medians, String> {
+    let mut medians = Medians::new();
+    let mut rest = text;
+    while let Some(start) = rest.find("\"id\"") {
+        rest = &rest[start + 4..];
+        let open = rest
+            .find('"')
+            .ok_or_else(|| "unterminated id record".to_string())?;
+        let mut id = String::new();
+        let mut chars = rest[open + 1..].char_indices();
+        let mut closed = None;
+        while let Some((i, ch)) = chars.next() {
+            match ch {
+                '\\' => match chars.next() {
+                    Some((_, escaped)) => id.push(escaped),
+                    None => return Err("dangling escape in id".to_string()),
+                },
+                '"' => {
+                    closed = Some(open + 1 + i);
+                    break;
+                }
+                _ => id.push(ch),
+            }
+        }
+        let closed = closed.ok_or_else(|| "unterminated id string".to_string())?;
+        rest = &rest[closed + 1..];
+        let key = rest
+            .find("\"median_ns\"")
+            .ok_or_else(|| format!("record {id:?} has no median_ns"))?;
+        let after = rest[key + 11..]
+            .trim_start()
+            .strip_prefix(':')
+            .ok_or_else(|| format!("record {id:?}: expected ':' after median_ns"))?
+            .trim_start();
+        let end = after
+            .find(|ch: char| {
+                !(ch.is_ascii_digit()
+                    || ch == '.'
+                    || ch == '-'
+                    || ch == '+'
+                    || ch == 'e'
+                    || ch == 'E')
+            })
+            .unwrap_or(after.len());
+        let value: f64 = after[..end]
+            .parse()
+            .map_err(|_| format!("record {id:?}: bad median_ns {:?}", &after[..end]))?;
+        medians
+            .entry(id)
+            .and_modify(|best| *best = best.min(value))
+            .or_insert(value);
+        rest = &after[end..];
+    }
+    Ok(medians)
+}
+
+/// Renders the canonical committed baseline document.
+pub fn render_baseline(medians: &Medians) -> String {
+    let mut out = String::from("{\n  \"schema\": \"bqc-bench-medians-v1\",\n  \"scenarios\": [\n");
+    for (i, (id, median)) in medians.iter().enumerate() {
+        let comma = if i + 1 == medians.len() { "" } else { "," };
+        let escaped: String = id
+            .chars()
+            .flat_map(|ch| match ch {
+                '"' | '\\' => vec!['\\', ch],
+                _ => vec![ch],
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "    {{\"id\": \"{escaped}\", \"median_ns\": {median:.1}}}{comma}"
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// A required speedup between two scenarios of the *new* run: the scenario
+/// `slow` must take at least `factor` times as long as `fast`.
+#[derive(Clone, Debug)]
+pub struct SpeedupRequirement {
+    /// Id of the scenario expected to be slower.
+    pub slow: String,
+    /// Id of the scenario expected to be faster.
+    pub fast: String,
+    /// Minimum ratio `median(slow) / median(fast)`.
+    pub factor: f64,
+}
+
+/// Outcome of [`compare`]: the rendered report plus pass/fail.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// Human-readable per-scenario table and verdicts.
+    pub report: String,
+    /// Failure descriptions; empty iff the gate passes.
+    pub failures: Vec<String>,
+}
+
+/// Compares a new run against the committed baseline.
+///
+/// A scenario regresses when `new / baseline > threshold` (e.g. 1.25 for the
+/// CI gate's 25%).  Scenarios present in the baseline but missing from the
+/// new run fail the gate — losing coverage silently is exactly what the gate
+/// exists to prevent — while scenarios only present in the new run are
+/// reported but do not fail (the baseline is updated by committing the new
+/// file).  Each `SpeedupRequirement` is checked against the new medians.
+///
+/// With `normalize` set, every per-scenario ratio is divided by the
+/// geometric mean of all ratios before the threshold is applied.  This is
+/// the **machine calibration** the CI gate relies on: a baseline recorded on
+/// one machine and a run on a uniformly faster or slower one produce the
+/// same shifted ratio everywhere, which the geomean cancels, while a
+/// regression localized to some scenarios still sticks out against the
+/// rest.  The trade-off — a change slowing *every* scenario by the same
+/// factor is invisible to the normalized gate — is covered by the
+/// machine-independent `SpeedupRequirement` floors, which always compare
+/// scenarios of the same run.
+pub fn compare(
+    baseline: &Medians,
+    new: &Medians,
+    threshold: f64,
+    speedups: &[SpeedupRequirement],
+    normalize: bool,
+) -> Comparison {
+    let mut report = String::new();
+    let mut failures = Vec::new();
+    let scale = if normalize {
+        let ratios: Vec<f64> = baseline
+            .iter()
+            .filter_map(|(id, base)| new.get(id).map(|current| current / base))
+            .collect();
+        if ratios.is_empty() {
+            1.0
+        } else {
+            let geomean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+            let _ = writeln!(
+                report,
+                "machine calibration: new run is {geomean:.3}x the baseline overall; \
+                 per-scenario ratios are normalized by this factor"
+            );
+            geomean
+        }
+    } else {
+        1.0
+    };
+    let _ = writeln!(
+        report,
+        "{:<55} {:>12} {:>12} {:>8}",
+        "scenario", "baseline", "new", "ratio"
+    );
+    for (id, base) in baseline {
+        match new.get(id) {
+            None => {
+                failures.push(format!("scenario {id:?} missing from the new run"));
+                let _ = writeln!(report, "{id:<55} {base:>12.1} {:>12} {:>8}", "MISSING", "-");
+            }
+            Some(current) => {
+                let ratio = (current / base) / scale;
+                let verdict = if ratio > threshold { "  REGRESSED" } else { "" };
+                let _ = writeln!(
+                    report,
+                    "{id:<55} {base:>12.1} {current:>12.1} {ratio:>8.3}{verdict}"
+                );
+                if ratio > threshold {
+                    failures.push(format!(
+                        "scenario {id:?} regressed {:.1}% (> {:.0}% allowed)",
+                        (ratio - 1.0) * 100.0,
+                        (threshold - 1.0) * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    for id in new.keys() {
+        if !baseline.contains_key(id) {
+            let _ = writeln!(
+                report,
+                "{id:<55} {:>12} {:>12.1} {:>8}",
+                "(new)", new[id], "-"
+            );
+        }
+    }
+    for requirement in speedups {
+        let (Some(slow), Some(fast)) = (new.get(&requirement.slow), new.get(&requirement.fast))
+        else {
+            failures.push(format!(
+                "speedup check needs both {:?} and {:?} in the new run",
+                requirement.slow, requirement.fast
+            ));
+            continue;
+        };
+        let ratio = slow / fast;
+        let _ = writeln!(
+            report,
+            "speedup {} / {} = {ratio:.1}x (required >= {:.1}x)",
+            requirement.slow, requirement.fast, requirement.factor
+        );
+        if ratio < requirement.factor {
+            failures.push(format!(
+                "speedup {} / {} is {ratio:.1}x, below the required {:.1}x",
+                requirement.slow, requirement.fast, requirement.factor
+            ));
+        }
+    }
+    Comparison { report, failures }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn medians(pairs: &[(&str, f64)]) -> Medians {
+        pairs.iter().map(|(id, v)| (id.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn parses_jsonl_and_rendered_documents() {
+        let raw = "{\"id\": \"lp/a/1\", \"median_ns\": 120.5}\n{\"id\": \"lp/b \\\"x\\\"\", \"median_ns\": 3e2}\n{\"id\": \"lp/a/1\", \"median_ns\": 110.0}\n{\"id\": \"lp/a/1\", \"median_ns\": 140.0}\n";
+        let parsed = parse_medians(raw).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed["lp/a/1"], 110.0); // best (smallest) record wins
+        assert_eq!(parsed["lp/b \"x\""], 300.0);
+        let rendered = render_baseline(&parsed);
+        assert!(rendered.contains("bqc-bench-medians-v1"));
+        let reparsed = parse_medians(&rendered).unwrap();
+        assert_eq!(parsed, reparsed);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_records() {
+        assert!(parse_medians("{\"id\": \"x\"}").is_err());
+        assert!(parse_medians("{\"id\": \"x\", \"median_ns\": oops}").is_err());
+    }
+
+    #[test]
+    fn regression_detection_and_thresholds() {
+        let base = medians(&[("a", 100.0), ("b", 100.0), ("gone", 50.0)]);
+        let new = medians(&[("a", 120.0), ("b", 130.0), ("extra", 10.0)]);
+        let result = compare(&base, &new, 1.25, &[], false);
+        // a: +20% passes, b: +30% fails, gone: missing fails, extra: warns.
+        assert_eq!(result.failures.len(), 2);
+        assert!(result.failures.iter().any(|f| f.contains("\"b\"")));
+        assert!(result.failures.iter().any(|f| f.contains("\"gone\"")));
+        assert!(result.report.contains("(new)"));
+
+        let ok = compare(
+            &medians(&[("a", 100.0)]),
+            &medians(&[("a", 124.0)]),
+            1.25,
+            &[],
+            false,
+        );
+        assert!(ok.failures.is_empty());
+    }
+
+    #[test]
+    fn normalization_cancels_uniform_machine_shifts_but_not_local_regressions() {
+        let base = medians(&[("a", 100.0), ("b", 200.0), ("c", 50.0), ("d", 1000.0)]);
+        // A uniformly 2x slower machine: raw ratios all 2.0, which would fail
+        // every scenario un-normalized but must pass with calibration.
+        let slower = medians(&[("a", 200.0), ("b", 400.0), ("c", 100.0), ("d", 2000.0)]);
+        let raw = compare(&base, &slower, 1.25, &[], false);
+        assert_eq!(raw.failures.len(), 4);
+        let calibrated = compare(&base, &slower, 1.25, &[], true);
+        assert!(calibrated.failures.is_empty(), "{:?}", calibrated.failures);
+        assert!(calibrated.report.contains("machine calibration"));
+
+        // The same 2x machine with one genuinely regressed scenario: only
+        // that scenario fails after calibration.
+        let regressed = medians(&[("a", 200.0), ("b", 400.0), ("c", 100.0), ("d", 8000.0)]);
+        let result = compare(&base, &regressed, 1.25, &[], true);
+        assert_eq!(result.failures.len(), 1);
+        assert!(result.failures[0].contains("\"d\""));
+    }
+
+    #[test]
+    fn speedup_requirements_are_enforced() {
+        let base = medians(&[("slow", 1000.0), ("fast", 100.0)]);
+        let new = medians(&[("slow", 1000.0), ("fast", 100.0)]);
+        let ok = compare(
+            &base,
+            &new,
+            1.25,
+            &[SpeedupRequirement {
+                slow: "slow".into(),
+                fast: "fast".into(),
+                factor: 5.0,
+            }],
+            false,
+        );
+        assert!(ok.failures.is_empty(), "{:?}", ok.failures);
+        let bad = compare(
+            &base,
+            &new,
+            1.25,
+            &[SpeedupRequirement {
+                slow: "slow".into(),
+                fast: "fast".into(),
+                factor: 50.0,
+            }],
+            false,
+        );
+        assert_eq!(bad.failures.len(), 1);
+    }
+}

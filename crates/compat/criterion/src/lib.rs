@@ -15,8 +15,22 @@
 //! and maximum per-iteration times are printed.  That is enough to compare
 //! hot paths across commits by eye; it is not a substitute for criterion's
 //! regression testing.
+//!
+//! ## CI hooks
+//!
+//! Two environment variables wire the harness into the repository's
+//! bench-regression gate (see `.github/workflows/ci.yml` and
+//! `scripts/bench_compare.sh`):
+//!
+//! * `BQC_BENCH_QUICK=1` caps the warm-up at 100 ms, the measurement budget
+//!   at 400 ms and the sample count at 5, so a full suite finishes in CI
+//!   seconds instead of minutes;
+//! * `BQC_BENCH_JSON=<path>` appends one JSON-lines record
+//!   `{"id": "<label>", "median_ns": <f64>}` per benchmark to `<path>`,
+//!   which `bench_compare collect` turns into a committed baseline document.
 
 use std::fmt::Display;
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -186,7 +200,18 @@ fn time_once<F: FnMut(&mut Bencher)>(routine: &mut F) -> Duration {
     bencher.elapsed
 }
 
+/// `true` when `BQC_BENCH_QUICK` asks for the abbreviated CI-gate run.
+fn quick_mode() -> bool {
+    std::env::var("BQC_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
 fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, config: &Criterion, routine: &mut F) {
+    let mut config = config.clone();
+    if quick_mode() {
+        config.warm_up_time = config.warm_up_time.min(Duration::from_millis(100));
+        config.measurement_time = config.measurement_time.min(Duration::from_millis(400));
+        config.sample_size = config.sample_size.clamp(2, 5);
+    }
     // Warm-up: run until the warm-up budget is exhausted, tracking the
     // per-iteration cost so the measurement phase can size its samples.
     let warm_up_start = Instant::now();
@@ -213,6 +238,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, config: &Criterion, routin
     }
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let median = samples[samples.len() / 2];
     println!(
         "{label:<50} time: [{} {} {}]  ({} samples × {} iters)",
         format_ns(samples[0]),
@@ -221,6 +247,32 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, config: &Criterion, routin
         samples.len(),
         iters_per_sample,
     );
+    if let Ok(path) = std::env::var("BQC_BENCH_JSON") {
+        if !path.is_empty() {
+            if let Err(error) = append_json_record(&path, label, median) {
+                eprintln!("warning: could not append to {path}: {error}");
+            }
+        }
+    }
+}
+
+/// Appends one `{"id": ..., "median_ns": ...}` JSON-lines record to `path`.
+fn append_json_record(path: &str, label: &str, median_ns: f64) -> std::io::Result<()> {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    let escaped: String = label
+        .chars()
+        .flat_map(|ch| match ch {
+            '"' | '\\' => vec!['\\', ch],
+            _ => vec![ch],
+        })
+        .collect();
+    writeln!(
+        file,
+        "{{\"id\": \"{escaped}\", \"median_ns\": {median_ns:.1}}}"
+    )
 }
 
 fn format_ns(ns: f64) -> String {
@@ -274,6 +326,20 @@ mod tests {
     fn benchmark_ids_format() {
         assert_eq!(BenchmarkId::new("solve", 5).label, "solve/5");
         assert_eq!(BenchmarkId::from_parameter("n=3").label, "n=3");
+    }
+
+    #[test]
+    fn json_records_are_appended() {
+        let path =
+            std::env::temp_dir().join(format!("bqc_bench_json_{}.jsonl", std::process::id()));
+        let path_str = path.to_str().unwrap().to_string();
+        let _ = std::fs::remove_file(&path);
+        append_json_record(&path_str, "group/bench \"x\"/3", 1234.5).unwrap();
+        append_json_record(&path_str, "group/other", 7.0).unwrap();
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(contents.contains("{\"id\": \"group/bench \\\"x\\\"/3\", \"median_ns\": 1234.5}"));
+        assert_eq!(contents.lines().count(), 2);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::reductions::{boolean_reduction, saturate_pair};
 use crate::witness::{verify_witness, witness_from_counterexample, NonContainmentWitness};
 use bqc_entropy::SetFunction;
 use bqc_hypergraph::{junction_tree, Graph, TreeDecomposition};
-use bqc_iip::{check_max_inequality, GammaValidity, MaxInequality};
+use bqc_iip::{GammaProver, GammaValidity, MaxInequality};
 use bqc_relational::{ConjunctiveQuery, VRelation, Value};
 
 /// Why the decision procedure could not reach a yes/no answer.
@@ -230,6 +230,47 @@ impl Default for DecideOptions {
     }
 }
 
+/// Reusable state for a sequence of containment decisions.
+///
+/// The decision procedure bottoms out in exact LP feasibility probes over the
+/// Shannon cone; a context carries the [`GammaProver`] whose warm-start basis
+/// cache lets consecutive decisions with same-shaped programs skip LP phase 1
+/// (via `LpProblem::solve_from` in `bqc-lp`).  A context is cheap to create and
+/// single-threaded by design — callers running decisions on a worker pool
+/// (like `bqc-engine`) should hold one context per worker.
+///
+/// **Determinism boundary.**  A warm-started feasibility probe may terminate
+/// at a *different* optimal vertex than a cold solve — still a valid
+/// violating polymatroid, but a different one, and witness materialization
+/// under [`DecideOptions::witness_max_rows`] is sensitive to which vertex it
+/// starts from.  The shared prover is therefore consulted **only when
+/// [`DecideOptions::extract_witness`] is `false`**; witness-extracting
+/// decisions always run on a fresh prover.  This makes the verdict and the
+/// [`AnswerSummary`] of every decision independent of context history —
+/// which is what `bqc-engine`'s cache-determinism invariant needs — while
+/// the `counterexample` polymatroid attached to a witness-free
+/// `NotContained`/`Unknown` answer may still be a different (equally valid)
+/// violating vertex than a cold decision would return.  High-throughput
+/// serving paths that disable witnesses (the `bqc` CLI's `--no-witness`,
+/// cache-fill workloads) get the warm-start speedup, and cached summaries
+/// stay byte-identical to fresh recomputes.
+#[derive(Debug, Default)]
+pub struct DecideContext {
+    gamma: GammaProver,
+}
+
+impl DecideContext {
+    /// Creates a fresh context with an empty warm-start cache.
+    pub fn new() -> DecideContext {
+        DecideContext::default()
+    }
+
+    /// The underlying Shannon-cone prover (exposed for diagnostics).
+    pub fn gamma(&self) -> &GammaProver {
+        &self.gamma
+    }
+}
+
 /// Decides `Q1 ⊑ Q2` under bag-set semantics with default options.
 pub fn decide_containment(
     q1: &ConjunctiveQuery,
@@ -244,6 +285,26 @@ pub fn decide_containment_with(
     q2: &ConjunctiveQuery,
     options: &DecideOptions,
 ) -> Result<ContainmentAnswer, DecideError> {
+    decide_containment_in(&mut DecideContext::new(), q1, q2, options)
+}
+
+/// Decides `Q1 ⊑ Q2` under bag-set semantics, reusing `ctx` across calls.
+pub fn decide_containment_in(
+    ctx: &mut DecideContext,
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+    options: &DecideOptions,
+) -> Result<ContainmentAnswer, DecideError> {
+    // Witness-extracting decisions must not depend on the context's LP
+    // history (see the DecideContext docs): give them a fresh prover; the
+    // warm cache serves only vertex-insensitive (witness-free) decisions.
+    let mut fresh = GammaProver::new();
+    let gamma = if options.extract_witness {
+        &mut fresh
+    } else {
+        &mut ctx.gamma
+    };
+
     // Step 1: Boolean reduction (Lemma A.1).
     let (q1, q2) = boolean_reduction(q1, q2).map_err(DecideError::MismatchedHeads)?;
 
@@ -275,7 +336,7 @@ pub fn decide_containment_with(
         // decomposition: one bag containing all variables).
         let single = TreeDecomposition::single_bag(q2.var_set());
         if let Some((inequality, _)) = containment_inequality(&q1, &q2, &single) {
-            if check_max_inequality(&inequality).is_valid() {
+            if gamma.check_max_inequality(&inequality).is_valid() {
                 return Ok(ContainmentAnswer::Contained {
                     inequality: Some(inequality),
                 });
@@ -299,7 +360,7 @@ pub fn decide_containment_with(
             counterexample: None,
         });
     };
-    match check_max_inequality(&inequality) {
+    match gamma.check_max_inequality(&inequality) {
         GammaValidity::ValidShannon => Ok(ContainmentAnswer::Contained {
             inequality: Some(inequality),
         }),
@@ -548,6 +609,37 @@ mod tests {
             Obstruction::JunctionTreeNotSimple.to_string(),
             "junction tree of the containing query is not simple"
         );
+    }
+
+    #[test]
+    fn shared_context_matches_fresh_contexts_across_a_sequence() {
+        // Warm-started LP probes must never change a verdict: run a mixed
+        // sequence twice, once through one shared context and once with a
+        // fresh context per decision, and compare the summaries.
+        let sequence = [
+            ("Q1() :- R(x,y), R(y,z), R(z,x)", "Q2() :- R(u,v), R(u,w)"),
+            ("Q1() :- R(u,v), R(u,w)", "Q2() :- R(x,y), R(y,z), R(z,x)"),
+            ("Q1() :- R(x,y), S(y,z)", "Q2() :- R(u,v), S(v,w)"),
+            ("Q1() :- R(x,y), S(y,x)", "Q2() :- R(u,v), S(v,w)"),
+            ("Q1() :- R(x,y), R(y,z), R(z,x)", "Q2() :- R(u,v), R(u,w)"),
+        ];
+        // Witness-free options: the warm prover is actually shared.
+        let witness_free = DecideOptions {
+            extract_witness: false,
+            ..DecideOptions::default()
+        };
+        // Default options: witness extraction forces a fresh prover per call,
+        // so summaries must be bit-for-bit what a cold decision produces.
+        for options in [witness_free, DecideOptions::default()] {
+            let mut shared = DecideContext::new();
+            for (t1, t2) in sequence {
+                let q1 = parse_query(t1).unwrap();
+                let q2 = parse_query(t2).unwrap();
+                let warm = decide_containment_in(&mut shared, &q1, &q2, &options).unwrap();
+                let cold = decide_containment_with(&q1, &q2, &options).unwrap();
+                assert_eq!(warm.summary(), cold.summary(), "{t1} vs {t2}");
+            }
+        }
     }
 
     #[test]

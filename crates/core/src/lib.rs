@@ -52,8 +52,8 @@ pub use containment::{
     containment_inequality, query_homomorphisms, sufficient_containment_check, QueryHomomorphism,
 };
 pub use decide::{
-    decide_containment, decide_containment_with, AnswerSummary, ContainmentAnswer, DecideError,
-    DecideOptions, Obstruction,
+    decide_containment, decide_containment_in, decide_containment_with, AnswerSummary,
+    ContainmentAnswer, DecideContext, DecideError, DecideOptions, Obstruction,
 };
 pub use et::{et_expression, et_inclusion_exclusion, et_node_edge_form};
 pub use reduction_to_bagcqc::{max_iip_to_containment, ReductionOutput};

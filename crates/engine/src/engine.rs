@@ -23,7 +23,10 @@
 
 use crate::cache::{CacheStats, DecisionCache};
 use crate::canon::{canonicalize_pair, CanonicalPair};
-use bqc_core::{decide_containment_with, AnswerSummary, DecideError, DecideOptions};
+use bqc_core::{
+    decide_containment_in, decide_containment_with, AnswerSummary, DecideContext, DecideError,
+    DecideOptions,
+};
 use bqc_relational::ConjunctiveQuery;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -196,13 +199,18 @@ impl Engine {
             }
         }
 
-        // Phase 3: fan the uncached leaders out over scoped workers.
+        // Phase 3: fan the uncached leaders out over scoped workers.  Each
+        // worker carries a DecideContext, so the Shannon-cone LP probes of
+        // consecutive jobs on the same worker warm-start from each other's
+        // optimal bases.  (The context only shares its prover for
+        // witness-free decisions — see the DecideContext docs — so cached
+        // summaries never depend on which worker computed them.)
         let workers = self.worker_count(jobs.len());
-        let computed = parallel_map(&jobs, workers, |&i| {
+        let computed = parallel_map_with(&jobs, workers, DecideContext::new, |ctx, &i| {
             let pair = &pairs[i];
             let start = Instant::now();
             let answer =
-                decide_containment_with(&pair.q1.query, &pair.q2.query, &self.options.decide)
+                decide_containment_in(ctx, &pair.q1.query, &pair.q2.query, &self.options.decide)
                     .map(|full| full.summary());
             (answer, start.elapsed().as_micros() as u64)
         });
@@ -267,20 +275,38 @@ fn parallel_map<T: Sync, U: Send>(
     workers: usize,
     f: impl Fn(&T) -> U + Sync,
 ) -> Vec<U> {
+    parallel_map_with(items, workers, || (), |(), item| f(item))
+}
+
+/// Like [`parallel_map`], but every worker owns a private state created by
+/// `init` and threaded through its `f` calls — the engine uses this to give
+/// each decision worker a [`DecideContext`] whose LP warm-start cache
+/// persists across the jobs that worker happens to pull.
+fn parallel_map_with<T: Sync, S, U: Send>(
+    items: &[T],
+    workers: usize,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, &T) -> U + Sync,
+) -> Vec<U> {
     let workers = workers.clamp(1, items.len().max(1));
     if workers == 1 {
-        return items.iter().map(f).collect();
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
     }
     let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    *slots[i].lock().expect("result slot poisoned") =
+                        Some(f(&mut state, &items[i]));
                 }
-                *slots[i].lock().expect("result slot poisoned") = Some(f(&items[i]));
             });
         }
     });

@@ -44,6 +44,6 @@ pub mod uniform;
 pub use convex::{find_convex_certificate, ConvexCertificate};
 pub use inequality::{LinearInequality, MaxInequality};
 pub use prover::{
-    check_linear_inequality, check_max_inequality, minimize_over_gamma, GammaValidity,
+    check_linear_inequality, check_max_inequality, minimize_over_gamma, GammaProver, GammaValidity,
 };
 pub use uniform::{uniformize, UniformExpression, UniformMaxIip, UniformityError};

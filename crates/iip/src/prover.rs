@@ -25,7 +25,8 @@
 use crate::inequality::{LinearInequality, MaxInequality};
 use bqc_arith::Rational;
 use bqc_entropy::{all_masks, elemental_inequalities, EntropyExpr, Mask, SetFunction};
-use bqc_lp::{ConstraintOp, LpProblem, LpStatus, Sense, VarBound, VarId};
+use bqc_lp::{ConstraintOp, LpBasis, LpProblem, LpStatus, Sense, VarBound, VarId};
+use std::collections::HashMap;
 
 /// Outcome of a validity check over the polymatroid cone.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -112,36 +113,95 @@ fn expr_coefficients(
     coeffs
 }
 
-/// Decides whether `0 ≤ max_ℓ E_ℓ(h)` holds for every polymatroid over the
-/// inequality's universe.
-pub fn check_max_inequality(inequality: &MaxInequality) -> GammaValidity {
-    let variables = &inequality.variables;
-    let (mut lp, columns) = shannon_cone_lp(variables);
-    for disjunct in &inequality.disjuncts {
-        let coeffs = expr_coefficients(disjunct, variables, &columns);
-        // E_ℓ(h) ≤ −1.
-        lp.add_constraint(coeffs, ConstraintOp::Le, -Rational::one());
+/// A stateful Shannon-cone prover that **warm-starts** successive LP probes.
+///
+/// Every validity check over `Γ_n` shares the same elemental-inequality
+/// skeleton; only the handful of disjunct rows differ between inequalities.
+/// The prover remembers, per standard-form *shape* (universe size, number of
+/// disjuncts), the optimal basis of the last feasible probe and seeds the
+/// next same-shaped solve with it through [`LpProblem::solve_from`].  When
+/// the remembered basis is still feasible — common across the repeated
+/// probes of a decision loop — phase 1 is skipped entirely; when it is not,
+/// the solver silently falls back to a cold start, so answers never depend
+/// on the cache.
+///
+/// **Caveat: counterexamples are history-dependent.**  The validity verdict
+/// is always identical to a cold check, but when an inequality is *invalid*
+/// the violating polymatroid handed back is whichever optimal vertex the
+/// solve terminated at — a warm start can land on a different (equally
+/// valid) vertex than a cold start would.  Callers that need the returned
+/// counterexample to be a pure function of the inequality (e.g. to feed
+/// deterministic caches) should use the free functions
+/// [`check_max_inequality`] / [`check_linear_inequality`], which remain as
+/// stateless one-shot entry points.
+#[derive(Debug, Default)]
+pub struct GammaProver {
+    /// Last optimal basis per `(universe size, disjunct count)` shape.
+    warm: HashMap<(usize, usize), LpBasis>,
+}
+
+impl GammaProver {
+    /// Creates a prover with an empty warm-start cache.
+    pub fn new() -> GammaProver {
+        GammaProver::default()
     }
-    let solution = lp.solve();
-    match solution.status {
-        LpStatus::Infeasible => GammaValidity::ValidShannon,
-        LpStatus::Optimal | LpStatus::Unbounded => {
-            // Feasible: extract the violating polymatroid.  (Unbounded cannot
-            // occur for a pure feasibility objective, but a solution would
-            // still be available in `values`; treat both uniformly.)
-            let n = variables.len();
-            let mut h = SetFunction::zero(variables.clone());
-            for mask in all_masks(n) {
-                if mask == 0 {
-                    continue;
+
+    /// Number of cached warm-start bases (one per probe shape seen so far).
+    pub fn cached_bases(&self) -> usize {
+        self.warm.len()
+    }
+
+    /// Decides whether `0 ≤ max_ℓ E_ℓ(h)` holds for every polymatroid over
+    /// the inequality's universe, reusing a cached basis when one matches.
+    pub fn check_max_inequality(&mut self, inequality: &MaxInequality) -> GammaValidity {
+        let variables = &inequality.variables;
+        let (mut lp, columns) = shannon_cone_lp(variables);
+        for disjunct in &inequality.disjuncts {
+            let coeffs = expr_coefficients(disjunct, variables, &columns);
+            // E_ℓ(h) ≤ −1.
+            lp.add_constraint(coeffs, ConstraintOp::Le, -Rational::one());
+        }
+        let shape = (variables.len(), inequality.disjuncts.len());
+        let (solution, basis) = lp.solve_from(self.warm.get(&shape));
+        if let Some(basis) = basis {
+            self.warm.insert(shape, basis);
+        }
+        match solution.status {
+            LpStatus::Infeasible => GammaValidity::ValidShannon,
+            LpStatus::Optimal | LpStatus::Unbounded => {
+                // Feasible: extract the violating polymatroid.  (Unbounded
+                // cannot occur for a pure feasibility objective, but a
+                // solution would still be available in `values`; treat both
+                // uniformly.)
+                let n = variables.len();
+                let mut h = SetFunction::zero(variables.clone());
+                for mask in all_masks(n) {
+                    if mask == 0 {
+                        continue;
+                    }
+                    if let Some(var) = columns[mask as usize] {
+                        h.set_value(mask, solution.values[var.0].clone());
+                    }
                 }
-                if let Some(var) = columns[mask as usize] {
-                    h.set_value(mask, solution.values[var.0].clone());
-                }
+                GammaValidity::NotShannonProvable { counterexample: h }
             }
-            GammaValidity::NotShannonProvable { counterexample: h }
         }
     }
+
+    /// Decides whether a linear information inequality is a Shannon
+    /// inequality, reusing a cached basis when one matches.
+    pub fn check_linear_inequality(&mut self, inequality: &LinearInequality) -> GammaValidity {
+        self.check_max_inequality(&inequality.to_max())
+    }
+}
+
+/// Decides whether `0 ≤ max_ℓ E_ℓ(h)` holds for every polymatroid over the
+/// inequality's universe.
+///
+/// One-shot form of [`GammaProver::check_max_inequality`]; callers probing
+/// many inequalities should hold a [`GammaProver`] to reuse bases.
+pub fn check_max_inequality(inequality: &MaxInequality) -> GammaValidity {
+    GammaProver::new().check_max_inequality(inequality)
 }
 
 /// Decides whether a linear information inequality is a Shannon inequality.
@@ -347,6 +407,39 @@ mod tests {
             }
             GammaValidity::ValidShannon => panic!("Zhang–Yeung must not be Shannon-provable"),
         }
+    }
+
+    #[test]
+    fn stateful_prover_agrees_with_stateless_across_a_probe_sequence() {
+        // A mixed sequence of valid and invalid inequalities over the same
+        // universe: the prover's warm-started answers must match the
+        // one-shot checks exactly, whichever basis happens to be cached.
+        let universe = vars(&["X", "Y", "Z"]);
+        let sequence = vec![
+            // Invalid: seeds the warm cache with a violating basis.
+            expr(&[(1, &["X"]), (-1, &["Y"])]),
+            // Another invalid one with the same shape.
+            expr(&[(1, &["Z"]), (-1, &["X", "Y", "Z"])]),
+            // Valid (submodularity): the cached basis is infeasible here and
+            // the solver must still prove validity.
+            expr(&[(1, &["X"]), (1, &["Y"]), (-1, &["X", "Y"])]),
+            // Invalid again after a valid probe.
+            expr(&[(1, &["Y"]), (-1, &["Z"])]),
+            // Valid (monotonicity).
+            expr(&[(1, &["X", "Y", "Z"]), (-1, &["X", "Y"])]),
+        ];
+        let mut prover = GammaProver::new();
+        for e in sequence {
+            let ineq = LinearInequality::new(universe.clone(), e);
+            let stateless = check_linear_inequality(&ineq);
+            let stateful = prover.check_linear_inequality(&ineq);
+            assert_eq!(stateful.is_valid(), stateless.is_valid());
+            if let GammaValidity::NotShannonProvable { counterexample } = &stateful {
+                assert!(bqc_entropy::is_polymatroid(counterexample));
+                assert!(ineq.evaluate(counterexample).is_negative());
+            }
+        }
+        assert!(prover.cached_bases() >= 1);
     }
 
     #[test]

@@ -1,19 +1,25 @@
 //! # bqc-lp — exact linear programming over the rationals
 //!
-//! A self-contained, dense, two-phase primal simplex solver working entirely in
-//! exact rational arithmetic ([`bqc_arith::Rational`]).  It exists because the
-//! decision procedures of *Bag Query Containment and Information Theory*
-//! (PODS 2020) reduce query containment to the validity of (max-)information
-//! inequalities over the polymatroid cone `Γ_n`, which is a linear-programming
-//! feasibility question that must be answered **exactly** — a floating-point
-//! solver would need an arbitrary tolerance to distinguish "valid" from
-//! "invalid by an exponentially small margin".
+//! A self-contained **sparse revised simplex** solver working entirely in
+//! exact rational arithmetic.  It exists because the decision procedures of
+//! *Bag Query Containment and Information Theory* (PODS 2020) reduce query
+//! containment to the validity of (max-)information inequalities over the
+//! polymatroid cone `Γ_n`, which is a linear-programming feasibility question
+//! that must be answered **exactly** — a floating-point solver would need an
+//! arbitrary tolerance to distinguish "valid" from "invalid by an
+//! exponentially small margin".
 //!
-//! The solver uses Bland's anti-cycling rule, so it terminates on every input.
-//! Problem sizes in this crate's intended use are moderate (the Shannon cone on
-//! `n` variables has `2^n` columns and `n + n(n-1)2^{n-3}` elemental rows), and
-//! the dense exact tableau is fast enough for the paper's constructions up to
-//! `n ≈ 10` query variables.
+//! The production solver (the `revised` module, driven through [`LpProblem`])
+//! stores the constraint matrix column-major and sparse, maintains the basis
+//! inverse as an eta file with periodic refactorization, prices with
+//! Dantzig's rule over a rotating candidate window, and falls back to
+//! Bland's anti-cycling rule after degenerate stalls, so it terminates on
+//! every input.  Pivot arithmetic runs in an `i64`-pair small-rational
+//! representation ([`crate::scalar`]) and promotes to arbitrary precision
+//! only on overflow.  Sequences of same-shaped programs can reuse the
+//! previous optimal basis through [`LpProblem::solve_from`].  The original
+//! dense tableau solver is retained in [`oracle`] as an independent
+//! correctness oracle for property tests and regression benchmarks.
 //!
 //! ## Example
 //!
@@ -35,13 +41,16 @@
 //! assert_eq!(sol[y], ratio(6, 5));
 //! ```
 
+pub mod oracle;
 mod problem;
-mod simplex;
+mod revised;
+pub mod scalar;
+pub mod sparse;
 
 pub use problem::{
-    ConstraintId, ConstraintOp, LpProblem, LpSolution, LpStatus, Sense, VarBound, VarId,
+    ConstraintId, ConstraintOp, LpBasis, LpProblem, LpSolution, LpStatus, Sense, VarBound, VarId,
 };
-pub use simplex::{solve_standard_form, SimplexOutcome};
+pub use revised::{solve_standard_form, SimplexOutcome};
 
 #[cfg(test)]
 mod tests {

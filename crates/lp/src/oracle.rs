@@ -1,29 +1,20 @@
-//! Dense two-phase primal simplex over exact rationals.
+//! The retained dense two-phase simplex, kept as a correctness oracle.
 //!
-//! The entry point is [`solve_standard_form`]: minimize `c·x` subject to
-//! `A x = b`, `x ≥ 0`.  Phase 1 introduces one artificial variable per row and
-//! minimizes their sum; phase 2 then optimizes the true objective.  Bland's
-//! rule (smallest eligible index for both the entering and the leaving
-//! variable) guarantees termination even on degenerate problems, which occur
-//! routinely in the Shannon-cone feasibility programs this solver is built for.
+//! This is the original production solver of this crate: a dense tableau over
+//! exact rationals with Bland's rule throughout.  It has been replaced on
+//! every production path by the sparse revised simplex
+//! ([`crate::solve_standard_form`]), but it stays in the tree as an
+//! independent implementation that the property tests and the
+//! `bench_lp` regression benchmarks compare against — two solvers that agree
+//! on the exact objective and feasibility status of randomized programs give
+//! much stronger evidence than either alone.
+//!
+//! Do not call [`solve_standard_form_dense`] from production code: it
+//! allocates a full `(m+1) × (n+m+1)` tableau of `BigRational`s and pays
+//! `O(m·n)` exact-arithmetic work per pivot.
 
+use crate::revised::SimplexOutcome;
 use bqc_arith::Rational;
-
-/// Result of running the simplex method on a standard-form program.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum SimplexOutcome {
-    /// An optimal basic feasible solution was found.
-    Optimal {
-        /// Optimal objective value `c·x`.
-        objective: Rational,
-        /// Values of the standard-form variables (length = number of columns).
-        solution: Vec<Rational>,
-    },
-    /// The constraint system `A x = b, x ≥ 0` has no solution.
-    Infeasible,
-    /// The objective is unbounded below on the feasible region.
-    Unbounded,
-}
 
 /// A dense simplex tableau.  Row `m` (the last row) is the objective row; the
 /// last column holds the right-hand side.
@@ -113,7 +104,8 @@ impl Tableau {
     }
 }
 
-/// Solves the standard-form program `minimize c·x subject to A x = b, x ≥ 0`.
+/// Solves the standard-form program `minimize c·x subject to A x = b, x ≥ 0`
+/// with the dense tableau method (test/bench oracle — see the module docs).
 ///
 /// * `a` is a dense `m × n` coefficient matrix (each inner vector a row).
 /// * `b` is the right-hand side of length `m` (any sign; rows are re-signed
@@ -123,7 +115,11 @@ impl Tableau {
 /// # Panics
 ///
 /// Panics if the dimensions of `a`, `b` and `c` are inconsistent.
-pub fn solve_standard_form(a: &[Vec<Rational>], b: &[Rational], c: &[Rational]) -> SimplexOutcome {
+pub fn solve_standard_form_dense(
+    a: &[Vec<Rational>],
+    b: &[Rational],
+    c: &[Rational],
+) -> SimplexOutcome {
     let m = a.len();
     assert_eq!(b.len(), m, "rhs length must equal the number of rows");
     let n = c.len();
@@ -258,7 +254,7 @@ mod tests {
         let a = vec![vec![r(1), r(1)], vec![r(1), r(-1)]];
         let b = vec![r(2), r(0)];
         let c = vec![r(1), r(1)];
-        match solve_standard_form(&a, &b, &c) {
+        match solve_standard_form_dense(&a, &b, &c) {
             SimplexOutcome::Optimal {
                 objective,
                 solution,
@@ -276,7 +272,10 @@ mod tests {
         let a = vec![vec![r(1)], vec![r(1)]];
         let b = vec![r(1), r(2)];
         let c = vec![r(0)];
-        assert_eq!(solve_standard_form(&a, &b, &c), SimplexOutcome::Infeasible);
+        assert_eq!(
+            solve_standard_form_dense(&a, &b, &c),
+            SimplexOutcome::Infeasible
+        );
     }
 
     #[test]
@@ -285,7 +284,10 @@ mod tests {
         let a = vec![vec![r(1), r(-1)]];
         let b = vec![r(0)];
         let c = vec![r(-1), r(0)];
-        assert_eq!(solve_standard_form(&a, &b, &c), SimplexOutcome::Unbounded);
+        assert_eq!(
+            solve_standard_form_dense(&a, &b, &c),
+            SimplexOutcome::Unbounded
+        );
     }
 
     #[test]
@@ -294,7 +296,7 @@ mod tests {
         let a = vec![vec![r(-1)]];
         let b = vec![r(-3)];
         let c = vec![r(1)];
-        match solve_standard_form(&a, &b, &c) {
+        match solve_standard_form_dense(&a, &b, &c) {
             SimplexOutcome::Optimal {
                 objective,
                 solution,
@@ -312,7 +314,7 @@ mod tests {
         let a = vec![vec![r(1), r(1)], vec![r(1), r(1)]];
         let b = vec![r(1), r(1)];
         let c = vec![r(0), r(1)];
-        match solve_standard_form(&a, &b, &c) {
+        match solve_standard_form_dense(&a, &b, &c) {
             SimplexOutcome::Optimal {
                 objective,
                 solution,
@@ -331,7 +333,7 @@ mod tests {
         let a = vec![vec![r(2), r(3)], vec![r(4), r(1)]];
         let b = vec![r(5), r(5)];
         let c = vec![r(-1), r(-1)];
-        match solve_standard_form(&a, &b, &c) {
+        match solve_standard_form_dense(&a, &b, &c) {
             SimplexOutcome::Optimal {
                 objective,
                 solution,
@@ -345,7 +347,7 @@ mod tests {
         let a = vec![vec![r(1), r(3)], vec![r(3), r(1)]];
         let b = vec![r(2), r(2)];
         let c = vec![r(1), r(0)];
-        match solve_standard_form(&a, &b, &c) {
+        match solve_standard_form_dense(&a, &b, &c) {
             SimplexOutcome::Optimal {
                 objective,
                 solution,
@@ -367,7 +369,7 @@ mod tests {
         ];
         let b = vec![r(0), r(0), r(1)];
         let c = vec![ratio(-3, 4), r(150), ratio(-1, 50), r(6), r(0), r(0), r(0)];
-        match solve_standard_form(&a, &b, &c) {
+        match solve_standard_form_dense(&a, &b, &c) {
             SimplexOutcome::Optimal { objective, .. } => {
                 assert_eq!(objective, ratio(-1, 20));
             }

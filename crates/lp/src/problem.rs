@@ -2,11 +2,18 @@
 //!
 //! [`LpProblem`] lets callers state problems with named variables, free or
 //! non-negative bounds, `≤` / `≥` / `=` constraints and either optimization
-//! sense.  Internally the problem is rewritten into standard form (free
-//! variables split into differences of non-negatives, inequality rows given
-//! slack/surplus columns) and handed to [`crate::solve_standard_form`].
+//! sense.  Internally the problem is rewritten into a **sparse column-major**
+//! standard form (free variables split into differences of non-negatives,
+//! inequality rows given slack/surplus columns, rows re-signed so the
+//! right-hand side is non-negative) and handed to the revised simplex
+//! (the `revised` module).
+//!
+//! Callers that solve sequences of same-shaped programs can carry the
+//! optimal basis from one solve to the next with [`LpProblem::solve_from`].
 
-use crate::simplex::{solve_standard_form, SimplexOutcome};
+use crate::revised::{solve_sparse, SimplexOutcome};
+use crate::scalar::Scalar;
+use crate::sparse::SparseMatrix;
 use bqc_arith::Rational;
 use std::fmt;
 use std::ops::Index;
@@ -171,8 +178,9 @@ impl LpProblem {
         id
     }
 
-    /// Solves the problem with the exact two-phase simplex method.
-    pub fn solve(&self) -> LpSolution {
+    /// Builds the sparse column-major standard form.  `with_objective = false`
+    /// leaves the cost vector at zero (for pure feasibility probes).
+    fn standard_form(&self, with_objective: bool) -> StandardForm {
         // Column layout of the standard form:
         //   for each variable: one column if NonNegative, two (x⁺, x⁻) if Free;
         //   then one slack/surplus column per inequality constraint.
@@ -199,45 +207,106 @@ impl LpProblem {
         let n = next_col + num_slacks;
         let m = self.constraints.len();
 
-        let mut a = vec![vec![Rational::zero(); n]; m];
-        let mut b = vec![Rational::zero(); m];
+        // Rows with a negative right-hand side are re-signed here, so the
+        // solver always sees `b ≥ 0`.
+        let negate: Vec<bool> = self
+            .constraints
+            .iter()
+            .map(|c| c.rhs.is_negative())
+            .collect();
+        let mut entries: Vec<Vec<(usize, Scalar)>> = vec![Vec::new(); n];
         let mut slack_col = next_col;
         for (i, constraint) in self.constraints.iter().enumerate() {
             for (var, coeff) in &constraint.coeffs {
+                let signed = Scalar::from_rational(if negate[i] { -coeff } else { coeff.clone() });
                 let (pos, neg) = column_of_var[var.0];
-                a[i][pos] = &a[i][pos] + coeff;
+                entries[pos].push((i, signed.clone()));
                 if let Some(neg) = neg {
-                    a[i][neg] = &a[i][neg] - coeff;
+                    entries[neg].push((i, signed.neg()));
                 }
             }
-            match constraint.op {
-                ConstraintOp::Le => {
-                    a[i][slack_col] = Rational::one();
-                    slack_col += 1;
-                }
-                ConstraintOp::Ge => {
-                    a[i][slack_col] = -Rational::one();
-                    slack_col += 1;
-                }
-                ConstraintOp::Eq => {}
-            }
-            b[i] = constraint.rhs.clone();
-        }
-
-        let mut c = vec![Rational::zero(); n];
-        for (var, coeff) in &self.objective {
-            let signed = match self.sense {
-                Sense::Minimize => coeff.clone(),
-                Sense::Maximize => -coeff,
+            let slack_sign = match constraint.op {
+                ConstraintOp::Le => Some(1i64),
+                ConstraintOp::Ge => Some(-1i64),
+                ConstraintOp::Eq => None,
             };
-            let (pos, neg) = column_of_var[var.0];
-            c[pos] = &c[pos] + &signed;
-            if let Some(neg) = neg {
-                c[neg] = &c[neg] - &signed;
+            if let Some(sign) = slack_sign {
+                let sign = if negate[i] { -sign } else { sign };
+                entries[slack_col].push((i, Scalar::from_int(sign)));
+                slack_col += 1;
             }
         }
+        let mut a = SparseMatrix::new(m);
+        for col in entries {
+            a.push_col(col);
+        }
+        let b: Vec<Scalar> = self
+            .constraints
+            .iter()
+            .zip(&negate)
+            .map(|(constraint, flip)| {
+                Scalar::from_rational(if *flip {
+                    -&constraint.rhs
+                } else {
+                    constraint.rhs.clone()
+                })
+            })
+            .collect();
 
-        match solve_standard_form(&a, &b, &c) {
+        let mut c = vec![Scalar::ZERO; n];
+        if with_objective {
+            for (var, coeff) in &self.objective {
+                let signed = Scalar::from_rational(match self.sense {
+                    Sense::Minimize => coeff.clone(),
+                    Sense::Maximize => -coeff,
+                });
+                let (pos, neg) = column_of_var[var.0];
+                c[pos] = c[pos].add(&signed);
+                if let Some(neg) = neg {
+                    c[neg] = c[neg].sub(&signed);
+                }
+            }
+        }
+        StandardForm {
+            a,
+            b,
+            c,
+            column_of_var,
+        }
+    }
+
+    /// Solves the problem with the exact sparse revised simplex method.
+    pub fn solve(&self) -> LpSolution {
+        self.solve_from(None).0
+    }
+
+    /// Solves the problem, optionally **warm-starting** from the basis of a
+    /// previous solve, and returns the optimal basis for reuse.
+    ///
+    /// The returned [`LpBasis`] (present when the solve ended
+    /// [`LpStatus::Optimal`] on a clean basis) can be fed back into
+    /// `solve_from` on the *next* problem.  Warm starting is an optimization
+    /// only and never affects the answer: a basis whose shape does not match
+    /// this problem, or that is singular or infeasible for it, is silently
+    /// ignored and the solve falls back to a cold start.  It pays off
+    /// precisely when consecutive problems share their standard-form layout
+    /// and most of their constraints — e.g. the repeated Shannon-cone probes
+    /// of `bqc-iip`, where only the handful of disjunct rows change between
+    /// solves.
+    pub fn solve_from(&self, warm: Option<&LpBasis>) -> (LpSolution, Option<LpBasis>) {
+        let sf = self.standard_form(true);
+        let m = sf.a.num_rows();
+        let n = sf.a.num_cols();
+        let warm_cols = warm.and_then(|basis| {
+            (basis.rows == m && basis.cols_total == n).then_some(basis.cols.as_slice())
+        });
+        let result = solve_sparse(&sf.a, &sf.b, &sf.c, warm_cols);
+        let basis = result.basis.map(|cols| LpBasis {
+            cols,
+            rows: m,
+            cols_total: n,
+        });
+        let solution = match result.outcome {
             SimplexOutcome::Infeasible => LpSolution {
                 status: LpStatus::Infeasible,
                 objective: None,
@@ -253,7 +322,7 @@ impl LpProblem {
                 solution,
             } => {
                 let mut values = Vec::with_capacity(self.variables.len());
-                for (pos, neg) in &column_of_var {
+                for (pos, neg) in &sf.column_of_var {
                     let mut v = solution[*pos].clone();
                     if let Some(neg) = neg {
                         v = &v - &solution[*neg];
@@ -270,15 +339,56 @@ impl LpProblem {
                     values,
                 }
             }
-        }
+        };
+        (solution, basis)
     }
 
     /// Convenience: checks whether the constraint system admits any solution
     /// (ignores the objective).
+    ///
+    /// This builds the standard form with a zero cost vector directly — it
+    /// does **not** clone the problem, so probing feasibility of a large
+    /// Shannon-cone program costs exactly one phase-1 solve.
     pub fn is_feasible(&self) -> bool {
-        let mut clone = self.clone();
-        clone.objective.clear();
-        clone.solve().status == LpStatus::Optimal
+        let sf = self.standard_form(false);
+        matches!(
+            solve_sparse(&sf.a, &sf.b, &sf.c, None).outcome,
+            SimplexOutcome::Optimal { .. }
+        )
+    }
+}
+
+/// The sparse standard form of an [`LpProblem`].
+struct StandardForm {
+    a: SparseMatrix,
+    b: Vec<Scalar>,
+    c: Vec<Scalar>,
+    column_of_var: Vec<(usize, Option<usize>)>,
+}
+
+/// An opaque optimal basis returned by [`LpProblem::solve_from`], usable to
+/// warm-start a later solve of a problem with the same standard-form shape.
+///
+/// The basis records which standard-form column is basic in each constraint
+/// row, plus the `(rows, columns)` fingerprint of the program it came from;
+/// `solve_from` ignores a basis whose fingerprint does not match the problem
+/// being solved.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LpBasis {
+    cols: Vec<usize>,
+    rows: usize,
+    cols_total: usize,
+}
+
+impl LpBasis {
+    /// Number of constraint rows of the program this basis came from.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of standard-form columns of the program this basis came from.
+    pub fn num_cols(&self) -> usize {
+        self.cols_total
     }
 }
 
@@ -412,6 +522,50 @@ mod tests {
         let text = lp.to_string();
         assert!(text.contains("minimize 1*x"));
         assert!(text.contains(">= 1"));
+    }
+
+    #[test]
+    fn solve_from_reuses_the_previous_basis() {
+        // Two problems with the same shape but different data.
+        let build = |rhs: i64| {
+            let mut lp = LpProblem::new(Sense::Minimize);
+            let x = lp.add_variable("x", VarBound::NonNegative);
+            let y = lp.add_variable("y", VarBound::NonNegative);
+            lp.set_objective(vec![(x, int(1)), (y, int(2))]);
+            lp.add_constraint(vec![(x, int(1)), (y, int(1))], ConstraintOp::Ge, int(rhs));
+            lp.add_constraint(vec![(x, int(1))], ConstraintOp::Le, int(rhs + 3));
+            lp
+        };
+        let (first, basis) = build(2).solve_from(None);
+        assert_eq!(first.status, LpStatus::Optimal);
+        let basis = basis.expect("optimal solve yields a basis");
+        assert_eq!(basis.num_rows(), 2);
+        let (warm, _) = build(5).solve_from(Some(&basis));
+        let (cold, _) = build(5).solve_from(None);
+        assert_eq!(warm.status, LpStatus::Optimal);
+        assert_eq!(warm.objective, cold.objective);
+        assert_eq!(warm.values, cold.values);
+    }
+
+    #[test]
+    fn solve_from_ignores_mismatched_bases() {
+        let mut small = LpProblem::new(Sense::Minimize);
+        let x = small.add_variable("x", VarBound::NonNegative);
+        small.set_objective(vec![(x, int(1))]);
+        small.add_constraint(vec![(x, int(1))], ConstraintOp::Ge, int(1));
+        let (_, basis) = small.solve_from(None);
+        let basis = basis.expect("optimal basis");
+
+        let mut other = LpProblem::new(Sense::Maximize);
+        let a = other.add_variable("a", VarBound::NonNegative);
+        let b = other.add_variable("b", VarBound::NonNegative);
+        other.set_objective(vec![(a, int(3)), (b, int(5))]);
+        other.add_constraint(vec![(a, int(1))], ConstraintOp::Le, int(4));
+        other.add_constraint(vec![(b, int(2))], ConstraintOp::Le, int(12));
+        other.add_constraint(vec![(a, int(3)), (b, int(2))], ConstraintOp::Le, int(18));
+        let (sol, _) = other.solve_from(Some(&basis));
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_eq!(sol.objective, Some(int(36)));
     }
 
     #[test]

@@ -1,0 +1,378 @@
+//! The exactness fast path: a small-rational scalar that promotes to
+//! [`Rational`] only on overflow.
+//!
+//! Simplex pivot arithmetic over the Shannon-cone programs is dominated by
+//! coefficients that are tiny (almost all ±1 or small fractions), yet the
+//! dense solver pays full `BigInt` allocation cost for every one of them.
+//! [`Scalar`] keeps a value as a canonical `i64 / i64` fraction for as long as
+//! it fits, computing every operation in `i128` with overflow checks, and
+//! switches to the exact arbitrary-precision [`Rational`] representation the
+//! moment an intermediate no longer fits.  Results are demoted back to the
+//! small form whenever possible, so a temporary excursion through big
+//! arithmetic does not poison subsequent operations.
+//!
+//! The representation invariant (checked in debug builds) is:
+//!
+//! * `Small(num, den)` has `den > 0` and `gcd(|num|, den) = 1`;
+//! * `Big(r)` is only used for values whose canonical numerator or
+//!   denominator does not fit in an `i64`.
+//!
+//! Together these make the representation *unique*, so derived structural
+//! equality and hashing coincide with numeric equality, exactly as for
+//! [`Rational`] itself.
+
+use bqc_arith::{BigInt, Rational};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An exact rational scalar with an `i64`-pair fast path.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Scalar {
+    /// `num / den` with `den > 0`, `gcd(|num|, den) = 1`, both in `i64`.
+    Small(i64, i64),
+    /// Arbitrary-precision fallback; never holds an `i64`-representable value.
+    Big(Rational),
+}
+
+impl Scalar {
+    /// The scalar zero.
+    pub const ZERO: Scalar = Scalar::Small(0, 1);
+    /// The scalar one.
+    pub const ONE: Scalar = Scalar::Small(1, 1);
+
+    /// Builds a scalar from an integer.
+    pub fn from_int(v: i64) -> Scalar {
+        Scalar::Small(v, 1)
+    }
+
+    /// Builds a scalar from a (possibly non-canonical) `i128` fraction,
+    /// reducing and demoting/promoting as needed.
+    fn from_i128_frac(mut num: i128, mut den: i128) -> Scalar {
+        debug_assert!(den != 0, "scalar with zero denominator");
+        if den < 0 {
+            // `i128::MIN` cannot be negated; route that corner case through
+            // the big representation.
+            if num == i128::MIN || den == i128::MIN {
+                return Scalar::from_rational(Rational::new(
+                    bigint_from_i128(num),
+                    bigint_from_i128(den),
+                ));
+            }
+            num = -num;
+            den = -den;
+        }
+        if num == 0 {
+            return Scalar::ZERO;
+        }
+        let g = gcd_i128(num.unsigned_abs(), den as u128) as i128;
+        num /= g;
+        den /= g;
+        if let (Ok(n), Ok(d)) = (i64::try_from(num), i64::try_from(den)) {
+            Scalar::Small(n, d)
+        } else {
+            Scalar::Big(Rational::new(bigint_from_i128(num), bigint_from_i128(den)))
+        }
+    }
+
+    /// Converts a [`Rational`], demoting to the small form when it fits.
+    pub fn from_rational(r: Rational) -> Scalar {
+        match (r.numer().to_i64(), r.denom().to_i64()) {
+            // `Rational` is canonical (den > 0, reduced), so the parts can be
+            // reused directly.
+            (Some(n), Some(d)) => Scalar::Small(n, d),
+            _ => Scalar::Big(r),
+        }
+    }
+
+    /// Converts to the arbitrary-precision representation.
+    pub fn to_rational(&self) -> Rational {
+        match self {
+            Scalar::Small(n, d) => Rational::from_pair(*n, *d),
+            Scalar::Big(r) => r.clone(),
+        }
+    }
+
+    /// `true` iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        match self {
+            Scalar::Small(n, _) => *n == 0,
+            Scalar::Big(r) => r.is_zero(),
+        }
+    }
+
+    /// `true` iff the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        match self {
+            Scalar::Small(n, _) => *n > 0,
+            Scalar::Big(r) => r.is_positive(),
+        }
+    }
+
+    /// `true` iff the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        match self {
+            Scalar::Small(n, _) => *n < 0,
+            Scalar::Big(r) => r.is_negative(),
+        }
+    }
+
+    /// `true` iff the value is `1` or `-1` (a unit pivot candidate).
+    pub fn is_unit(&self) -> bool {
+        matches!(self, Scalar::Small(1, 1) | Scalar::Small(-1, 1))
+    }
+
+    /// Additive inverse.
+    pub fn neg(&self) -> Scalar {
+        match self {
+            Scalar::Small(n, d) if *n != i64::MIN => Scalar::Small(-n, *d),
+            other => Scalar::from_rational(-other.to_rational()),
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Scalar {
+        match self {
+            Scalar::Small(n, d) => {
+                assert!(*n != 0, "reciprocal of zero scalar");
+                Scalar::from_i128_frac(*d as i128, *n as i128)
+            }
+            Scalar::Big(r) => Scalar::from_rational(r.recip()),
+        }
+    }
+
+    /// Sum.
+    pub fn add(&self, rhs: &Scalar) -> Scalar {
+        if let (Scalar::Small(an, ad), Scalar::Small(bn, bd)) = (self, rhs) {
+            let num = (*an as i128)
+                .checked_mul(*bd as i128)
+                .and_then(|x| x.checked_add((*bn as i128) * (*ad as i128)));
+            if let Some(num) = num {
+                return Scalar::from_i128_frac(num, (*ad as i128) * (*bd as i128));
+            }
+        }
+        Scalar::from_rational(self.to_rational() + rhs.to_rational())
+    }
+
+    /// Difference.
+    pub fn sub(&self, rhs: &Scalar) -> Scalar {
+        if let (Scalar::Small(an, ad), Scalar::Small(bn, bd)) = (self, rhs) {
+            let num = (*an as i128)
+                .checked_mul(*bd as i128)
+                .and_then(|x| x.checked_sub((*bn as i128) * (*ad as i128)));
+            if let Some(num) = num {
+                return Scalar::from_i128_frac(num, (*ad as i128) * (*bd as i128));
+            }
+        }
+        Scalar::from_rational(self.to_rational() - rhs.to_rational())
+    }
+
+    /// Product.
+    pub fn mul(&self, rhs: &Scalar) -> Scalar {
+        if let (Scalar::Small(an, ad), Scalar::Small(bn, bd)) = (self, rhs) {
+            return Scalar::from_i128_frac(
+                (*an as i128) * (*bn as i128),
+                (*ad as i128) * (*bd as i128),
+            );
+        }
+        Scalar::from_rational(self.to_rational() * rhs.to_rational())
+    }
+
+    /// Quotient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    pub fn div(&self, rhs: &Scalar) -> Scalar {
+        if let (Scalar::Small(an, ad), Scalar::Small(bn, bd)) = (self, rhs) {
+            assert!(*bn != 0, "division by zero scalar");
+            return Scalar::from_i128_frac(
+                (*an as i128) * (*bd as i128),
+                (*ad as i128) * (*bn as i128),
+            );
+        }
+        Scalar::from_rational(self.to_rational() / rhs.to_rational())
+    }
+
+    /// Fused `self + a * b`, the inner-loop operation of FTRAN/BTRAN.
+    pub fn add_mul(&self, a: &Scalar, b: &Scalar) -> Scalar {
+        if let (Scalar::Small(sn, sd), Scalar::Small(an, ad), Scalar::Small(bn, bd)) = (self, a, b)
+        {
+            let prod_den = (*ad as i128) * (*bd as i128);
+            let prod_num = (*an as i128) * (*bn as i128);
+            if let (Some(lhs), Some(den)) = (
+                (*sn as i128).checked_mul(prod_den),
+                (*sd as i128).checked_mul(prod_den),
+            ) {
+                if let Some(num) = prod_num
+                    .checked_mul(*sd as i128)
+                    .and_then(|x| lhs.checked_add(x))
+                {
+                    return Scalar::from_i128_frac(num, den);
+                }
+            }
+        }
+        Scalar::from_rational(self.to_rational() + a.to_rational() * b.to_rational())
+    }
+
+    /// Fused `self - a * b`, the inner-loop operation of every pivot update.
+    pub fn sub_mul(&self, a: &Scalar, b: &Scalar) -> Scalar {
+        if let (Scalar::Small(sn, sd), Scalar::Small(an, ad), Scalar::Small(bn, bd)) = (self, a, b)
+        {
+            // self - a*b = (sn·(ad·bd) - (an·bn)·sd) / (sd·ad·bd).
+            let prod_den = (*ad as i128) * (*bd as i128);
+            let prod_num = (*an as i128) * (*bn as i128);
+            if let (Some(lhs), Some(den)) = (
+                (*sn as i128).checked_mul(prod_den),
+                (*sd as i128).checked_mul(prod_den),
+            ) {
+                if let Some(num) = prod_num
+                    .checked_mul(*sd as i128)
+                    .and_then(|x| lhs.checked_sub(x))
+                {
+                    return Scalar::from_i128_frac(num, den);
+                }
+            }
+        }
+        Scalar::from_rational(self.to_rational() - a.to_rational() * b.to_rational())
+    }
+
+    /// Numeric comparison (total order).
+    pub fn cmp_value(&self, other: &Scalar) -> Ordering {
+        match (self, other) {
+            (Scalar::Small(an, ad), Scalar::Small(bn, bd)) => {
+                ((*an as i128) * (*bd as i128)).cmp(&((*bn as i128) * (*ad as i128)))
+            }
+            _ => self.to_rational().cmp(&other.to_rational()),
+        }
+    }
+}
+
+impl Default for Scalar {
+    fn default() -> Scalar {
+        Scalar::ZERO
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::Small(n, 1) => write!(f, "{n}"),
+            Scalar::Small(n, d) => write!(f, "{n}/{d}"),
+            Scalar::Big(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+fn gcd_i128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+fn bigint_from_i128(v: i128) -> BigInt {
+    // Split into 64-bit limbs; BigInt has From<i64>/From<u64> only.
+    if let Ok(small) = i64::try_from(v) {
+        return BigInt::from(small);
+    }
+    let negative = v < 0;
+    let mag = v.unsigned_abs();
+    let high = BigInt::from((mag >> 64) as u64);
+    let low = BigInt::from(mag as u64);
+    let shift = BigInt::from(2u64).pow(64);
+    let result = high * shift + low;
+    if negative {
+        -result
+    } else {
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqc_arith::ratio;
+
+    fn s(n: i64, d: i64) -> Scalar {
+        Scalar::from_rational(Rational::from_pair(n, d))
+    }
+
+    #[test]
+    fn canonical_small_form() {
+        assert_eq!(s(2, 4), Scalar::Small(1, 2));
+        assert_eq!(s(-2, -4), Scalar::Small(1, 2));
+        assert_eq!(s(2, -4), Scalar::Small(-1, 2));
+        assert_eq!(s(0, 7), Scalar::ZERO);
+    }
+
+    #[test]
+    fn arithmetic_matches_rational() {
+        let cases = [(1i64, 2i64), (-3, 7), (5, 1), (0, 1), (-1, 3)];
+        for &(an, ad) in &cases {
+            for &(bn, bd) in &cases {
+                let (a, b) = (s(an, ad), s(bn, bd));
+                assert_eq!(a.add(&b).to_rational(), ratio(an, ad) + ratio(bn, bd));
+                assert_eq!(a.sub(&b).to_rational(), ratio(an, ad) - ratio(bn, bd));
+                assert_eq!(a.mul(&b).to_rational(), ratio(an, ad) * ratio(bn, bd));
+                if bn != 0 {
+                    assert_eq!(a.div(&b).to_rational(), ratio(an, ad) / ratio(bn, bd));
+                }
+                assert_eq!(
+                    a.sub_mul(&b, &s(2, 3)).to_rational(),
+                    ratio(an, ad) - ratio(bn, bd) * ratio(2, 3)
+                );
+                assert_eq!(
+                    a.add_mul(&b, &s(-2, 3)).to_rational(),
+                    ratio(an, ad) + ratio(bn, bd) * ratio(-2, 3)
+                );
+                assert_eq!(
+                    a.cmp_value(&b),
+                    ratio(an, ad).cmp(&ratio(bn, bd)),
+                    "cmp {an}/{ad} vs {bn}/{bd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_promotes_and_demotes() {
+        let huge = Scalar::Small(i64::MAX, 1);
+        let squared = huge.mul(&huge);
+        assert!(matches!(squared, Scalar::Big(_)), "must promote");
+        assert_eq!(
+            squared.to_rational(),
+            Rational::from(BigInt::from(i64::MAX)) * Rational::from(BigInt::from(i64::MAX))
+        );
+        // Dividing back demotes to the small representation.
+        let back = squared.div(&huge);
+        assert_eq!(back, huge);
+        assert!(matches!(back, Scalar::Small(..)));
+        // i64::MIN negation corner case.
+        let min = Scalar::Small(i64::MIN, 1);
+        assert_eq!(min.neg().to_rational(), -Rational::from(i64::MIN));
+        assert_eq!(min.recip().mul(&min), Scalar::ONE);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Scalar::ZERO.is_zero());
+        assert!(!Scalar::ZERO.is_positive());
+        assert!(s(1, 2).is_positive());
+        assert!(s(-1, 2).is_negative());
+        assert!(Scalar::ONE.is_unit());
+        assert!(s(-1, 1).is_unit());
+        assert!(!s(1, 2).is_unit());
+    }
+
+    #[test]
+    fn display_matches_rational() {
+        assert_eq!(s(-7, 3).to_string(), "-7/3");
+        assert_eq!(Scalar::from_int(4).to_string(), "4");
+    }
+}

@@ -7,7 +7,7 @@
 //! single package:
 //!
 //! * [`arith`] — exact big integers and rationals;
-//! * [`lp`] — exact two-phase simplex;
+//! * [`lp`] — exact sparse revised simplex with warm-startable bases;
 //! * [`relational`] — conjunctive queries, structures, homomorphism counting,
 //!   bag-set semantics, V-relations and a small query/instance parser;
 //! * [`hypergraph`] — Gaifman graphs, acyclicity, chordality, junction trees;
@@ -43,10 +43,10 @@ pub use bqc_relational as relational;
 pub mod prelude {
     pub use bqc_arith::{int, ratio, BigInt, Rational};
     pub use bqc_core::{
-        containment_inequality, decide_containment, decide_containment_with,
+        containment_inequality, decide_containment, decide_containment_in, decide_containment_with,
         exhaustive_containment_check, max_iip_to_containment, search_product_witness,
         sufficient_containment_check, verify_witness, witness_from_counterexample, AnswerSummary,
-        ContainmentAnswer, DecideOptions,
+        ContainmentAnswer, DecideContext, DecideOptions,
     };
     pub use bqc_engine::{canonicalize, canonicalize_pair, Engine, EngineOptions, Provenance};
     pub use bqc_entropy::{
@@ -56,8 +56,9 @@ pub mod prelude {
     pub use bqc_hypergraph::{junction_tree, Graph, Hypergraph, TreeDecomposition};
     pub use bqc_iip::{
         check_linear_inequality, check_max_inequality, find_convex_certificate, uniformize,
-        LinearInequality, MaxInequality,
+        GammaProver, LinearInequality, MaxInequality,
     };
+    pub use bqc_lp::{LpBasis, LpProblem, LpStatus};
     pub use bqc_relational::{
         bag_set_answer, count_homomorphisms, parse_query, parse_structure, Atom, ConjunctiveQuery,
         Structure, VRelation, Value,
