@@ -22,7 +22,7 @@
 use crate::containment::{containment_inequality, query_homomorphisms};
 use crate::reductions::{boolean_reduction, saturate_pair};
 use crate::witness::{verify_witness, witness_from_counterexample, NonContainmentWitness};
-use bqc_entropy::SetFunction;
+use bqc_entropy::{SetFunction, SkeletonCache};
 use bqc_hypergraph::{junction_tree, Graph, TreeDecomposition};
 use bqc_iip::{GammaProver, GammaValidity, MaxInequality};
 use bqc_relational::{ConjunctiveQuery, VRelation, Value};
@@ -233,11 +233,15 @@ impl Default for DecideOptions {
 /// Reusable state for a sequence of containment decisions.
 ///
 /// The decision procedure bottoms out in exact LP feasibility probes over the
-/// Shannon cone; a context carries the [`GammaProver`] whose warm-start basis
-/// cache lets consecutive decisions with same-shaped programs skip LP phase 1
-/// (via `LpProblem::solve_from` in `bqc-lp`).  A context is cheap to create and
-/// single-threaded by design — callers running decisions on a worker pool
-/// (like `bqc-engine`) should hold one context per worker.
+/// Shannon cone, which the [`GammaProver`] answers with a lazy separation
+/// loop; a context carries the prover, whose warm cache (active elemental
+/// rows and optimal basis per probe shape) lets consecutive decisions with
+/// same-shaped programs start one separation round from done and skip LP
+/// phase 1 (via the incremental solver in `bqc-lp`).  A context is cheap to
+/// create and single-threaded by design — callers running decisions on a
+/// worker pool (like `bqc-engine`) should hold one context per worker,
+/// sharing the immutable separation skeletons through
+/// [`DecideContext::with_skeletons`].
 ///
 /// **Determinism boundary.**  A warm-started feasibility probe may terminate
 /// at a *different* optimal vertex than a cold solve — still a valid
@@ -263,6 +267,19 @@ impl DecideContext {
     /// Creates a fresh context with an empty warm-start cache.
     pub fn new() -> DecideContext {
         DecideContext::default()
+    }
+
+    /// Creates a fresh context whose prover draws its cone skeletons (the
+    /// immutable per-universe-size separation data) from a shared cache.
+    ///
+    /// Skeleton sharing is safe across the determinism boundary below: a
+    /// skeleton carries no probe history, so it can be handed to every
+    /// worker context *and* to the fresh provers of witness-extracting
+    /// decisions without verdicts or witnesses depending on it.
+    pub fn with_skeletons(skeletons: SkeletonCache) -> DecideContext {
+        DecideContext {
+            gamma: GammaProver::with_skeletons(skeletons),
+        }
     }
 
     /// The underlying Shannon-cone prover (exposed for diagnostics).
@@ -298,7 +315,8 @@ pub fn decide_containment_in(
     // Witness-extracting decisions must not depend on the context's LP
     // history (see the DecideContext docs): give them a fresh prover; the
     // warm cache serves only vertex-insensitive (witness-free) decisions.
-    let mut fresh = GammaProver::new();
+    // The immutable skeletons are still shared — they carry no history.
+    let mut fresh = GammaProver::with_skeletons(ctx.gamma.skeletons().clone());
     let gamma = if options.extract_witness {
         &mut fresh
     } else {

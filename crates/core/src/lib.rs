@@ -55,6 +55,10 @@ pub use decide::{
     decide_containment, decide_containment_in, decide_containment_with, AnswerSummary,
     ContainmentAnswer, DecideContext, DecideError, DecideOptions, Obstruction,
 };
+// Re-exported so engines can share separation skeletons across their worker
+// contexts (see `DecideContext::with_skeletons`) without a direct
+// `bqc-entropy` dependency.
+pub use bqc_entropy::SkeletonCache;
 pub use et::{et_expression, et_inclusion_exclusion, et_node_edge_form};
 pub use reduction_to_bagcqc::{max_iip_to_containment, ReductionOutput};
 pub use reductions::{

@@ -24,8 +24,7 @@
 use crate::cache::{CacheStats, DecisionCache};
 use crate::canon::{canonicalize_pair, CanonicalPair};
 use bqc_core::{
-    decide_containment_in, decide_containment_with, AnswerSummary, DecideContext, DecideError,
-    DecideOptions,
+    decide_containment_in, AnswerSummary, DecideContext, DecideError, DecideOptions, SkeletonCache,
 };
 use bqc_relational::ConjunctiveQuery;
 use std::collections::HashMap;
@@ -99,6 +98,10 @@ impl Default for EngineOptions {
 /// reference; all methods take `&self`.
 pub struct Engine {
     cache: DecisionCache,
+    /// Immutable Shannon-cone separation skeletons, shared by every worker
+    /// context (and every single decide) this engine spawns: each universe
+    /// size is built once per engine, not once per worker or per decision.
+    skeletons: SkeletonCache,
     options: EngineOptions,
 }
 
@@ -113,6 +116,7 @@ impl Engine {
     pub fn new(options: EngineOptions) -> Engine {
         Engine {
             cache: DecisionCache::new(options.cache_shards, options.shard_capacity),
+            skeletons: SkeletonCache::new(),
             options,
         }
     }
@@ -140,9 +144,16 @@ impl Engine {
         if let Some(summary) = self.cache.get(pair.hash, &pair.key) {
             return Ok(summary);
         }
-        let summary =
-            decide_containment_with(&pair.q1.query, &pair.q2.query, &self.options.decide)?
-                .summary();
+        // A fresh context per call keeps single decides history-independent;
+        // the shared skeletons carry no history (see DecideContext docs).
+        let mut ctx = DecideContext::with_skeletons(self.skeletons.clone());
+        let summary = decide_containment_in(
+            &mut ctx,
+            &pair.q1.query,
+            &pair.q2.query,
+            &self.options.decide,
+        )?
+        .summary();
         self.cache.insert(pair.hash, &pair.key, summary);
         Ok(summary)
     }
@@ -202,18 +213,28 @@ impl Engine {
         // Phase 3: fan the uncached leaders out over scoped workers.  Each
         // worker carries a DecideContext, so the Shannon-cone LP probes of
         // consecutive jobs on the same worker warm-start from each other's
-        // optimal bases.  (The context only shares its prover for
-        // witness-free decisions — see the DecideContext docs — so cached
-        // summaries never depend on which worker computed them.)
+        // separation state, and all workers draw their immutable cone
+        // skeletons from the engine-wide cache.  (The context only shares
+        // its prover for witness-free decisions — see the DecideContext docs
+        // — so cached summaries never depend on which worker computed them.)
         let workers = self.worker_count(jobs.len());
-        let computed = parallel_map_with(&jobs, workers, DecideContext::new, |ctx, &i| {
-            let pair = &pairs[i];
-            let start = Instant::now();
-            let answer =
-                decide_containment_in(ctx, &pair.q1.query, &pair.q2.query, &self.options.decide)
-                    .map(|full| full.summary());
-            (answer, start.elapsed().as_micros() as u64)
-        });
+        let computed = parallel_map_with(
+            &jobs,
+            workers,
+            || DecideContext::with_skeletons(self.skeletons.clone()),
+            |ctx, &i| {
+                let pair = &pairs[i];
+                let start = Instant::now();
+                let answer = decide_containment_in(
+                    ctx,
+                    &pair.q1.query,
+                    &pair.q2.query,
+                    &self.options.decide,
+                )
+                .map(|full| full.summary());
+                (answer, start.elapsed().as_micros() as u64)
+            },
+        );
         for (&i, (answer, micros)) in jobs.iter().zip(computed) {
             let pair = &pairs[i];
             if let Ok(summary) = &answer {
@@ -249,6 +270,12 @@ impl Engine {
                 }
             })
             .collect()
+    }
+
+    /// The engine-wide Shannon-cone skeleton cache (exposed for
+    /// diagnostics; handing it to external [`DecideContext`]s is safe).
+    pub fn skeletons(&self) -> &SkeletonCache {
+        &self.skeletons
     }
 
     /// Snapshot of the decision cache's counters.
@@ -429,5 +456,34 @@ mod tests {
     fn empty_batch_is_fine() {
         let engine = Engine::default();
         assert!(engine.decide_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn workers_share_the_engine_wide_skeleton_cache() {
+        let engine = Engine::new(EngineOptions {
+            workers: 4,
+            ..EngineOptions::default()
+        });
+        assert!(engine.skeletons().is_empty());
+        // Five-variable queries: above the prover's small-universe cutoff,
+        // so the lazy separation path builds a skeleton.  (The 3-variable
+        // batches of the other tests stay entirely on the eager small path.)
+        let batch = vec![
+            (
+                q("Q1() :- R(x1,x2), R(x2,x3), R(x3,x4), R(x4,x5), R(x5,x1)"),
+                q("Q2() :- R(y1,y2), R(y1,y3)"),
+            ),
+            (
+                q("A() :- R(a,b), R(b,c), R(c,d), R(d,e), R(e,a)"),
+                q("B() :- R(u,v), R(u,w)"),
+            ),
+        ];
+        engine.decide_batch(&batch);
+        // One universe size probed; however many workers ran, the engine
+        // built its skeleton exactly once.
+        let after_batch = engine.skeletons().len();
+        assert_eq!(after_batch, 1);
+        engine.decide_batch(&batch);
+        assert_eq!(engine.skeletons().len(), after_batch);
     }
 }

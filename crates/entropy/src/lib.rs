@@ -32,6 +32,7 @@ pub mod expr;
 pub mod lee;
 pub mod normalize;
 pub mod relation;
+pub mod separator;
 pub mod setfn;
 pub mod shannon;
 pub mod stepfn;
@@ -43,6 +44,7 @@ pub use relation::{
     entropy_deviation, gf2_group_relation, normal_relation_from_function, parity_relation,
     relation_entropy, totally_uniform_entropy,
 };
+pub use separator::{elemental_ids, ConeSkeleton, ElementalId, ShannonSeparator, SkeletonCache};
 pub use setfn::{all_masks, mask_len, mask_subset, Mask, RealSetFunction, SetFunction};
 pub use shannon::{
     elemental_count, elemental_inequalities, is_modular, is_polymatroid, ElementalInequality,

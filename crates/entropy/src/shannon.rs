@@ -35,46 +35,27 @@ impl ElementalInequality {
     }
 }
 
-/// Generates the elemental Shannon inequalities for an `n`-variable universe.
+/// Generates the elemental Shannon inequalities for an `n`-variable universe,
+/// with labels and exact coefficients materialized.
 ///
 /// The count is `n + C(n,2)·2^{n−2}` for `n ≥ 2` (plus just the `n`
-/// monotonicity constraints for `n ≤ 1`).
+/// monotonicity constraints for `n ≤ 1`).  Hot paths that only need the
+/// constraint *structure* should iterate the allocation-free
+/// [`crate::separator::elemental_ids`] instead — this function is a thin
+/// materialization of that enumeration and shares its canonical order.
 pub fn elemental_inequalities(n: usize) -> Vec<ElementalInequality> {
-    let mut constraints = Vec::new();
-    let full: Mask = ((1u64 << n) - 1) as Mask;
-    // Monotonicity at the top: h(V) - h(V \ {i}) >= 0.
-    for i in 0..n {
-        constraints.push(ElementalInequality {
-            terms: vec![
-                (full, Rational::one()),
-                (full & !(1 << i), -Rational::one()),
-            ],
-            label: format!("mono({i})"),
-        });
-    }
-    // Elemental submodularity: h(Xi) + h(Xj) - h(Xij) - h(X) >= 0.
-    for i in 0..n {
-        for j in (i + 1)..n {
-            for x in all_masks(n) {
-                if x & (1 << i) != 0 || x & (1 << j) != 0 {
-                    continue;
-                }
-                let xi = x | (1 << i);
-                let xj = x | (1 << j);
-                let xij = x | (1 << i) | (1 << j);
-                constraints.push(ElementalInequality {
-                    terms: vec![
-                        (xi, Rational::one()),
-                        (xj, Rational::one()),
-                        (xij, -Rational::one()),
-                        (x, -Rational::one()),
-                    ],
-                    label: format!("submod({i},{j}|{x:b})"),
-                });
+    crate::separator::elemental_ids(n)
+        .map(|id| {
+            let (terms, len) = id.terms(n);
+            ElementalInequality {
+                terms: terms[..len]
+                    .iter()
+                    .map(|(mask, coeff)| (*mask, Rational::from_integer(*coeff)))
+                    .collect(),
+                label: id.label(),
             }
-        }
-    }
-    constraints
+        })
+        .collect()
 }
 
 /// Expected number of elemental inequalities for `n` variables.

@@ -41,9 +41,10 @@ pub mod inequality;
 pub mod prover;
 pub mod uniform;
 
-pub use convex::{find_convex_certificate, ConvexCertificate};
+pub use convex::{certificate_or_refutation, find_convex_certificate, ConvexCertificate};
 pub use inequality::{LinearInequality, MaxInequality};
 pub use prover::{
-    check_linear_inequality, check_max_inequality, minimize_over_gamma, GammaProver, GammaValidity,
+    check_linear_inequality, check_linear_inequality_eager, check_max_inequality,
+    check_max_inequality_eager, minimize_over_gamma, GammaProver, GammaValidity,
 };
 pub use uniform::{uniformize, UniformExpression, UniformMaxIip, UniformityError};

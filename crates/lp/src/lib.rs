@@ -41,12 +41,14 @@
 //! assert_eq!(sol[y], ratio(6, 5));
 //! ```
 
+mod incremental;
 pub mod oracle;
 mod problem;
 mod revised;
 pub mod scalar;
 pub mod sparse;
 
+pub use incremental::IncrementalSolver;
 pub use problem::{
     ConstraintId, ConstraintOp, LpBasis, LpProblem, LpSolution, LpStatus, Sense, VarBound, VarId,
 };

@@ -11,10 +11,11 @@
 //! Callers that solve sequences of same-shaped programs can carry the
 //! optimal basis from one solve to the next with [`LpProblem::solve_from`].
 
-use crate::revised::{solve_sparse, SimplexOutcome};
+use crate::revised::{solve_sparse_full, SimplexOutcome};
 use crate::scalar::Scalar;
 use crate::sparse::SparseMatrix;
 use bqc_arith::Rational;
+use std::borrow::Cow;
 use std::fmt;
 use std::ops::Index;
 
@@ -66,16 +67,21 @@ pub enum LpStatus {
     Unbounded,
 }
 
+// Coefficients are stored in the solver's small-rational `Scalar` form:
+// Shannon-cone rows are all ±1 entries, and keeping them as `Rational` made
+// every standard-form build clone two heap limb vectors per nonzero.
 #[derive(Clone, Debug)]
 struct Constraint {
-    coeffs: Vec<(VarId, Rational)>,
+    coeffs: Vec<(VarId, Scalar)>,
     op: ConstraintOp,
-    rhs: Rational,
+    rhs: Scalar,
 }
 
+// `name` is lazy: anonymous variables (the 2^n − 1 Shannon-cone columns)
+// never pay a `format!` unless a name is actually requested.
 #[derive(Clone, Debug)]
 struct Variable {
-    name: String,
+    name: Option<String>,
     bound: VarBound,
 }
 
@@ -100,6 +106,12 @@ pub struct LpSolution {
     pub objective: Option<Rational>,
     /// One value per declared variable (all zero unless `status` is optimal).
     pub values: Vec<Rational>,
+    /// One dual multiplier per declared constraint, in the problem's own
+    /// row orientation and sense.  Populated only by
+    /// [`LpProblem::solve_with_duals`] (dual extraction costs one BTRAN per
+    /// solve, which pure feasibility probes should not pay); `None` from
+    /// every other entry point.
+    pub duals: Option<Vec<Rational>>,
 }
 
 impl Index<VarId> for LpSolution {
@@ -136,9 +148,20 @@ impl LpProblem {
     pub fn add_variable(&mut self, name: impl Into<String>, bound: VarBound) -> VarId {
         let id = VarId(self.variables.len());
         self.variables.push(Variable {
-            name: name.into(),
+            name: Some(name.into()),
             bound,
         });
+        id
+    }
+
+    /// Declares a new **anonymous** decision variable.
+    ///
+    /// No name string is allocated; [`LpProblem::variable_name`] synthesizes
+    /// `x{id}` on demand.  The Shannon-cone programs of `bqc-iip` declare
+    /// `2^n − 1` columns per probe, so label laziness is measurable there.
+    pub fn add_variable_anonymous(&mut self, bound: VarBound) -> VarId {
+        let id = VarId(self.variables.len());
+        self.variables.push(Variable { name: None, bound });
         id
     }
 
@@ -147,14 +170,22 @@ impl LpProblem {
         self.variables.len()
     }
 
+    /// The optimization sense.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
     /// Number of constraints.
     pub fn num_constraints(&self) -> usize {
         self.constraints.len()
     }
 
-    /// Name of a variable.
-    pub fn variable_name(&self, var: VarId) -> &str {
-        &self.variables[var.0].name
+    /// Name of a variable (synthesized as `x{id}` for anonymous variables).
+    pub fn variable_name(&self, var: VarId) -> Cow<'_, str> {
+        match &self.variables[var.0].name {
+            Some(name) => Cow::Borrowed(name.as_str()),
+            None => Cow::Owned(format!("x{}", var.0)),
+        }
     }
 
     /// Sets the objective as a sparse list of `(variable, coefficient)` pairs.
@@ -169,6 +200,39 @@ impl LpProblem {
         op: ConstraintOp,
         rhs: Rational,
     ) -> ConstraintId {
+        self.add_constraint_scaled(
+            coeffs
+                .into_iter()
+                .map(|(var, coeff)| (var, Scalar::from_rational(coeff))),
+            op,
+            Scalar::from_rational(rhs),
+        )
+    }
+
+    /// Adds a linear constraint with small integer coefficients without any
+    /// `Rational` round-trip — elemental Shannon rows are all ±1 entries.
+    pub fn add_constraint_small(
+        &mut self,
+        coeffs: impl IntoIterator<Item = (VarId, i64)>,
+        op: ConstraintOp,
+        rhs: i64,
+    ) -> ConstraintId {
+        self.add_constraint_scaled(
+            coeffs
+                .into_iter()
+                .map(|(var, coeff)| (var, Scalar::from_int(coeff))),
+            op,
+            Scalar::from_int(rhs),
+        )
+    }
+
+    /// Adds a linear constraint already in the solver's [`Scalar`] form.
+    pub fn add_constraint_scaled(
+        &mut self,
+        coeffs: impl IntoIterator<Item = (VarId, Scalar)>,
+        op: ConstraintOp,
+        rhs: Scalar,
+    ) -> ConstraintId {
         let id = ConstraintId(self.constraints.len());
         self.constraints.push(Constraint {
             coeffs: coeffs.into_iter().collect(),
@@ -180,7 +244,7 @@ impl LpProblem {
 
     /// Builds the sparse column-major standard form.  `with_objective = false`
     /// leaves the cost vector at zero (for pure feasibility probes).
-    fn standard_form(&self, with_objective: bool) -> StandardForm {
+    pub(crate) fn standard_form(&self, with_objective: bool) -> StandardForm {
         // Column layout of the standard form:
         //   for each variable: one column if NonNegative, two (x⁺, x⁻) if Free;
         //   then one slack/surplus column per inequality constraint.
@@ -218,7 +282,11 @@ impl LpProblem {
         let mut slack_col = next_col;
         for (i, constraint) in self.constraints.iter().enumerate() {
             for (var, coeff) in &constraint.coeffs {
-                let signed = Scalar::from_rational(if negate[i] { -coeff } else { coeff.clone() });
+                let signed = if negate[i] {
+                    coeff.neg()
+                } else {
+                    coeff.clone()
+                };
                 let (pos, neg) = column_of_var[var.0];
                 entries[pos].push((i, signed.clone()));
                 if let Some(neg) = neg {
@@ -245,11 +313,11 @@ impl LpProblem {
             .iter()
             .zip(&negate)
             .map(|(constraint, flip)| {
-                Scalar::from_rational(if *flip {
-                    -&constraint.rhs
+                if *flip {
+                    constraint.rhs.neg()
                 } else {
                     constraint.rhs.clone()
-                })
+                }
             })
             .collect();
 
@@ -272,6 +340,7 @@ impl LpProblem {
             b,
             c,
             column_of_var,
+            negate,
         }
     }
 
@@ -294,13 +363,29 @@ impl LpProblem {
     /// of `bqc-iip`, where only the handful of disjunct rows change between
     /// solves.
     pub fn solve_from(&self, warm: Option<&LpBasis>) -> (LpSolution, Option<LpBasis>) {
+        self.solve_from_full(warm, false)
+    }
+
+    /// Solves the problem and additionally extracts the optimal **dual
+    /// multipliers** into [`LpSolution::duals`] (one BTRAN over the final
+    /// basis inverse — skipped by the plain [`LpProblem::solve`], which most
+    /// feasibility-probing callers are better served by).
+    pub fn solve_with_duals(&self) -> LpSolution {
+        self.solve_from_full(None, true).0
+    }
+
+    fn solve_from_full(
+        &self,
+        warm: Option<&LpBasis>,
+        want_duals: bool,
+    ) -> (LpSolution, Option<LpBasis>) {
         let sf = self.standard_form(true);
         let m = sf.a.num_rows();
         let n = sf.a.num_cols();
         let warm_cols = warm.and_then(|basis| {
             (basis.rows == m && basis.cols_total == n).then_some(basis.cols.as_slice())
         });
-        let result = solve_sparse(&sf.a, &sf.b, &sf.c, warm_cols);
+        let result = solve_sparse_full(&sf.a, &sf.b, &sf.c, warm_cols, want_duals);
         let basis = result.basis.map(|cols| LpBasis {
             cols,
             rows: m,
@@ -311,11 +396,13 @@ impl LpProblem {
                 status: LpStatus::Infeasible,
                 objective: None,
                 values: vec![Rational::zero(); self.variables.len()],
+                duals: None,
             },
             SimplexOutcome::Unbounded => LpSolution {
                 status: LpStatus::Unbounded,
                 objective: None,
                 values: vec![Rational::zero(); self.variables.len()],
+                duals: None,
             },
             SimplexOutcome::Optimal {
                 objective,
@@ -333,10 +420,26 @@ impl LpProblem {
                     Sense::Minimize => objective,
                     Sense::Maximize => -objective,
                 };
+                // Map the standard-form duals back to the declared rows:
+                // re-signed rows flip their multiplier, and a maximization
+                // (solved as minimize -c) flips every multiplier.
+                let duals = result.duals.map(|ys| {
+                    ys.into_iter()
+                        .zip(&sf.negate)
+                        .map(|(y, flip)| {
+                            let y = if *flip { -y } else { y };
+                            match self.sense {
+                                Sense::Minimize => y,
+                                Sense::Maximize => -y,
+                            }
+                        })
+                        .collect()
+                });
                 LpSolution {
                     status: LpStatus::Optimal,
                     objective: Some(objective),
                     values,
+                    duals,
                 }
             }
         };
@@ -352,18 +455,21 @@ impl LpProblem {
     pub fn is_feasible(&self) -> bool {
         let sf = self.standard_form(false);
         matches!(
-            solve_sparse(&sf.a, &sf.b, &sf.c, None).outcome,
+            solve_sparse_full(&sf.a, &sf.b, &sf.c, None, false).outcome,
             SimplexOutcome::Optimal { .. }
         )
     }
 }
 
 /// The sparse standard form of an [`LpProblem`].
-struct StandardForm {
-    a: SparseMatrix,
-    b: Vec<Scalar>,
-    c: Vec<Scalar>,
-    column_of_var: Vec<(usize, Option<usize>)>,
+pub(crate) struct StandardForm {
+    pub(crate) a: SparseMatrix,
+    pub(crate) b: Vec<Scalar>,
+    pub(crate) c: Vec<Scalar>,
+    pub(crate) column_of_var: Vec<(usize, Option<usize>)>,
+    /// Which declared rows were re-signed to make the standard-form rhs
+    /// non-negative (their duals flip sign on the way back out).
+    pub(crate) negate: Vec<bool>,
 }
 
 /// An opaque optimal basis returned by [`LpProblem::solve_from`], usable to
@@ -375,9 +481,9 @@ struct StandardForm {
 /// being solved.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LpBasis {
-    cols: Vec<usize>,
-    rows: usize,
-    cols_total: usize,
+    pub(crate) cols: Vec<usize>,
+    pub(crate) rows: usize,
+    pub(crate) cols_total: usize,
 }
 
 impl LpBasis {
@@ -406,7 +512,7 @@ impl fmt::Display for LpProblem {
             if i > 0 {
                 write!(f, " + ")?;
             }
-            write!(f, "{}*{}", coeff, self.variables[var.0].name)?;
+            write!(f, "{}*{}", coeff, self.variable_name(*var))?;
         }
         writeln!(f)?;
         for constraint in &self.constraints {
@@ -415,7 +521,7 @@ impl fmt::Display for LpProblem {
                 if i > 0 {
                     write!(f, " + ")?;
                 }
-                write!(f, "{}*{}", coeff, self.variables[var.0].name)?;
+                write!(f, "{}*{}", coeff, self.variable_name(*var))?;
             }
             let op = match constraint.op {
                 ConstraintOp::Le => "<=",

@@ -48,7 +48,8 @@ pub enum SimplexOutcome {
     Unbounded,
 }
 
-/// Outcome of [`solve_sparse`], carrying the final basis for warm-start reuse.
+/// Outcome of [`solve_sparse`], carrying the final basis for warm-start reuse
+/// and the optimal dual vector.
 #[derive(Clone, Debug)]
 pub(crate) struct SparseSolve {
     /// The classification and optimal point, as for the dense solver.
@@ -56,6 +57,11 @@ pub(crate) struct SparseSolve {
     /// The optimal basis (one structural/slack column per row), when the
     /// solve ended `Optimal` with no artificial column left basic.
     pub basis: Option<Vec<usize>>,
+    /// The optimal dual vector `y = c_B B⁻¹` (one multiplier per row), when
+    /// the solve ended `Optimal`.  By strong duality `y·b` equals the
+    /// optimal objective, and every column prices out non-negative; callers
+    /// use this for Farkas-style certificate extraction.
+    pub duals: Option<Vec<Rational>>,
 }
 
 /// Number of eta vectors accumulated before the basis is refactorized.
@@ -473,8 +479,11 @@ impl<'a> Solver<'a> {
         }
     }
 
-    /// Extracts the optimal outcome after a phase-2 optimum.
-    fn extract(&self) -> SparseSolve {
+    /// Extracts the optimal outcome after a phase-2 optimum.  Dual
+    /// extraction (one BTRAN over the eta file plus a `Rational` conversion
+    /// per row) is skipped unless asked for — most callers are feasibility
+    /// probes that never look at multipliers.
+    fn extract(&self, want_duals: bool) -> SparseSolve {
         let mut solution = vec![Rational::zero(); self.n];
         let mut objective = Rational::zero();
         let mut clean = true;
@@ -488,14 +497,126 @@ impl<'a> Solver<'a> {
                 clean = false;
             }
         }
+        let duals = want_duals.then(|| {
+            self.duals(Phase::Two)
+                .unwrap_or_else(|| vec![Scalar::ZERO; self.m])
+                .into_iter()
+                .map(|y| y.to_rational())
+                .collect()
+        });
         SparseSolve {
             outcome: SimplexOutcome::Optimal {
                 objective,
                 solution,
             },
             basis: clean.then(|| self.basis.clone()),
+            duals,
         }
     }
+}
+
+/// Re-enters the simplex from a caller-supplied starting basis, for the
+/// incremental-row workflow of [`crate::IncrementalSolver`].
+///
+/// Unlike [`solve_sparse`]'s warm start, the basis may contain **artificial
+/// columns**: index `n + i` stands for the artificial variable of row `i`
+/// (the unit column `e_i`).  The caller arranges — by orienting each freshly
+/// appended row so its basic slack or artificial takes a non-negative value —
+/// that the basis is primal-feasible; the solve then runs a **bounded
+/// phase-1 restart** (minimize the artificial sum, starting from this basis,
+/// which only has to clear the handful of artificials on the new rows)
+/// instead of a cold crash-basis phase 1 over every row.  `b` may contain
+/// negative entries here: no crash basis is built, so the `b ≥ 0`
+/// normalization of the cold path is not needed.
+///
+/// Returns `None` when the basis is unusable (wrong length, repeated or
+/// out-of-range columns, singular, or primal-infeasible after
+/// factorization); the caller falls back to a cold solve.
+pub(crate) fn solve_sparse_resume(
+    a: &SparseMatrix,
+    b: &[Scalar],
+    c: &[Scalar],
+    basis: &[usize],
+) -> Option<SparseSolve> {
+    solve_sparse_resume_full(a, b, c, basis, false)
+}
+
+/// [`solve_sparse_resume`] with optional dual extraction.
+pub(crate) fn solve_sparse_resume_full(
+    a: &SparseMatrix,
+    b: &[Scalar],
+    c: &[Scalar],
+    basis: &[usize],
+    want_duals: bool,
+) -> Option<SparseSolve> {
+    let m = a.num_rows();
+    let n = a.num_cols();
+    assert_eq!(b.len(), m, "rhs length must equal the number of rows");
+    assert_eq!(c.len(), n, "cost length must equal the number of columns");
+
+    if basis.len() != m || basis.iter().any(|&j| j >= n + m) {
+        return None;
+    }
+    let mut seen = vec![false; n + m];
+    if !basis
+        .iter()
+        .all(|&j| !std::mem::replace(&mut seen[j], true))
+    {
+        return None;
+    }
+
+    let mut solver = Solver {
+        a,
+        b,
+        c,
+        m,
+        n,
+        basis: vec![0; m],
+        in_basis: vec![false; n + m],
+        x: Vec::new(),
+        etas: Vec::new(),
+        pricing_start: 0,
+        stalls: 0,
+        bland: false,
+    };
+    let (etas, row_of_slot) = solver.reinvert(basis)?;
+    solver.etas = etas;
+    for (slot, &row) in row_of_slot.iter().enumerate() {
+        solver.basis[row] = basis[slot];
+    }
+    solver.recompute_x();
+    if solver.x.iter().any(Scalar::is_negative) {
+        return None;
+    }
+    for &j in basis {
+        solver.in_basis[j] = true;
+    }
+
+    // Bounded phase 1: only the artificials still carrying a positive value
+    // (the violated appended rows) have to be driven to zero.
+    if !solver.infeasibility().is_zero() {
+        let bounded = solver.optimize(Phase::One);
+        debug_assert!(bounded, "phase 1 objective is bounded below by 0");
+        if solver.infeasibility().is_positive() {
+            return Some(SparseSolve {
+                outcome: SimplexOutcome::Infeasible,
+                basis: None,
+                duals: None,
+            });
+        }
+        solver.stalls = 0;
+        solver.bland = false;
+    }
+    solver.drive_out_artificials();
+
+    if !solver.optimize(Phase::Two) {
+        return Some(SparseSolve {
+            outcome: SimplexOutcome::Unbounded,
+            basis: None,
+            duals: None,
+        });
+    }
+    Some(solver.extract(want_duals))
 }
 
 /// Solves `minimize c·x  s.t.  A x = b, x ≥ 0` with `A` sparse and `b ≥ 0`.
@@ -509,6 +630,17 @@ pub(crate) fn solve_sparse(
     b: &[Scalar],
     c: &[Scalar],
     warm: Option<&[usize]>,
+) -> SparseSolve {
+    solve_sparse_full(a, b, c, warm, false)
+}
+
+/// [`solve_sparse`] with optional dual extraction.
+pub(crate) fn solve_sparse_full(
+    a: &SparseMatrix,
+    b: &[Scalar],
+    c: &[Scalar],
+    warm: Option<&[usize]>,
+    want_duals: bool,
 ) -> SparseSolve {
     let m = a.num_rows();
     let n = a.num_cols();
@@ -599,6 +731,7 @@ pub(crate) fn solve_sparse(
                 return SparseSolve {
                     outcome: SimplexOutcome::Infeasible,
                     basis: None,
+                    duals: None,
                 };
             }
         }
@@ -611,9 +744,10 @@ pub(crate) fn solve_sparse(
         return SparseSolve {
             outcome: SimplexOutcome::Unbounded,
             basis: None,
+            duals: None,
         };
     }
-    solver.extract()
+    solver.extract(want_duals)
 }
 
 /// Solves the standard-form program `minimize c·x subject to A x = b, x ≥ 0`.

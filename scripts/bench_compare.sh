@@ -1,21 +1,23 @@
 #!/usr/bin/env bash
 # The CI bench-regression gate, runnable locally too.
 #
-#   scripts/bench_compare.sh           run quick benches, compare to BENCH_PR3.json
-#   scripts/bench_compare.sh --rebase  run quick benches, rewrite BENCH_PR3.json
+#   scripts/bench_compare.sh           run quick benches, compare to BENCH_PR4.json
+#   scripts/bench_compare.sh --rebase  run quick benches, rewrite BENCH_PR4.json
 #
 # The quick-mode criterion run (BQC_BENCH_QUICK=1) appends per-scenario median
 # records to a JSONL file (BQC_BENCH_JSON); `bench_compare collect` turns that
 # into the canonical document and `bench_compare compare` enforces the 25%
-# regression threshold plus the revised-vs-dense speedup floor on the n=5
-# Shannon-cone scenario.  --normalize calibrates away uniform machine-speed
+# regression threshold plus two machine-independent speedup floors: the
+# revised simplex >= 5x the dense oracle on the n=5 Shannon-cone program, and
+# the warm lazy-separation prover >= 5x the eager materialized cone on the
+# n=6 chain validity check.  --normalize calibrates away uniform machine-speed
 # differences (geomean of all ratios), so the committed baseline stays usable
 # on CI runners that are faster or slower than the machine that recorded it;
 # only scenario-local regressions trip the gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BASELINE=BENCH_PR3.json
+BASELINE=BENCH_PR4.json
 RAW=$(mktemp -t bqc-bench-raw.XXXXXX.jsonl)
 # Kept after the run (CI uploads it as an artifact; it is also the file to
 # commit over $BASELINE when intentionally shifting the baseline).
@@ -41,4 +43,5 @@ fi
 
 cargo run --release -p bqc-bench --bin bench_compare -- compare "$BASELINE" "$NEW" \
     --threshold 1.25 --normalize \
-    --min-speedup lp/shannon_cone_feasibility/dense/5 lp/shannon_cone_feasibility/revised/5 5
+    --min-speedup lp/shannon_cone_feasibility/dense/5 lp/shannon_cone_feasibility/revised/5 5 \
+    --min-speedup lp/gamma_validity/eager/6 lp/gamma_validity/lazy_warm/6 5
