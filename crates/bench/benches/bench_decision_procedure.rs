@@ -52,6 +52,7 @@ fn bench_not_contained_direction(c: &mut Criterion) {
                     &DecideOptions {
                         extract_witness: true,
                         witness_max_rows: 1 << 10,
+                        ..DecideOptions::default()
                     },
                 )
                 .unwrap();

@@ -43,9 +43,13 @@ fn bench_decide_and_extract(c: &mut Criterion) {
             let answer = decide_containment_with(
                 &q1,
                 &q2,
+                // The counting refuter would short-circuit Example 3.5 before
+                // the LP; this experiment measures the Lemma 3.7 extraction
+                // path, so keep the refuter off.
                 &DecideOptions {
                     extract_witness: true,
                     witness_max_rows: 1 << 12,
+                    counting_refuter: false,
                 },
             )
             .unwrap();
@@ -59,6 +63,7 @@ fn bench_decide_and_extract(c: &mut Criterion) {
                 &q2,
                 &DecideOptions {
                     extract_witness: false,
+                    counting_refuter: false,
                     ..DecideOptions::default()
                 },
             )

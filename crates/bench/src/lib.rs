@@ -121,6 +121,84 @@ pub fn engine_workload(repeats: usize, seed: u64) -> Vec<(ConjunctiveQuery, Conj
     workload
 }
 
+/// Example 3.5's contained-candidate generalized to `m` parallel-edge
+/// blocks: `A(x{i},y{i}), B(x{i},y{i}), C(x{i},y{i})` for `i < m`, all
+/// blocks variable-disjoint.  For every `m ≥ 2` the pair
+/// `(parallel_blocks_query(m), spread_query())` is **not** contained, the
+/// instance is inside the decidable class of Theorem 3.1, and the counting
+/// refuter separates it on the canonical database of `Q1` (`m^m` vs `m`
+/// homomorphisms) — while the LP-only path must refute a `Γ_{2m}` program.
+pub fn parallel_blocks_query(m: usize) -> ConjunctiveQuery {
+    assert!(m >= 1);
+    let mut atoms = Vec::with_capacity(3 * m);
+    for i in 0..m {
+        for relation in ["A", "B", "C"] {
+            atoms.push(Atom::new(relation, [format!("x{i}"), format!("y{i}")]));
+        }
+    }
+    ConjunctiveQuery::boolean(format!("blocks{m}"), atoms).expect("valid blocks query")
+}
+
+/// Example 3.5's containing query `A(y1,y2), B(y1,y3), C(y4,y2)` (chordal,
+/// simple junction tree).
+pub fn spread_query() -> ConjunctiveQuery {
+    ConjunctiveQuery::boolean(
+        "spread",
+        vec![
+            Atom::new("A", ["y1", "y2"]),
+            Atom::new("B", ["y1", "y3"]),
+            Atom::new("C", ["y4", "y2"]),
+        ],
+    )
+    .expect("valid spread query")
+}
+
+/// A batch-engine workload exercising **every** pipeline stage outcome: the
+/// base questions below are decided by, respectively, the Shannon-cone LP
+/// (both pairs of Example 4.3), the hom-existence screen, the
+/// canonical-identity shortcut (isomorphic copies canonicalize to the same
+/// representative), the counting refuter (on the canonical database and on
+/// the random family), and the single-bag Theorem 4.2 check for a
+/// non-chordal containing query.  Each question appears `repeats` times as a
+/// differently renamed/reordered copy, shuffled; deterministic in `seed`.
+pub fn stage_mix_workload(repeats: usize, seed: u64) -> Vec<(ConjunctiveQuery, ConjunctiveQuery)> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x51f1_77e5);
+    let square = cycle_query(4);
+    let chorded = {
+        let mut atoms = cycle_query(4).atoms().to_vec();
+        atoms.push(Atom::new("R", ["x0", "x2"]));
+        ConjunctiveQuery::boolean("chorded4", atoms).expect("valid chorded cycle")
+    };
+    let base: Vec<(ConjunctiveQuery, ConjunctiveQuery)> = vec![
+        // shannon-lp, contained (Example 4.3) and hom-existence, refuted.
+        (cycle_query(3), star_query(2)),
+        (star_query(2), cycle_query(3)),
+        // identity-shortcut (through the engine: isomorphic copies share one
+        // canonical representative).
+        (path_query(3), path_query(3)),
+        // counting-refuter on the canonical database (Example 3.5)…
+        (parallel_blocks_query(2), spread_query()),
+        // …and on the random-structure family (5-cycle ⋢ 2-star).
+        (cycle_query(5), star_query(2)),
+        // Non-chordal containing query, contained via the single-bag check.
+        (chorded, square),
+    ];
+    let mut workload = Vec::with_capacity(base.len() * repeats);
+    for (i, (q1, q2)) in base.iter().enumerate() {
+        for r in 0..repeats {
+            let variant_seed = seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add((i * repeats + r) as u64);
+            workload.push((
+                rename_shuffle(q1, variant_seed),
+                rename_shuffle(q2, variant_seed.wrapping_add(0xc2b2_ae35)),
+            ));
+        }
+    }
+    shuffle(&mut workload, &mut rng);
+    workload
+}
+
 /// In-place Fisher–Yates shuffle driven by the deterministic [`StdRng`].
 fn shuffle<T>(items: &mut [T], rng: &mut StdRng) {
     for i in (1..items.len()).rev() {
@@ -239,6 +317,30 @@ mod tests {
             r
         }
         assert_eq!(rels(&q), rels(&shuffled));
+    }
+
+    #[test]
+    fn refutable_and_stage_mix_generators_are_sound() {
+        use bqc_core::{decide_containment_traced, DecideContext, DecideOptions};
+        // The parallel-blocks family is refuted by the counting stage without
+        // touching the LP, for every m.
+        for m in 2..=3 {
+            let decision = decide_containment_traced(
+                &mut DecideContext::new(),
+                &parallel_blocks_query(m),
+                &spread_query(),
+                &DecideOptions::default(),
+            )
+            .unwrap();
+            assert!(decision.answer.is_not_contained(), "m = {m}");
+            assert_eq!(decision.trace.decided_by(), Some("counting-refuter"));
+        }
+        // The stage-mix workload is deterministic and repeats every base pair.
+        let (a, b) = (stage_mix_workload(3, 5), stage_mix_workload(3, 5));
+        assert_eq!(a.len(), 6 * 3);
+        for ((a1, a2), (b1, b2)) in a.iter().zip(&b) {
+            assert_eq!((a1, a2), (b1, b2));
+        }
     }
 
     #[test]

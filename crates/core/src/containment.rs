@@ -57,7 +57,18 @@ pub fn containment_inequality(
     q2: &ConjunctiveQuery,
     td: &TreeDecomposition,
 ) -> Option<(MaxInequality, Vec<ConditionalExpr>)> {
-    let homomorphisms = query_homomorphisms(q2, q1);
+    containment_inequality_from_homs(q1, td, &query_homomorphisms(q2, q1))
+}
+
+/// [`containment_inequality`] with the homomorphisms `hom(Q2, Q1)` supplied
+/// by the caller — the staged decision pipeline enumerates them once in its
+/// hom-existence screen and reuses them here, instead of paying the
+/// backtracking enumeration a second time.
+pub fn containment_inequality_from_homs(
+    q1: &ConjunctiveQuery,
+    td: &TreeDecomposition,
+    homomorphisms: &[QueryHomomorphism],
+) -> Option<(MaxInequality, Vec<ConditionalExpr>)> {
     if homomorphisms.is_empty() {
         return None;
     }
@@ -65,7 +76,7 @@ pub fn containment_inequality(
     let q1_vars: Vec<String> = q1.vars().to_vec();
     let mut disjuncts: Vec<EntropyExpr> = Vec::with_capacity(homomorphisms.len());
     let mut composed: Vec<ConditionalExpr> = Vec::with_capacity(homomorphisms.len());
-    for phi in &homomorphisms {
+    for phi in homomorphisms {
         let et_phi = et.compose(phi);
         let mut expr = et_phi.flatten();
         expr.add_term(-Rational::one(), q1_vars.iter().cloned());

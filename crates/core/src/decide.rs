@@ -1,31 +1,34 @@
 //! The decision procedure for bag-set containment (Theorem 3.1).
 //!
-//! Given `Q1` and `Q2`, [`decide_containment`] answers `Q1 ⊑ Q2`:
+//! Given `Q1` and `Q2`, [`decide_containment`] answers `Q1 ⊑ Q2` by running
+//! the staged pipeline of [`crate::pipeline`] — a cost-ordered cascade of
+//! cheap structural screens (Boolean reduction, syntactic identity,
+//! hom-existence, junction tree, the counting refuter) in front of the one
+//! expensive Shannon-cone LP and, on refutation, witness materialization.
+//! [`decide_containment_traced`] returns the same answer together with the
+//! per-stage [`DecisionTrace`](crate::pipeline::DecisionTrace); the plain
+//! entry points discard the trace.
 //!
-//! 1. queries with head variables are reduced to Boolean queries (Lemma A.1);
-//! 2. if `hom(Q2, Q1) = ∅` the answer is **NotContained**, witnessed by the
-//!    canonical database of `Q1`;
-//! 3. otherwise a junction tree of `Q2` is built (requires `Q2` chordal) and
-//!    the containment inequality of Eq. (8) is checked over the Shannon cone
-//!    `Γ_n` with the exact LP prover;
-//! 4. if the inequality is Shannon-valid, the answer is **Contained** — this
-//!    direction (Theorem 4.2) is sound for *every* `Q2`, chordal or not;
-//! 5. if the inequality fails and the junction tree is **simple**, the answer
-//!    is **NotContained** (Theorem 3.1 / Lemma E.1 via Theorem 3.6); the
-//!    procedure additionally extracts a normal witness and verifies it by
-//!    counting whenever that fits in the configured budget;
-//! 6. if the inequality fails but `Q2` is outside the decidable class, the
-//!    procedure reports **Unknown** and returns the violating polymatroid —
-//!    whether such instances are decidable at all is exactly the open problem
-//!    the paper connects to Max-IIP (Theorem 2.7).
+//! The possible answers are unchanged from the paper's procedure:
+//!
+//! * **Contained** — the Eq. (8) inequality is Shannon-valid (Theorem 4.2;
+//!   sound for *every* `Q2`, chordal or not), or the queries are
+//!   syntactically identical;
+//! * **NotContained** — `hom(Q2, Q1) = ∅`, or the counting refuter found a
+//!   separating database (Fact 3.2), or the instance is in the decidable
+//!   class and the inequality failed (Theorem 3.1 / Lemma E.1), with a
+//!   verified witness materialized when the budget allows;
+//! * **Unknown** — the inequality failed but `Q2` is outside the decidable
+//!   class; the violating polymatroid is returned alongside the obstruction —
+//!   whether such instances are decidable at all is exactly the open problem
+//!   the paper connects to Max-IIP (Theorem 2.7).
 
-use crate::containment::{containment_inequality, query_homomorphisms};
-use crate::reductions::{boolean_reduction, saturate_pair};
-use crate::witness::{verify_witness, witness_from_counterexample, NonContainmentWitness};
+use crate::pipeline::{Decision, DecisionPipeline};
+use crate::witness::NonContainmentWitness;
 use bqc_entropy::{SetFunction, SkeletonCache};
-use bqc_hypergraph::{junction_tree, Graph, TreeDecomposition};
-use bqc_iip::{GammaProver, GammaValidity, MaxInequality};
-use bqc_relational::{ConjunctiveQuery, VRelation, Value};
+use bqc_iip::{GammaProver, MaxInequality};
+use bqc_relational::ConjunctiveQuery;
+use std::sync::OnceLock;
 
 /// Why the decision procedure could not reach a yes/no answer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -58,7 +61,7 @@ pub enum ContainmentAnswer {
     /// Shannon-valid (Theorem 4.2).
     Contained {
         /// The Eq. (8) inequality that was proven valid, when one was built
-        /// (`None` only for the degenerate identical-query shortcut).
+        /// (`None` only for the syntactic-identity shortcut).
         inequality: Option<MaxInequality>,
     },
     /// `Q1 ⋢ Q2`; when the witness budget sufficed, `witness` carries a
@@ -67,7 +70,8 @@ pub enum ContainmentAnswer {
         /// A verified counterexample database, if one was materialized.
         witness: Option<NonContainmentWitness>,
         /// The violating polymatroid from the LP, if the refutation came from
-        /// the containment inequality (absent for the no-homomorphism case).
+        /// the containment inequality (absent for the no-homomorphism and
+        /// counting-refuter cases, which never touch the LP).
         counterexample: Option<SetFunction>,
     },
     /// The instance falls outside the decidable class of Theorem 3.1 and the
@@ -195,17 +199,25 @@ impl std::fmt::Display for AnswerSummary {
     }
 }
 
-/// Errors preventing the procedure from even starting.
+/// Errors preventing the procedure from producing an answer.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DecideError {
     /// The queries have different numbers of head variables.
     MismatchedHeads(String),
+    /// A custom [`DecisionPipeline`] ran
+    /// out of stages before any of them decided the instance.  The standard
+    /// pipeline never produces this: its LP and witness stages decide every
+    /// instance that reaches them.
+    PipelineIncomplete,
 }
 
 impl std::fmt::Display for DecideError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DecideError::MismatchedHeads(message) => write!(f, "{message}"),
+            DecideError::PipelineIncomplete => {
+                write!(f, "decision pipeline exhausted its stages without deciding")
+            }
         }
     }
 }
@@ -219,6 +231,11 @@ pub struct DecideOptions {
     pub witness_max_rows: u64,
     /// Whether to attempt witness extraction at all.
     pub extract_witness: bool,
+    /// Whether the counting-refuter stage may run (sound fast refutation by
+    /// hom-counting on small databases before any LP work; see
+    /// [`crate::pipeline::CountingRefuter`]).  Disable to reproduce the
+    /// LP-only cost profile of the pre-refactor procedure.
+    pub counting_refuter: bool,
 }
 
 impl Default for DecideOptions {
@@ -226,6 +243,7 @@ impl Default for DecideOptions {
         DecideOptions {
             witness_max_rows: 1 << 10,
             extract_witness: true,
+            counting_refuter: true,
         }
     }
 }
@@ -257,7 +275,11 @@ impl Default for DecideOptions {
 /// violating vertex than a cold decision would return.  High-throughput
 /// serving paths that disable witnesses (the `bqc` CLI's `--no-witness`,
 /// cache-fill workloads) get the warm-start speedup, and cached summaries
-/// stay byte-identical to fresh recomputes.
+/// stay byte-identical to fresh recomputes.  Decision *traces* sit on the
+/// same side of the boundary as summaries: the stage sequence and notes are
+/// history-independent (the LP stage's trace does not expose separation
+/// round counts), so the trace-determinism invariant holds for warm and
+/// cold contexts alike.
 #[derive(Debug, Default)]
 pub struct DecideContext {
     gamma: GammaProver,
@@ -288,6 +310,13 @@ impl DecideContext {
     }
 }
 
+/// The process-wide standard pipeline: the stage list is immutable and the
+/// stages are stateless, so one instance serves every decision.
+fn standard_pipeline() -> &'static DecisionPipeline {
+    static PIPELINE: OnceLock<DecisionPipeline> = OnceLock::new();
+    PIPELINE.get_or_init(DecisionPipeline::standard)
+}
+
 /// Decides `Q1 ⊑ Q2` under bag-set semantics with default options.
 pub fn decide_containment(
     q1: &ConjunctiveQuery,
@@ -312,6 +341,18 @@ pub fn decide_containment_in(
     q2: &ConjunctiveQuery,
     options: &DecideOptions,
 ) -> Result<ContainmentAnswer, DecideError> {
+    decide_containment_traced(ctx, q1, q2, options).map(|decision| decision.answer)
+}
+
+/// Decides `Q1 ⊑ Q2` and returns the answer together with its
+/// [`DecisionTrace`](crate::pipeline::DecisionTrace) — which stage decided,
+/// what each stage concluded, and what each cost.
+pub fn decide_containment_traced(
+    ctx: &mut DecideContext,
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+    options: &DecideOptions,
+) -> Result<Decision, DecideError> {
     // Witness-extracting decisions must not depend on the context's LP
     // history (see the DecideContext docs): give them a fresh prover; the
     // warm cache serves only vertex-insensitive (witness-free) decisions.
@@ -322,109 +363,7 @@ pub fn decide_containment_in(
     } else {
         &mut ctx.gamma
     };
-
-    // Step 1: Boolean reduction (Lemma A.1).
-    let (q1, q2) = boolean_reduction(q1, q2).map_err(DecideError::MismatchedHeads)?;
-
-    // Step 2: no homomorphism Q2 → Q1 means the canonical database of Q1
-    // separates the queries immediately.
-    if query_homomorphisms(&q2, &q1).is_empty() {
-        let witness = if options.extract_witness {
-            canonical_witness(&q1, &q2)
-        } else {
-            None
-        };
-        return Ok(ContainmentAnswer::NotContained {
-            witness,
-            counterexample: None,
-        });
-    }
-
-    // Step 3: junction tree of Q2.
-    let gaifman = {
-        let mut graph = Graph::from_cliques(q2.hyperedges());
-        for v in q2.vars() {
-            graph.add_vertex(v.clone());
-        }
-        graph
-    };
-    let Some(td) = junction_tree(&gaifman) else {
-        // Without a junction tree we can still try the sufficient condition on
-        // a trivial single-bag decomposition (always a valid tree
-        // decomposition: one bag containing all variables).
-        let single = TreeDecomposition::single_bag(q2.var_set());
-        if let Some((inequality, _)) = containment_inequality(&q1, &q2, &single) {
-            if gamma.check_max_inequality(&inequality).is_valid() {
-                return Ok(ContainmentAnswer::Contained {
-                    inequality: Some(inequality),
-                });
-            }
-        }
-        return Ok(ContainmentAnswer::Unknown {
-            obstruction: Obstruction::NotChordal,
-            counterexample: None,
-        });
-    };
-
-    // Step 4: build and check the containment inequality.
-    let Some((inequality, composed)) = containment_inequality(&q1, &q2, &td) else {
-        let witness = if options.extract_witness {
-            canonical_witness(&q1, &q2)
-        } else {
-            None
-        };
-        return Ok(ContainmentAnswer::NotContained {
-            witness,
-            counterexample: None,
-        });
-    };
-    match gamma.check_max_inequality(&inequality) {
-        GammaValidity::ValidShannon => Ok(ContainmentAnswer::Contained {
-            inequality: Some(inequality),
-        }),
-        GammaValidity::NotShannonProvable { counterexample } => {
-            let simple = td.is_simple() && composed.iter().all(|e| e.is_simple());
-            if !simple {
-                return Ok(ContainmentAnswer::Unknown {
-                    obstruction: Obstruction::JunctionTreeNotSimple,
-                    counterexample: Some(counterexample),
-                });
-            }
-            // Theorem 3.1: the instance is decidable and the answer is "not
-            // contained".  Try to materialize a verified witness, first for
-            // the original pair, then for the saturated pair (Fact A.3).
-            let witness = if options.extract_witness {
-                witness_from_counterexample(&q1, &q2, &counterexample, options.witness_max_rows)
-                    .or_else(|| {
-                        let (s1, s2) = saturate_pair(&q1, &q2);
-                        witness_from_counterexample(
-                            &s1,
-                            &s2,
-                            &counterexample,
-                            options.witness_max_rows,
-                        )
-                    })
-            } else {
-                None
-            };
-            Ok(ContainmentAnswer::NotContained {
-                witness,
-                counterexample: Some(counterexample),
-            })
-        }
-    }
-}
-
-/// The canonical database of `Q1` as a witness relation: a single row mapping
-/// every variable to itself.  Used when `hom(Q2, Q1) = ∅`.
-fn canonical_witness(
-    q1: &ConjunctiveQuery,
-    q2: &ConjunctiveQuery,
-) -> Option<NonContainmentWitness> {
-    let columns: Vec<String> = q1.vars().to_vec();
-    let row: Vec<Value> = columns.iter().map(|v| Value::text(v.clone())).collect();
-    let relation = VRelation::from_rows(columns, vec![row]);
-    verify_witness(q1, q2, &relation)
+    standard_pipeline().run(gamma, q1, q2, options)
 }
 
 #[cfg(test)]
@@ -457,6 +396,20 @@ mod tests {
                 .unwrap();
         let q2 = parse_query("Q2() :- A(y1,y2), B(y1,y3), C(y4,y2)").unwrap();
         let answer = decide_containment(&q1, &q2).unwrap();
+        match answer {
+            ContainmentAnswer::NotContained { witness, .. } => {
+                let witness = witness.expect("witness should be materialized");
+                assert!(witness.hom_q1 > witness.hom_q2);
+            }
+            other => panic!("expected NotContained, got {other:?}"),
+        }
+        // With the counting refuter disabled the Theorem 3.1 LP path decides
+        // and attaches its violating polymatroid.
+        let options = DecideOptions {
+            counting_refuter: false,
+            ..DecideOptions::default()
+        };
+        let answer = decide_containment_with(&q1, &q2, &options).unwrap();
         match answer {
             ContainmentAnswer::NotContained {
                 witness,
@@ -517,11 +470,9 @@ mod tests {
 
     #[test]
     fn non_boolean_queries_are_reduced() {
-        // Example A.2's queries: containment holds (Chaudhuri–Vardi's classic
-        // example of bag containment that fails under... in fact Q1 ⊑ Q2 does
-        // NOT hold under bag semantics here; what we check is simply that the
-        // procedure runs end-to-end on non-Boolean input and agrees with the
-        // brute-force oracle on the Boolean reduction).
+        // Example A.2's queries: what we check is simply that the procedure
+        // runs end-to-end on non-Boolean input and agrees with the
+        // brute-force oracle on the Boolean reduction.
         let q1 = parse_query("Q1(x, z) :- P(x), S(u, x), S(v, z), R(z)").unwrap();
         let q2 = parse_query("Q2(x, z) :- P(x), S(u, y), S(v, y), R(z)").unwrap();
         let answer = decide_containment(&q1, &q2).unwrap();
@@ -567,11 +518,15 @@ mod tests {
             extract_witness: false,
             ..DecideOptions::default()
         };
-        // No-homomorphism shortcut, missing-inequality path, and the
+        // No-homomorphism shortcut, counting-refuter shortcut, and the
         // Theorem 3.1 refutation path must all respect the flag.
         let cases = [
             ("Q1() :- R(x,y)", "Q2() :- S(u,v)"),
             ("Q1() :- R(u,v), R(u,w)", "Q2() :- R(x,y), R(y,z), R(z,x)"),
+            (
+                "Q1() :- A(x1,x2), B(x1,x2), C(x1,x2), A(x1',x2'), B(x1',x2'), C(x1',x2')",
+                "Q2() :- A(y1,y2), B(y1,y3), C(y4,y2)",
+            ),
         ];
         for (t1, t2) in cases {
             let q1 = parse_query(t1).unwrap();
@@ -663,7 +618,8 @@ mod tests {
     #[test]
     fn non_chordal_containing_query_is_reported_unknown_or_contained() {
         // Q2 is a 4-cycle (not chordal).  Containment of Q2 in itself must
-        // still be recognized via the trivial single-bag decomposition.
+        // still be recognized — now via the syntactic-identity shortcut
+        // (before the refactor, via the trivial single-bag decomposition).
         let square = parse_query("Q() :- R(a,b), R(b,c), R(c,d), R(d,a)").unwrap();
         let answer = decide_containment(&square, &square).unwrap();
         assert!(answer.is_contained());
@@ -671,5 +627,20 @@ mod tests {
         let q1 = parse_query("Q1() :- R(x,y), R(y,z), R(z,w), R(w,x), R(x,z)").unwrap();
         let answer = decide_containment(&q1, &square).unwrap();
         assert!(answer.is_unknown() || answer.is_contained() || answer.is_not_contained());
+    }
+
+    #[test]
+    fn traced_decisions_expose_the_deciding_stage() {
+        let mut ctx = DecideContext::new();
+        let triangle = parse_query("Q1() :- R(x1,x2), R(x2,x3), R(x3,x1)").unwrap();
+        let star = parse_query("Q2() :- R(y1,y2), R(y1,y3)").unwrap();
+        let decision =
+            decide_containment_traced(&mut ctx, &triangle, &star, &DecideOptions::default())
+                .unwrap();
+        assert!(decision.answer.is_contained());
+        assert_eq!(decision.trace.decided_by(), Some("shannon-lp"));
+        // The plain entry point returns exactly the traced answer.
+        let plain = decide_containment(&triangle, &star).unwrap();
+        assert_eq!(plain.summary(), decision.answer.summary());
     }
 }

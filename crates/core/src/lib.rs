@@ -12,6 +12,13 @@
 //!   decidable (in exponential time) when the containing query is chordal and
 //!   admits a simple junction tree; sound "contained" answers are produced for
 //!   arbitrary `Q2` via Theorem 4.2;
+//! * [`pipeline`] — the staged form of that procedure: a cost-ordered
+//!   [`pipeline::DecisionPipeline`] of [`pipeline::DecisionStage`]s (cheap
+//!   structural screens, the counting refuter, the Shannon-cone LP, witness
+//!   materialization), every answer carrying a structured
+//!   [`pipeline::DecisionTrace`];
+//! * [`legacy`] — the pre-refactor monolithic procedure, preserved verbatim
+//!   as the equivalence-test oracle and benchmark baseline;
 //! * [`witness`] — witnesses of non-containment (Fact 3.2), product and
 //!   normal witnesses (Theorem 3.4), extraction of verified witnesses from
 //!   polymatroid counterexamples (Lemma 3.7 + Lemma 4.8), and a brute-force
@@ -43,17 +50,23 @@
 pub mod containment;
 pub mod decide;
 pub mod et;
+pub mod legacy;
+pub mod pipeline;
 pub mod reduction_to_bagcqc;
 pub mod reductions;
 pub mod witness;
 pub mod yannakakis;
 
 pub use containment::{
-    containment_inequality, query_homomorphisms, sufficient_containment_check, QueryHomomorphism,
+    containment_inequality, containment_inequality_from_homs, query_homomorphisms,
+    sufficient_containment_check, QueryHomomorphism,
 };
 pub use decide::{
-    decide_containment, decide_containment_in, decide_containment_with, AnswerSummary,
-    ContainmentAnswer, DecideContext, DecideError, DecideOptions, Obstruction,
+    decide_containment, decide_containment_in, decide_containment_traced, decide_containment_with,
+    AnswerSummary, ContainmentAnswer, DecideContext, DecideError, DecideOptions, Obstruction,
+};
+pub use pipeline::{
+    Decision, DecisionPipeline, DecisionStage, DecisionTrace, StageReport, StageStatus,
 };
 // Re-exported so engines can share separation skeletons across their worker
 // contexts (see `DecideContext::with_skeletons`) without a direct

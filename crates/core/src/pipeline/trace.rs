@@ -1,0 +1,219 @@
+//! Structured decision traces: which stage decided, how long each cost.
+//!
+//! Every answer the staged pipeline produces carries a [`DecisionTrace`] — an
+//! ordered record of the stages that ran, what each concluded
+//! ([`StageStatus`]), the paper result it implements, and its wall-clock
+//! cost.  Traces are what make verdicts *explainable*: the `bqc` CLI renders
+//! them under `--explain`, the JSON report embeds them verbatim, and
+//! `bqc-engine` aggregates them into per-stage serving telemetry.
+//!
+//! **Determinism.**  Everything in a trace except the `micros` timings is a
+//! deterministic function of the query pair and the
+//! [`DecideOptions`](crate::DecideOptions) — the same invariant the engine's
+//! decision cache relies on for answers, extended to explanations.  The
+//! timing-free projection is exposed as [`DecisionTrace::signature`] and
+//! covered by the trace-determinism tests.
+
+use std::fmt;
+
+/// What a single stage concluded for the instance.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum StageStatus {
+    /// The stage produced the final answer; the payload is the three-way
+    /// verdict (`"contained"` / `"not contained"` / `"undecided"`).
+    Decided(&'static str),
+    /// The stage ran, enriched the pipeline state, and handed over to the
+    /// next stage.
+    Continued,
+    /// The stage's precondition did not hold for this instance (or it was
+    /// disabled by options); nothing was computed.
+    Inapplicable,
+}
+
+impl StageStatus {
+    /// `true` iff the stage produced the final answer.
+    pub fn is_decided(&self) -> bool {
+        matches!(self, StageStatus::Decided(_))
+    }
+
+    /// A short machine-readable label (`"decided"` / `"continued"` /
+    /// `"inapplicable"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            StageStatus::Decided(_) => "decided",
+            StageStatus::Continued => "continued",
+            StageStatus::Inapplicable => "inapplicable",
+        }
+    }
+}
+
+impl fmt::Display for StageStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StageStatus::Decided(verdict) => write!(f, "decided: {verdict}"),
+            StageStatus::Continued => write!(f, "continued"),
+            StageStatus::Inapplicable => write!(f, "inapplicable"),
+        }
+    }
+}
+
+/// The record of one stage execution inside a [`DecisionTrace`].
+#[derive(Clone, Debug)]
+pub struct StageReport {
+    /// Stable stage name (e.g. `"counting-refuter"`), shared with the
+    /// engine's telemetry counters and the CLI's `--explain` output.
+    pub stage: &'static str,
+    /// The paper result the stage implements (e.g. `"Theorem 3.1"`).
+    pub citation: &'static str,
+    /// What the stage concluded.
+    pub status: StageStatus,
+    /// Optional deterministic detail (e.g. `"3 homomorphisms"`); excluded
+    /// from [`DecisionTrace::signature`] but shown by `--explain`.
+    pub note: Option<String>,
+    /// Wall-clock cost of the stage in microseconds.  The only
+    /// non-deterministic field of a trace.
+    pub micros: u64,
+}
+
+/// The end-to-end explanation attached to every pipeline answer.
+#[derive(Clone, Debug, Default)]
+pub struct DecisionTrace {
+    reports: Vec<StageReport>,
+}
+
+impl DecisionTrace {
+    /// An empty trace (used while the pipeline is running).
+    pub fn new() -> DecisionTrace {
+        DecisionTrace::default()
+    }
+
+    /// Appends a stage record.
+    pub fn push(&mut self, report: StageReport) {
+        self.reports.push(report);
+    }
+
+    /// The per-stage records, in execution order.
+    pub fn reports(&self) -> &[StageReport] {
+        &self.reports
+    }
+
+    /// Name of the stage that produced the final answer, if any stage did.
+    pub fn decided_by(&self) -> Option<&'static str> {
+        self.reports
+            .iter()
+            .find(|r| r.status.is_decided())
+            .map(|r| r.stage)
+    }
+
+    /// Total wall-clock microseconds across all recorded stages.
+    pub fn total_micros(&self) -> u64 {
+        self.reports.iter().map(|r| r.micros).sum()
+    }
+
+    /// The timing-free projection of the trace: `stage:status` steps joined
+    /// by `" → "`.  Two decisions of the same instance under the same options
+    /// must produce equal signatures (the trace-determinism invariant).
+    pub fn signature(&self) -> String {
+        let mut out = String::new();
+        for (i, report) in self.reports.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" → ");
+            }
+            out.push_str(report.stage);
+            out.push(':');
+            match report.status {
+                StageStatus::Decided(verdict) => {
+                    out.push_str("decided(");
+                    out.push_str(verdict);
+                    out.push(')');
+                }
+                StageStatus::Continued => out.push_str("continued"),
+                StageStatus::Inapplicable => out.push_str("inapplicable"),
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for DecisionTrace {
+    /// Multi-line human rendering, one stage per line (the `--explain`
+    /// format).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for report in &self.reports {
+            write!(
+                f,
+                "  {:<22} {:>9.3}ms  {}",
+                report.stage,
+                report.micros as f64 / 1000.0,
+                report.status
+            )?;
+            if let Some(note) = &report.note {
+                write!(f, " — {note}")?;
+            }
+            writeln!(f, "  [{}]", report.citation)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DecisionTrace {
+        let mut trace = DecisionTrace::new();
+        trace.push(StageReport {
+            stage: "boolean-reduction",
+            citation: "Lemma A.1",
+            status: StageStatus::Inapplicable,
+            note: None,
+            micros: 1,
+        });
+        trace.push(StageReport {
+            stage: "hom-existence",
+            citation: "Fact 3.2",
+            status: StageStatus::Continued,
+            note: Some("3 homomorphisms".into()),
+            micros: 10,
+        });
+        trace.push(StageReport {
+            stage: "shannon-lp",
+            citation: "Theorem 4.2",
+            status: StageStatus::Decided("contained"),
+            note: None,
+            micros: 100,
+        });
+        trace
+    }
+
+    #[test]
+    fn accessors_and_signature() {
+        let trace = sample();
+        assert_eq!(trace.reports().len(), 3);
+        assert_eq!(trace.decided_by(), Some("shannon-lp"));
+        assert_eq!(trace.total_micros(), 111);
+        assert_eq!(
+            trace.signature(),
+            "boolean-reduction:inapplicable → hom-existence:continued → \
+             shannon-lp:decided(contained)"
+        );
+    }
+
+    #[test]
+    fn display_renders_every_stage() {
+        let text = sample().to_string();
+        assert!(text.contains("boolean-reduction"));
+        assert!(text.contains("3 homomorphisms"));
+        assert!(text.contains("decided: contained"));
+        assert!(text.contains("[Theorem 4.2]"));
+    }
+
+    #[test]
+    fn status_labels() {
+        assert!(StageStatus::Decided("contained").is_decided());
+        assert!(!StageStatus::Continued.is_decided());
+        assert_eq!(StageStatus::Decided("contained").label(), "decided");
+        assert_eq!(StageStatus::Continued.label(), "continued");
+        assert_eq!(StageStatus::Inapplicable.label(), "inapplicable");
+    }
+}

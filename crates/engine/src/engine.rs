@@ -23,8 +23,10 @@
 
 use crate::cache::{CacheStats, DecisionCache};
 use crate::canon::{canonicalize_pair, CanonicalPair};
+use crate::telemetry::{PipelineTelemetry, StageStats};
 use bqc_core::{
-    decide_containment_in, AnswerSummary, DecideContext, DecideError, DecideOptions, SkeletonCache,
+    decide_containment_traced, AnswerSummary, DecideContext, DecideError, DecideOptions,
+    DecisionTrace, SkeletonCache,
 };
 use bqc_relational::ConjunctiveQuery;
 use std::collections::HashMap;
@@ -67,6 +69,11 @@ pub struct BatchResult {
     /// The request's canonical pair hash (shared by all requests the engine
     /// considered equal).
     pub pair_hash: u64,
+    /// The decision trace of the pipeline run that produced this answer.
+    /// Present exactly on `Fresh` results — cache hits and in-flight dedups
+    /// reuse an earlier computation and carry no trace of their own (the
+    /// leader's trace describes the shared computation).
+    pub trace: Option<DecisionTrace>,
 }
 
 /// Tuning knobs for [`Engine`].
@@ -102,6 +109,9 @@ pub struct Engine {
     /// context (and every single decide) this engine spawns: each universe
     /// size is built once per engine, not once per worker or per decision.
     skeletons: SkeletonCache,
+    /// Per-stage aggregate counters folded from every fresh decision's
+    /// trace.
+    telemetry: PipelineTelemetry,
     options: EngineOptions,
 }
 
@@ -117,6 +127,7 @@ impl Engine {
         Engine {
             cache: DecisionCache::new(options.cache_shards, options.shard_capacity),
             skeletons: SkeletonCache::new(),
+            telemetry: PipelineTelemetry::new(),
             options,
         }
     }
@@ -147,13 +158,14 @@ impl Engine {
         // A fresh context per call keeps single decides history-independent;
         // the shared skeletons carry no history (see DecideContext docs).
         let mut ctx = DecideContext::with_skeletons(self.skeletons.clone());
-        let summary = decide_containment_in(
+        let decision = decide_containment_traced(
             &mut ctx,
             &pair.q1.query,
             &pair.q2.query,
             &self.options.decide,
-        )?
-        .summary();
+        )?;
+        self.telemetry.record(&decision.trace);
+        let summary = decision.answer.summary();
         self.cache.insert(pair.hash, &pair.key, summary);
         Ok(summary)
     }
@@ -191,6 +203,7 @@ impl Engine {
             answer: Result<AnswerSummary, DecideError>,
             provenance: Provenance,
             micros: u64,
+            trace: Option<DecisionTrace>,
         }
         let mut outcomes: HashMap<&str, LeaderOutcome> = HashMap::new();
         let mut jobs: Vec<usize> = Vec::new();
@@ -203,6 +216,7 @@ impl Engine {
                         answer: Ok(summary),
                         provenance: Provenance::CachedHit,
                         micros: 0,
+                        trace: None,
                     },
                 );
             } else {
@@ -225,27 +239,33 @@ impl Engine {
             |ctx, &i| {
                 let pair = &pairs[i];
                 let start = Instant::now();
-                let answer = decide_containment_in(
+                let outcome = decide_containment_traced(
                     ctx,
                     &pair.q1.query,
                     &pair.q2.query,
                     &self.options.decide,
-                )
-                .map(|full| full.summary());
-                (answer, start.elapsed().as_micros() as u64)
+                );
+                (outcome, start.elapsed().as_micros() as u64)
             },
         );
-        for (&i, (answer, micros)) in jobs.iter().zip(computed) {
+        for (&i, (outcome, micros)) in jobs.iter().zip(computed) {
             let pair = &pairs[i];
-            if let Ok(summary) = &answer {
-                self.cache.insert(pair.hash, &pair.key, *summary);
-            }
+            let (answer, trace) = match outcome {
+                Ok(decision) => {
+                    self.telemetry.record(&decision.trace);
+                    let summary = decision.answer.summary();
+                    self.cache.insert(pair.hash, &pair.key, summary);
+                    (Ok(summary), Some(decision.trace))
+                }
+                Err(error) => (Err(error), None),
+            };
             outcomes.insert(
                 pair.key.as_str(),
                 LeaderOutcome {
                     answer,
                     provenance: Provenance::Fresh,
                     micros,
+                    trace,
                 },
             );
         }
@@ -267,6 +287,11 @@ impl Engine {
                     provenance,
                     micros: if i == leader { outcome.micros } else { 0 },
                     pair_hash: pair.hash,
+                    trace: if i == leader {
+                        outcome.trace.clone()
+                    } else {
+                        None
+                    },
                 }
             })
             .collect()
@@ -281,6 +306,14 @@ impl Engine {
     /// Snapshot of the decision cache's counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Snapshot of the per-stage pipeline telemetry folded from every fresh
+    /// decision this engine computed (cache hits and dedups reuse earlier
+    /// computations and are counted in [`Engine::cache_stats`] /
+    /// [`Provenance`] instead).
+    pub fn pipeline_stats(&self) -> Vec<StageStats> {
+        self.telemetry.snapshot()
     }
 
     /// Drops every cached decision (counters are kept).
@@ -459,9 +492,62 @@ mod tests {
     }
 
     #[test]
+    fn traces_ride_on_fresh_results_only() {
+        let engine = Engine::default();
+        let first = engine.decide_batch(&small_batch());
+        // Fresh leaders carry the trace of their pipeline run; the deduped
+        // follower shares the answer but not a trace of its own.
+        assert!(first[0].trace.is_some());
+        assert!(first[1].trace.is_none());
+        assert!(first[2].trace.is_some());
+        let trace = first[0].trace.as_ref().unwrap();
+        assert_eq!(trace.decided_by(), Some("shannon-lp"));
+        // Cache hits on a second pass carry no trace either.
+        let second = engine.decide_batch(&small_batch());
+        assert!(second.iter().all(|r| r.trace.is_none()));
+    }
+
+    #[test]
+    fn pipeline_stats_aggregate_fresh_decisions() {
+        let engine = Engine::default();
+        assert!(engine.pipeline_stats().is_empty());
+        engine.decide_batch(&small_batch());
+        engine.decide_batch(&small_batch()); // all cached: no new traces
+        let stats = engine.pipeline_stats();
+        let decided: u64 = stats.iter().map(|s| s.decided).sum();
+        assert_eq!(decided, 2, "one trace per distinct canonical pair");
+        assert_eq!(stats[0].stage, "boolean-reduction");
+        let lp = stats
+            .iter()
+            .find(|s| s.stage == "shannon-lp")
+            .expect("LP stage reached");
+        // Only the Example 4.3 direction reaches the LP; the reverse is
+        // decided by the hom-existence screen.
+        assert_eq!(lp.reached(), 1);
+        // Single decides through the cache also record traces.
+        let engine = Engine::default();
+        engine
+            .decide(&q("Q1() :- R(x,y)"), &q("Q2() :- S(u,v)"))
+            .unwrap();
+        let stats = engine.pipeline_stats();
+        let screen = stats
+            .iter()
+            .find(|s| s.stage == "hom-existence")
+            .expect("screen reached");
+        assert_eq!(screen.decided, 1);
+    }
+
+    #[test]
     fn workers_share_the_engine_wide_skeleton_cache() {
+        // The counting refuter would separate this workload's pairs before
+        // any LP work (5-cycle ⋢ 2-star already on a dense random structure);
+        // this test is about the LP skeleton cache, so keep the refuter off.
         let engine = Engine::new(EngineOptions {
             workers: 4,
+            decide: bqc_core::DecideOptions {
+                counting_refuter: false,
+                ..bqc_core::DecideOptions::default()
+            },
             ..EngineOptions::default()
         });
         assert!(engine.skeletons().is_empty());

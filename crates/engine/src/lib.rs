@@ -23,7 +23,13 @@
 //!   [`Provenance::DedupedInFlight`]) and timing;
 //! * [`workload`] — the textual workload format consumed by the `bqc` CLI
 //!   (one `Q1 … ; Q2 …` question per line) and a small JSON string escaper
-//!   for the machine-readable report.
+//!   for the machine-readable report;
+//! * [`telemetry`] — per-stage aggregate counters
+//!   ([`telemetry::PipelineTelemetry`]) folded from the
+//!   [`bqc_core::DecisionTrace`] of every fresh decision, answering "which
+//!   pipeline stage decides how much of the traffic, at what cost" for a
+//!   whole serving deployment; fresh [`BatchResult`]s also carry their
+//!   individual trace for `bqc --explain` / `--json`.
 //!
 //! **Cache determinism invariant** (see ARCHITECTURE.md): a cached answer is
 //! byte-identical to the answer a fresh computation would produce, because
@@ -57,9 +63,11 @@
 pub mod cache;
 pub mod canon;
 pub mod engine;
+pub mod telemetry;
 pub mod workload;
 
 pub use cache::{CacheStats, DecisionCache};
 pub use canon::{canonicalize, canonicalize_pair, fnv1a, CanonicalPair, CanonicalQuery};
 pub use engine::{BatchResult, Engine, EngineOptions, Provenance};
+pub use telemetry::{PipelineTelemetry, StageStats};
 pub use workload::{json_escape, parse_workload, WorkloadEntry, WorkloadError};

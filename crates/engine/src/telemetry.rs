@@ -1,0 +1,170 @@
+//! Per-stage aggregate telemetry for the serving engine.
+//!
+//! Every fresh decision the engine computes carries a
+//! [`bqc_core::DecisionTrace`]; this module folds those traces into
+//! `CacheStats`-style counters — per pipeline stage, how many decisions it
+//! decided / continued through / skipped, and the cumulative wall-clock it
+//! consumed.  The aggregate answers the capacity-planning questions a
+//! serving deployment asks ("what fraction of fresh decisions never reach
+//! the LP?", "where do the milliseconds go?") without retaining any
+//! per-request data.
+//!
+//! Cache hits and in-flight dedups never touch the pipeline and therefore
+//! do not appear here; their volume is visible in
+//! [`CacheStats`](crate::cache::CacheStats) and the batch provenance
+//! counters instead.
+
+use bqc_core::{DecisionTrace, StageStatus};
+use std::sync::Mutex;
+
+/// Aggregate counters for one pipeline stage.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageStats {
+    /// Stage name, as reported by the pipeline trace.
+    pub stage: &'static str,
+    /// Decisions this stage answered.
+    pub decided: u64,
+    /// Decisions this stage enriched and passed on.
+    pub continued: u64,
+    /// Decisions for which the stage was inapplicable.
+    pub inapplicable: u64,
+    /// Cumulative wall-clock microseconds spent in the stage.
+    pub micros: u64,
+}
+
+impl StageStats {
+    fn new(stage: &'static str) -> StageStats {
+        StageStats {
+            stage,
+            ..StageStats::default()
+        }
+    }
+
+    /// Total times the stage was reached (any status).
+    pub fn reached(&self) -> u64 {
+        self.decided + self.continued + self.inapplicable
+    }
+}
+
+/// Thread-safe accumulator of [`StageStats`], ordered by first appearance
+/// (which, for the standard pipeline, is the stage execution order).
+#[derive(Debug, Default)]
+pub struct PipelineTelemetry {
+    stages: Mutex<Vec<StageStats>>,
+}
+
+impl PipelineTelemetry {
+    /// An empty accumulator.
+    pub fn new() -> PipelineTelemetry {
+        PipelineTelemetry::default()
+    }
+
+    /// Folds one decision trace into the counters.
+    pub fn record(&self, trace: &DecisionTrace) {
+        let mut stages = self.stages.lock().expect("telemetry poisoned");
+        for report in trace.reports() {
+            let entry = match stages.iter_mut().find(|s| s.stage == report.stage) {
+                Some(entry) => entry,
+                None => {
+                    stages.push(StageStats::new(report.stage));
+                    stages.last_mut().expect("just pushed")
+                }
+            };
+            match report.status {
+                StageStatus::Decided(_) => entry.decided += 1,
+                StageStatus::Continued => entry.continued += 1,
+                StageStatus::Inapplicable => entry.inapplicable += 1,
+            }
+            entry.micros += report.micros;
+        }
+    }
+
+    /// Point-in-time snapshot of every stage's counters.
+    pub fn snapshot(&self) -> Vec<StageStats> {
+        self.stages.lock().expect("telemetry poisoned").clone()
+    }
+
+    /// Total decisions folded in (every trace has exactly one deciding
+    /// stage).
+    pub fn decisions(&self) -> u64 {
+        self.stages
+            .lock()
+            .expect("telemetry poisoned")
+            .iter()
+            .map(|s| s.decided)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqc_core::{decide_containment_traced, DecideContext, DecideOptions};
+    use bqc_relational::parse_query;
+
+    #[test]
+    fn traces_fold_into_ordered_stage_counters() {
+        let telemetry = PipelineTelemetry::new();
+        let mut ctx = DecideContext::new();
+        let options = DecideOptions::default();
+        let pairs = [
+            ("Q1() :- R(x,y)", "Q2() :- S(u,v)"), // hom-existence decides
+            ("Q() :- R(x,y)", "Q() :- R(x,y)"),   // identity shortcut decides
+            (
+                "Q1() :- R(x1,x2), R(x2,x3), R(x3,x1)",
+                "Q2() :- R(y1,y2), R(y1,y3)",
+            ), // shannon-lp decides
+        ];
+        for (t1, t2) in pairs {
+            let q1 = parse_query(t1).unwrap();
+            let q2 = parse_query(t2).unwrap();
+            let decision = decide_containment_traced(&mut ctx, &q1, &q2, &options).unwrap();
+            telemetry.record(&decision.trace);
+        }
+        assert_eq!(telemetry.decisions(), 3);
+        let snapshot = telemetry.snapshot();
+        // Stage order is the pipeline order (every trace starts with the
+        // Boolean reduction).
+        assert_eq!(snapshot[0].stage, "boolean-reduction");
+        assert_eq!(snapshot[0].inapplicable, 3, "all pairs are Boolean");
+        let by_name = |name: &str| {
+            *snapshot
+                .iter()
+                .find(|s| s.stage == name)
+                .unwrap_or_else(|| panic!("stage {name} missing"))
+        };
+        assert_eq!(by_name("identity-shortcut").decided, 1);
+        assert_eq!(by_name("hom-existence").decided, 1);
+        assert_eq!(by_name("shannon-lp").decided, 1);
+        // The LP stage was only reached by the pair the screens passed on;
+        // the identity shortcut is consulted by every decision.
+        assert_eq!(by_name("shannon-lp").reached(), 1);
+        assert_eq!(by_name("identity-shortcut").reached(), 3);
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let telemetry = PipelineTelemetry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let telemetry = &telemetry;
+                scope.spawn(move || {
+                    let mut ctx = DecideContext::new();
+                    let q1 = parse_query("Q1() :- R(x,y)").unwrap();
+                    let q2 = parse_query("Q2() :- S(u,v)").unwrap();
+                    for _ in 0..10 {
+                        let decision = decide_containment_traced(
+                            &mut ctx,
+                            &q1,
+                            &q2,
+                            &DecideOptions::default(),
+                        )
+                        .unwrap();
+                        telemetry.record(&decision.trace);
+                    }
+                });
+            }
+        });
+        assert_eq!(telemetry.decisions(), 40);
+    }
+}

@@ -65,6 +65,35 @@ fn engine_verdicts_agree_with_direct_decides_on_original_spellings() {
     }
 }
 
+/// The trace-determinism invariant, mirrored through the engine: two
+/// independent engines deciding the same workload produce identical stage
+/// sequences (and notes) for every fresh computation, no matter which worker
+/// thread or context history computed it.
+#[test]
+fn fresh_traces_are_deterministic_across_engines() {
+    let workload = engine_workload(3, 31);
+    let first: Vec<_> = engine().decide_batch(&workload);
+    let second: Vec<_> = engine().decide_batch(&workload);
+    let mut compared = 0;
+    for (a, b) in first.iter().zip(&second) {
+        match (&a.trace, &b.trace) {
+            (Some(ta), Some(tb)) => {
+                assert_eq!(ta.signature(), tb.signature());
+                let notes = |t: &bqc_core::DecisionTrace| -> Vec<Option<String>> {
+                    t.reports().iter().map(|r| r.note.clone()).collect()
+                };
+                assert_eq!(notes(ta), notes(tb));
+                compared += 1;
+            }
+            (None, None) => {}
+            other => panic!("trace presence must be deterministic, got {other:?}"),
+        }
+    }
+    assert!(compared > 0, "the workload has fresh computations");
+    // Per-stage telemetry is a pure fold of those traces, so the decided /
+    // continued / inapplicable counters agree engine-to-engine as well.
+}
+
 /// Provenance bookkeeping on the acceptance workload: exactly one Fresh
 /// computation per distinct canonical pair, everything else deduped in the
 /// first batch; everything cache-served afterwards.

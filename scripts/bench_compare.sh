@@ -1,23 +1,32 @@
 #!/usr/bin/env bash
 # The CI bench-regression gate, runnable locally too.
 #
-#   scripts/bench_compare.sh           run quick benches, compare to BENCH_PR4.json
-#   scripts/bench_compare.sh --rebase  run quick benches, rewrite BENCH_PR4.json
+#   scripts/bench_compare.sh           run quick benches, compare to BENCH_PR5.json
+#   scripts/bench_compare.sh --rebase  run quick benches, rewrite BENCH_PR5.json
 #
 # The quick-mode criterion run (BQC_BENCH_QUICK=1) appends per-scenario median
 # records to a JSONL file (BQC_BENCH_JSON); `bench_compare collect` turns that
 # into the canonical document and `bench_compare compare` enforces the 25%
-# regression threshold plus two machine-independent speedup floors: the
-# revised simplex >= 5x the dense oracle on the n=5 Shannon-cone program, and
-# the warm lazy-separation prover >= 5x the eager materialized cone on the
-# n=6 chain validity check.  --normalize calibrates away uniform machine-speed
-# differences (geomean of all ratios), so the committed baseline stays usable
-# on CI runners that are faster or slower than the machine that recorded it;
-# only scenario-local regressions trip the gate.
+# regression threshold plus four machine-independent speedup floors:
+#
+#   * the revised simplex >= 5x the dense oracle on the n=5 Shannon-cone
+#     program;
+#   * the warm lazy-separation prover >= 5x the eager materialized cone on
+#     the n=6 chain validity check;
+#   * the counting refuter >= 5x the LP-only path on the refutable
+#     parallel-blocks workload (m=3, a Γ_6 refutation avoided by counting);
+#   * the staged pipeline (with trace collection) within 10% of the
+#     pre-refactor direct path on the LP-bound k=6 cycle-in-path scenario
+#     (legacy/pipeline >= 0.909, i.e. pipeline <= 1.1x legacy).
+#
+# --normalize calibrates away uniform machine-speed differences (geomean of
+# all ratios), so the committed baseline stays usable on CI runners that are
+# faster or slower than the machine that recorded it; only scenario-local
+# regressions trip the gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BASELINE=BENCH_PR4.json
+BASELINE=BENCH_PR5.json
 RAW=$(mktemp -t bqc-bench-raw.XXXXXX.jsonl)
 # Kept after the run (CI uploads it as an artifact; it is also the file to
 # commit over $BASELINE when intentionally shifting the baseline).
@@ -31,6 +40,7 @@ mkdir -p target
 for _ in 1 2; do
     BQC_BENCH_QUICK=1 BQC_BENCH_JSON="$RAW" cargo bench -p bqc-bench --bench bench_lp
     BQC_BENCH_QUICK=1 BQC_BENCH_JSON="$RAW" cargo bench -p bqc-bench --bench bench_engine
+    BQC_BENCH_QUICK=1 BQC_BENCH_JSON="$RAW" cargo bench -p bqc-bench --bench bench_pipeline
 done
 
 cargo run --release -p bqc-bench --bin bench_compare -- collect "$RAW" > "$NEW"
@@ -44,4 +54,6 @@ fi
 cargo run --release -p bqc-bench --bin bench_compare -- compare "$BASELINE" "$NEW" \
     --threshold 1.25 --normalize \
     --min-speedup lp/shannon_cone_feasibility/dense/5 lp/shannon_cone_feasibility/revised/5 5 \
-    --min-speedup lp/gamma_validity/eager/6 lp/gamma_validity/lazy_warm/6 5
+    --min-speedup lp/gamma_validity/eager/6 lp/gamma_validity/lazy_warm/6 5 \
+    --min-speedup pipeline/refutable/lp_only/3 pipeline/refutable/refuter/3 5 \
+    --min-speedup pipeline/overhead/legacy/6 pipeline/overhead/pipeline/6 0.909

@@ -3,10 +3,14 @@
 //! Reads a workload file of containment questions (one `Q1 … ; Q2 …` pair
 //! per line, `#`/`%` comments — see `bqc_engine::workload`), runs the whole
 //! batch through the caching engine, and prints a per-question report plus
-//! cache and timing totals.  `--json` switches to a machine-readable report.
+//! cache, pipeline and timing totals.  `--json` switches to a
+//! machine-readable report; `--explain` renders the per-stage decision trace
+//! under every freshly computed answer; `--fail-on` turns verdict classes
+//! into a non-zero exit status for CI gating.
 //!
 //! ```text
-//! bqc [--json] [--workers N] [--shards N] [--capacity N] [--no-witness] [--repeat N] FILE
+//! bqc [--json] [--explain] [--fail-on CLASS] [--workers N] [--shards N]
+//!     [--capacity N] [--no-witness] [--repeat N] FILE
 //! ```
 
 use bag_query_containment::engine::{
@@ -16,14 +20,25 @@ use bqc_core::DecideOptions;
 use std::process::ExitCode;
 use std::time::Instant;
 
+/// A verdict class that `--fail-on` can turn into a non-zero exit status.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FailOn {
+    /// Fail when any request is undecided (outside the decidable class).
+    Unknown,
+    /// Fail when any request is a definite "not contained".
+    NotContained,
+}
+
 struct Cli {
     file: String,
     json: bool,
+    explain: bool,
     workers: usize,
     shards: usize,
     capacity: usize,
     extract_witness: bool,
     repeat: usize,
+    fail_on: Vec<FailOn>,
 }
 
 const USAGE: &str = "\
@@ -34,6 +49,11 @@ blank lines and #/% comments skipped) through the caching batch engine.
 
 options:
   --json          machine-readable JSON report instead of the text report
+  --explain       render the per-stage decision trace (stage, verdict,
+                  timing, paper citation) under every fresh answer
+  --fail-on CLASS exit with status 3 when any verdict falls in CLASS
+                  (`unknown` or `not-contained`; repeatable, also accepts a
+                  comma-separated list) — lets CI gate on verdicts
   --workers N     worker threads for the batch fan-out (default: all cores)
   --shards N      decision-cache shards (default 8)
   --capacity N    LRU capacity per cache shard (default 1024)
@@ -42,7 +62,8 @@ options:
   --help          this message
 
 exit status: 0 on success, 1 on usage/IO/parse errors, 2 when the workload
-ran but some requests failed with decision errors (reported per line).";
+ran but some requests failed with decision errors (reported per line), 3
+when --fail-on matched at least one verdict (and no decision error occurred).";
 
 /// Why argument parsing did not yield a runnable configuration.
 enum CliExit {
@@ -52,15 +73,35 @@ enum CliExit {
     Usage(String),
 }
 
+fn parse_fail_on(value: &str, into: &mut Vec<FailOn>) -> Result<(), CliExit> {
+    for part in value.split(',') {
+        let class = match part.trim() {
+            "unknown" => FailOn::Unknown,
+            "not-contained" => FailOn::NotContained,
+            other => {
+                return Err(CliExit::Usage(format!(
+                    "--fail-on expects `unknown` or `not-contained`, got {other:?}"
+                )))
+            }
+        };
+        if !into.contains(&class) {
+            into.push(class);
+        }
+    }
+    Ok(())
+}
+
 fn parse_args(args: &[String]) -> Result<Cli, CliExit> {
     let mut cli = Cli {
         file: String::new(),
         json: false,
+        explain: false,
         workers: 0,
         shards: 8,
         capacity: 1024,
         extract_witness: true,
         repeat: 1,
+        fail_on: Vec::new(),
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -72,6 +113,13 @@ fn parse_args(args: &[String]) -> Result<Cli, CliExit> {
         };
         match arg.as_str() {
             "--json" => cli.json = true,
+            "--explain" => cli.explain = true,
+            "--fail-on" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliExit::Usage("--fail-on requires a value".into()))?;
+                parse_fail_on(value, &mut cli.fail_on)?;
+            }
             "--workers" => cli.workers = numeric("--workers")?,
             "--shards" => cli.shards = numeric("--shards")?.max(1),
             "--capacity" => cli.capacity = numeric("--capacity")?.max(1),
@@ -149,10 +197,21 @@ fn main() -> ExitCode {
         print_text(&cli, &engine, &entries, &runs, wall_micros);
     }
     // A run with per-request decision errors is a failed run for scripts,
-    // even though the report itself was printed.
+    // even though the report itself was printed; the --fail-on verdict gate
+    // is reported with its own status so CI can tell the two apart.
     let any_error = runs.iter().flatten().any(|result| result.answer.is_err());
     if any_error {
-        ExitCode::from(2)
+        return ExitCode::from(2);
+    }
+    let gate_hit = runs.iter().flatten().any(|result| match &result.answer {
+        Ok(summary) => cli.fail_on.iter().any(|class| match class {
+            FailOn::Unknown => summary.is_unknown(),
+            FailOn::NotContained => summary.is_not_contained(),
+        }),
+        Err(_) => false,
+    });
+    if gate_hit {
+        ExitCode::from(3)
     } else {
         ExitCode::SUCCESS
     }
@@ -199,6 +258,11 @@ fn print_text(
                 entry.q1.name,
                 entry.q2.name,
             );
+            if cli.explain {
+                if let Some(trace) = &result.trace {
+                    print!("{trace}");
+                }
+            }
         }
     }
     let mut contained = 0usize;
@@ -222,6 +286,20 @@ fn print_text(
         "cache: {} hits, {} misses, {} evictions, {} entries ({} shards x {})",
         stats.hits, stats.misses, stats.evictions, stats.entries, cli.shards, cli.capacity
     );
+    let pipeline = engine.pipeline_stats();
+    if !pipeline.is_empty() {
+        println!("pipeline (fresh decisions, aggregated per stage):");
+        for stage in &pipeline {
+            println!(
+                "  {:<22} {:>4} decided, {:>4} continued, {:>4} inapplicable, {:>9.3}ms",
+                stage.stage,
+                stage.decided,
+                stage.continued,
+                stage.inapplicable,
+                stage.micros as f64 / 1000.0
+            );
+        }
+    }
     println!("wall time: {:.3}ms", wall_micros as f64 / 1000.0);
 }
 
@@ -258,7 +336,7 @@ fn print_json(
             out.push_str(&format!(
                 "    {{\"run\": {}, \"line\": {}, \"q1\": \"{}\", \"q2\": \"{}\", \
                  \"verdict\": \"{}\", \"detail\": \"{}\", \"provenance\": \"{}\", \
-                 \"pair_hash\": \"{:016x}\", \"micros\": {}}}",
+                 \"pair_hash\": \"{:016x}\", \"micros\": {}",
                 run_index + 1,
                 entry.line,
                 json_escape(&entry.q1.to_string()),
@@ -269,6 +347,31 @@ fn print_json(
                 result.pair_hash,
                 result.micros
             ));
+            if let Some(trace) = &result.trace {
+                out.push_str(&format!(
+                    ", \"decided_by\": \"{}\", \"trace\": [",
+                    json_escape(trace.decided_by().unwrap_or(""))
+                ));
+                for (i, report) in trace.reports().iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!(
+                        "{{\"stage\": \"{}\", \"status\": \"{}\", \"citation\": \"{}\", \
+                         \"micros\": {}",
+                        json_escape(report.stage),
+                        json_escape(report.status.label()),
+                        json_escape(report.citation),
+                        report.micros
+                    ));
+                    if let Some(note) = &report.note {
+                        out.push_str(&format!(", \"note\": \"{}\"", json_escape(note)));
+                    }
+                    out.push('}');
+                }
+                out.push(']');
+            }
+            out.push('}');
         }
     }
     out.push_str("\n  ],\n");
@@ -277,6 +380,21 @@ fn print_json(
         "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {}}},\n",
         stats.hits, stats.misses, stats.evictions, stats.entries
     ));
+    out.push_str("  \"pipeline\": [\n");
+    let pipeline = engine.pipeline_stats();
+    for (i, stage) in pipeline.iter().enumerate() {
+        let comma = if i + 1 == pipeline.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"stage\": \"{}\", \"decided\": {}, \"continued\": {}, \
+             \"inapplicable\": {}, \"micros\": {}}}{comma}\n",
+            json_escape(stage.stage),
+            stage.decided,
+            stage.continued,
+            stage.inapplicable,
+            stage.micros
+        ));
+    }
+    out.push_str("  ],\n");
     out.push_str(&format!("  \"wall_micros\": {wall_micros}\n}}"));
     println!("{out}");
 }

@@ -43,10 +43,11 @@ pub use bqc_relational as relational;
 pub mod prelude {
     pub use bqc_arith::{int, ratio, BigInt, Rational};
     pub use bqc_core::{
-        containment_inequality, decide_containment, decide_containment_in, decide_containment_with,
-        exhaustive_containment_check, max_iip_to_containment, search_product_witness,
-        sufficient_containment_check, verify_witness, witness_from_counterexample, AnswerSummary,
-        ContainmentAnswer, DecideContext, DecideOptions,
+        containment_inequality, decide_containment, decide_containment_in,
+        decide_containment_traced, decide_containment_with, exhaustive_containment_check,
+        max_iip_to_containment, search_product_witness, sufficient_containment_check,
+        verify_witness, witness_from_counterexample, AnswerSummary, ContainmentAnswer,
+        DecideContext, DecideOptions, Decision, DecisionPipeline, DecisionTrace,
     };
     pub use bqc_engine::{canonicalize, canonicalize_pair, Engine, EngineOptions, Provenance};
     pub use bqc_entropy::{

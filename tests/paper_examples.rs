@@ -89,7 +89,26 @@ fn example_3_5() {
     assert!(search_product_witness(&q1, &q2, &[1, 2, 3], 100).is_none());
 
     // The decision procedure returns NotContained with a verified witness.
+    // With default options the counting refuter separates the pair on the
+    // canonical database of Q1 before any LP work, so no violating
+    // polymatroid is attached.
     match decide_containment(&q1, &q2).unwrap() {
+        ContainmentAnswer::NotContained {
+            witness,
+            counterexample,
+        } => {
+            assert!(counterexample.is_none());
+            assert!(witness.is_some());
+        }
+        other => panic!("expected NotContained, got {other:?}"),
+    }
+    // With the refuter disabled the Theorem 3.1 LP path decides and attaches
+    // its violating polymatroid, as before the staged pipeline.
+    let lp_only = DecideOptions {
+        counting_refuter: false,
+        ..DecideOptions::default()
+    };
+    match decide_containment_with(&q1, &q2, &lp_only).unwrap() {
         ContainmentAnswer::NotContained {
             witness,
             counterexample,
