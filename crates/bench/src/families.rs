@@ -1,0 +1,302 @@
+//! Database families for the differential oracle.
+//!
+//! Fact 3.2 defines non-containment by the *existence* of a database with
+//! `|Q1(D)| > |Q2(D)|`; the differential checker
+//! ([`bqc_core::oracle::check_summary`]) can only ever test a finite family.
+//! This module generates that family — labeled, seeded, size-parameterized —
+//! from the query pair itself:
+//!
+//! * **canonical databases** of both queries, and their union — the
+//!   canonical database of `Q1` is the classic first candidate (every
+//!   set-semantics separation lives there, and many bag separations, e.g.
+//!   Example 3.5);
+//! * a **doubled canonical** `2 · canonical(Q1)` — homomorphism counts are
+//!   multiplicative under disjoint union (`hom(Q, 2·A) = hom-components
+//!   product`), so separations that need *margin amplification* show up
+//!   here before they show up on the canonical database;
+//! * **seeded random structures** over small domains (every possible fact
+//!   over the joint vocabulary included independently with probability 1/2),
+//!   the family that catches separations with no homomorphic relationship to
+//!   either query — e.g. 5-cycle ⋢ 2-star needs a dense 3-element structure.
+//!
+//! What the family *cannot* catch: separations that only appear on databases
+//! larger than [`FamilyConfig::max_domain`] — those are exactly why a
+//! corpus case, once found, is checked in rather than re-fuzzed.
+
+use bqc_relational::{ConjunctiveQuery, Structure, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-relation cap on the tuples a random family member may hold, guarding
+/// against high-arity blowup (`domain^arity` possible facts).
+const MAX_TUPLES_PER_RELATION: usize = 64;
+
+/// Shape of the generated database family.
+#[derive(Clone, Copy, Debug)]
+pub struct FamilyConfig {
+    /// Largest active-domain size for the random structures; domains
+    /// `2..=max_domain` are generated.
+    pub max_domain: usize,
+    /// Random structures generated per domain size.
+    pub random_per_domain: usize,
+    /// Seed of the random members (the family is a pure function of the
+    /// queries and this configuration).
+    pub seed: u64,
+}
+
+impl Default for FamilyConfig {
+    fn default() -> FamilyConfig {
+        FamilyConfig {
+            max_domain: 3,
+            random_per_domain: 2,
+            seed: 0x6f72_6163_u64 ^ 0x1e55, // "orac" ⊕ salt
+        }
+    }
+}
+
+/// Generates the labeled database family for a query pair.
+pub fn database_family(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+    config: &FamilyConfig,
+) -> Vec<(String, Structure)> {
+    let canonical_q1 = q1.canonical_structure();
+    let canonical_q2 = q2.canonical_structure();
+    let mut union = canonical_q1.clone();
+    union.merge(&canonical_q2);
+    let doubled = canonical_q1.disjoint_copies(2);
+    let mut family = vec![
+        ("canonical(Q1)".to_string(), canonical_q1),
+        ("canonical(Q2)".to_string(), canonical_q2),
+        ("canonical(Q1)+canonical(Q2)".to_string(), union),
+        ("2*canonical(Q1)".to_string(), doubled),
+    ];
+    let mut vocabulary = q1.vocabulary();
+    vocabulary.merge(&q2.vocabulary());
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    for domain in 2..=config.max_domain {
+        for index in 0..config.random_per_domain {
+            let mut structure = Structure::new(vocabulary.clone());
+            for value in 0..domain {
+                structure.add_domain_value(Value::int(value as i64));
+            }
+            for symbol in vocabulary.symbols() {
+                let mut tuples: Vec<Vec<Value>> = vec![Vec::new()];
+                for _ in 0..symbol.arity {
+                    let mut next = Vec::with_capacity(tuples.len() * domain);
+                    for prefix in &tuples {
+                        for v in 0..domain {
+                            let mut t = prefix.clone();
+                            t.push(Value::int(v as i64));
+                            next.push(t);
+                        }
+                    }
+                    tuples = next;
+                }
+                let mut added = 0;
+                for tuple in tuples {
+                    if added >= MAX_TUPLES_PER_RELATION {
+                        break;
+                    }
+                    if rng.gen_bool(0.5) {
+                        structure.add_fact(&symbol.name, tuple);
+                        added += 1;
+                    }
+                }
+            }
+            family.push((format!("random(domain={domain},#{index})"), structure));
+        }
+    }
+    family
+}
+
+/// Strategy mix of the random pair generator: which relationship the two
+/// queries of a generated pair have.  Cycling through the strategies keeps
+/// all three verdict classes (and the `Unknown` obstructions) populated —
+/// purely independent random pairs are almost always refuted by the
+/// hom-existence screen, which would leave `Contained` paths untested.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PairStrategy {
+    /// Both queries drawn independently.
+    Independent,
+    /// `Q2` is a renamed, reordered isomorphic copy of `Q1` (contained both
+    /// ways; exercises canonicalization and the identity shortcut).
+    IsomorphicCopy,
+    /// `Q2` keeps a random subset of `Q1`'s atoms (every `Q2 → Q1`
+    /// homomorphism exists; the LP decides).
+    AtomSubset,
+    /// `Q1` extends `Q2` with extra random atoms (the reverse shape).
+    AtomSuperset,
+    /// Like [`PairStrategy::Independent`] but both queries get a one-variable
+    /// head, exercising the Boolean reduction.
+    Headed,
+}
+
+const STRATEGIES: [PairStrategy; 5] = [
+    PairStrategy::Independent,
+    PairStrategy::IsomorphicCopy,
+    PairStrategy::AtomSubset,
+    PairStrategy::AtomSuperset,
+    PairStrategy::Headed,
+];
+
+/// Shape of the random pair generator.
+#[derive(Clone, Copy, Debug)]
+pub struct PairConfig {
+    /// Largest number of variables per query.
+    pub max_vars: usize,
+    /// Largest number of atoms per query.
+    pub max_atoms: usize,
+    /// Base seed; pair `index` is a pure function of `(seed, index)`.
+    pub seed: u64,
+}
+
+impl Default for PairConfig {
+    fn default() -> PairConfig {
+        PairConfig {
+            // Small universes on purpose: the Shannon-cone LP is 2^n in the
+            // variable count, and fuzz throughput matters more than any
+            // single pair's size.  Structure bugs shrink to small repros
+            // anyway — that is what the minimizer is for.
+            max_vars: 4,
+            max_atoms: 5,
+            seed: 0xfa57_f00d,
+        }
+    }
+}
+
+/// Vocabulary of the generated queries: two binary relations and a unary
+/// one, matching the pipeline-equivalence property tests.
+const VOCABULARY: [(&str, usize); 3] = [("R", 2), ("S", 2), ("U", 1)];
+
+/// Generates the `index`-th random query pair of the campaign, cycling
+/// through the [`PairStrategy`] mix.  Deterministic in `(config.seed,
+/// index)`.
+pub fn random_pair(index: usize, config: &PairConfig) -> (ConjunctiveQuery, ConjunctiveQuery) {
+    let strategy = STRATEGIES[index % STRATEGIES.len()];
+    let mut rng = StdRng::seed_from_u64(
+        config
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(index as u64),
+    );
+    let q1 = random_query("Q1", config, &mut rng);
+    let q2 = match strategy {
+        PairStrategy::Independent | PairStrategy::Headed => random_query("Q2", config, &mut rng),
+        PairStrategy::IsomorphicCopy => {
+            let copy = crate::rename_shuffle(&q1, rng.gen_range(0u64..u64::MAX));
+            bqc_relational::ConjunctiveQuery::boolean("Q2", copy.atoms().to_vec())
+                .expect("renamed copy stays valid")
+        }
+        PairStrategy::AtomSubset => {
+            let atoms = random_atom_subset(&q1, &mut rng);
+            bqc_relational::ConjunctiveQuery::boolean("Q2", atoms).expect("subset stays valid")
+        }
+        PairStrategy::AtomSuperset => {
+            let mut atoms = q1.atoms().to_vec();
+            let extra = random_query("X", config, &mut rng);
+            atoms.extend(extra.atoms().iter().cloned());
+            bqc_relational::ConjunctiveQuery::boolean("Q2", atoms).expect("superset stays valid")
+        }
+    };
+    if strategy == PairStrategy::Headed {
+        (add_head(&q1), add_head(&q2))
+    } else {
+        (q1, q2)
+    }
+}
+
+fn random_query(name: &str, config: &PairConfig, rng: &mut StdRng) -> ConjunctiveQuery {
+    let vars = rng.gen_range(1..=config.max_vars.max(1));
+    let atoms = rng.gen_range(1..=config.max_atoms.max(1));
+    let atom_list: Vec<bqc_relational::Atom> = (0..atoms)
+        .map(|_| {
+            let (relation, arity) = VOCABULARY[rng.gen_range(0..VOCABULARY.len())];
+            let args: Vec<String> = (0..arity)
+                .map(|_| format!("v{}", rng.gen_range(0..vars)))
+                .collect();
+            bqc_relational::Atom::new(relation, args)
+        })
+        .collect();
+    ConjunctiveQuery::boolean(name, atom_list).expect("generated query is valid")
+}
+
+fn random_atom_subset(q: &ConjunctiveQuery, rng: &mut StdRng) -> Vec<bqc_relational::Atom> {
+    let atoms = q.atoms();
+    let mut subset: Vec<bqc_relational::Atom> = atoms
+        .iter()
+        .filter(|_| rng.gen_bool(0.5))
+        .cloned()
+        .collect();
+    if subset.is_empty() {
+        subset.push(atoms[rng.gen_range(0..atoms.len())].clone());
+    }
+    subset
+}
+
+/// Gives a Boolean query a one-variable head (its first variable), renaming
+/// the query accordingly.  Used by [`PairStrategy::Headed`].
+fn add_head(q: &ConjunctiveQuery) -> ConjunctiveQuery {
+    let head = vec![q.vars()[0].clone()];
+    ConjunctiveQuery::new(q.name.clone(), head, q.atoms().to_vec())
+        .expect("head variable occurs in the body")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqc_core::oracle::count_violation;
+
+    #[test]
+    fn family_is_deterministic_and_labeled() {
+        let q1 = crate::cycle_query(3);
+        let q2 = crate::star_query(2);
+        let config = FamilyConfig::default();
+        let a = database_family(&q1, &q2, &config);
+        let b = database_family(&q1, &q2, &config);
+        assert_eq!(a.len(), b.len());
+        assert!(a.len() >= 4 + 2 * config.random_per_domain);
+        for ((la, da), (lb, db)) in a.iter().zip(&b) {
+            assert_eq!(la, lb);
+            assert_eq!(da, db);
+        }
+        assert_eq!(a[0].0, "canonical(Q1)");
+    }
+
+    #[test]
+    fn family_separates_known_refutations() {
+        // Example 3.5 separates on the canonical database of Q1.
+        let q1 = crate::parallel_blocks_query(2);
+        let q2 = crate::spread_query();
+        let family = database_family(&q1, &q2, &FamilyConfig::default());
+        assert!(family
+            .iter()
+            .any(|(_, db)| count_violation(&q1, &q2, db).unwrap().is_some()));
+        // 5-cycle ⋢ 2-star needs the random members.
+        let q1 = crate::star_query(2);
+        let q2 = crate::cycle_query(5);
+        let family = database_family(&q1, &q2, &FamilyConfig::default());
+        assert!(family
+            .iter()
+            .any(|(_, db)| count_violation(&q1, &q2, db).unwrap().is_some()));
+    }
+
+    #[test]
+    fn random_pairs_are_deterministic_and_cover_strategies() {
+        let config = PairConfig::default();
+        for index in 0..10 {
+            let (a1, a2) = random_pair(index, &config);
+            let (b1, b2) = random_pair(index, &config);
+            assert_eq!(format!("{a1};{a2}"), format!("{b1};{b2}"));
+            assert!(a1.num_vars() <= config.max_vars);
+            assert!(a1.atoms().len() <= config.max_atoms);
+        }
+        // The headed strategy produces matching one-variable heads.
+        let (h1, h2) = random_pair(4, &config);
+        assert_eq!(h1.head().len(), 1);
+        assert_eq!(h2.head().len(), 1);
+        // The isomorphic-copy strategy produces canonically equal queries.
+        let (c1, c2) = random_pair(1, &config);
+        assert_eq!(c1.atoms().len(), c2.atoms().len());
+    }
+}

@@ -1,0 +1,540 @@
+//! The engine-scale fuzz harness behind `bqc fuzz`.
+//!
+//! Drives generated query pairs ([`crate::families::random_pair`]) through
+//! [`bqc_engine::Engine::decide_batch`] in chunks, and replays every verdict
+//! against the differential oracle ([`bqc_core::oracle`]) on a per-pair
+//! database family ([`crate::families::database_family`]):
+//!
+//! * `Contained` — every family database must respect the count inequality
+//!   (pointwise for headed pairs); any violation is a soundness bug;
+//! * `NotContained` — confirmed by a family separation when one exists;
+//!   otherwise the pair is re-decided fresh (cross-checking the engine's
+//!   cached verdict against the direct one) and its witness re-counted
+//!   independently; a witness-free refutation the family cannot confirm is
+//!   *counted* as unconfirmed but is not a finding — the LP's refutations
+//!   are allowed to live outside the family;
+//! * `Unknown` — the reported obstruction is recomputed from `Q2`'s
+//!   structure.
+//!
+//! Every finding is shrunk by [`minimize_case`] (drop atoms, identify
+//! variables, re-check the discrepancy after each step) and rendered in the
+//! corpus format ([`bqc_engine::corpus`]) so it can be checked in verbatim.
+//!
+//! [`FuzzConfig::self_test`] flips the first family-separable `NotContained`
+//! verdict to `Contained` before checking — an injected soundness bug the
+//! oracle must catch, exercising the find → minimize → emit path end to end
+//! (the acceptance test of the harness itself).
+
+use crate::families::{database_family, random_pair, FamilyConfig, PairConfig};
+use bqc_core::oracle::{check_summary, count_violation, replay_witness, Discrepancy};
+use bqc_core::{decide_containment, AnswerSummary, ContainmentAnswer};
+use bqc_engine::corpus::{render_case, ExpectedVerdict};
+use bqc_engine::Engine;
+use bqc_relational::{Atom, ConjunctiveQuery, Structure};
+
+/// The property a minimization step must preserve (see [`minimize_case`]).
+type PersistPredicate = Box<dyn Fn(&ConjunctiveQuery, &ConjunctiveQuery) -> bool>;
+
+/// Shape of a fuzz campaign.
+#[derive(Clone, Copy, Debug)]
+pub struct FuzzConfig {
+    /// Number of generated pairs.
+    pub pairs: usize,
+    /// Campaign seed: pair generation and family generation derive from it.
+    pub seed: u64,
+    /// Pairs per `decide_batch` call.
+    pub chunk: usize,
+    /// Shape of the per-pair database family.
+    pub family: FamilyConfig,
+    /// Shape of the generated queries.
+    pub pair: PairConfig,
+    /// Inject one flipped verdict (see module docs).
+    pub self_test: bool,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            pairs: 10_000,
+            seed: 0x0bac_5eed,
+            chunk: 256,
+            family: FamilyConfig::default(),
+            pair: PairConfig::default(),
+            self_test: false,
+        }
+    }
+}
+
+/// One verdict/count discrepancy, with its minimized corpus-format repro.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Index of the pair in the campaign.
+    pub index: usize,
+    /// The original generated pair.
+    pub q1: ConjunctiveQuery,
+    /// The original containing-candidate query.
+    pub q2: ConjunctiveQuery,
+    /// Whether this finding is the [`FuzzConfig::self_test`] injection.
+    pub injected: bool,
+    /// Every discrepancy the oracle reported for the original pair.
+    pub discrepancies: Vec<Discrepancy>,
+    /// The shrunk pair that still exhibits the discrepancy.
+    pub minimized: (ConjunctiveQuery, ConjunctiveQuery),
+    /// The repro in corpus format, ready to be checked in.
+    pub repro: String,
+}
+
+/// Aggregate outcome of a campaign.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignReport {
+    /// Pairs driven through the engine.
+    pub pairs: usize,
+    /// `Contained` verdicts.
+    pub contained: usize,
+    /// `NotContained` verdicts.
+    pub not_contained: usize,
+    /// `Unknown` verdicts.
+    pub unknown: usize,
+    /// Decision errors (mismatched heads etc. — none are generated, so any
+    /// count here deserves a look).
+    pub errors: usize,
+    /// `NotContained` verdicts confirmed by a family separation or an
+    /// independently re-counted witness.
+    pub confirmed_refutations: usize,
+    /// `NotContained` verdicts the oracle could not independently confirm
+    /// (no family separation, no witness).  Not findings — but reported, so
+    /// a generator change that collapses confirmation coverage is visible.
+    pub unconfirmed_refutations: usize,
+    /// Every discrepancy, minimized.
+    pub findings: Vec<Finding>,
+    /// Index of the self-test injection, when one was made.
+    pub injected_at: Option<usize>,
+}
+
+impl CampaignReport {
+    /// `true` iff the campaign found no real discrepancy and — when a
+    /// self-test injection was made — the injection *was* caught.
+    pub fn passed(&self) -> bool {
+        match self.injected_at {
+            None => self.findings.is_empty(),
+            Some(index) => {
+                self.findings.iter().any(|f| f.injected && f.index == index)
+                    && self.findings.iter().all(|f| f.injected)
+            }
+        }
+    }
+}
+
+/// Runs a fuzz campaign, invoking `progress(pairs_done)` after every chunk.
+pub fn run_campaign(config: &FuzzConfig, progress: &mut dyn FnMut(usize)) -> CampaignReport {
+    let engine = Engine::default();
+    let mut report = CampaignReport::default();
+    let chunk_size = config.chunk.max(1);
+    let mut index = 0;
+    while index < config.pairs {
+        let count = chunk_size.min(config.pairs - index);
+        let batch: Vec<(ConjunctiveQuery, ConjunctiveQuery)> = (index..index + count)
+            .map(|i| random_pair(i, &config.pair))
+            .collect();
+        let results = engine.decide_batch(&batch);
+        for (offset, result) in results.iter().enumerate() {
+            let pair_index = index + offset;
+            let (q1, q2) = &batch[offset];
+            let mut summary = match &result.answer {
+                Ok(summary) => *summary,
+                Err(_) => {
+                    report.errors += 1;
+                    continue;
+                }
+            };
+            let family = pair_family(q1, q2, config, pair_index);
+            let mut injected = false;
+            if config.self_test
+                && report.injected_at.is_none()
+                && matches!(summary, AnswerSummary::NotContained { .. })
+                && family_separates(q1, q2, &family)
+            {
+                summary = AnswerSummary::Contained;
+                report.injected_at = Some(pair_index);
+                injected = true;
+            }
+            match summary {
+                AnswerSummary::Contained => report.contained += 1,
+                AnswerSummary::NotContained { .. } => report.not_contained += 1,
+                AnswerSummary::Unknown { .. } => report.unknown += 1,
+            }
+            let mut check = check_summary(q1, q2, summary, &family);
+            if let AnswerSummary::NotContained { .. } = summary {
+                if check.separated_by.is_some() {
+                    report.confirmed_refutations += 1;
+                } else {
+                    // Re-decide fresh: cross-check the engine's verdict and
+                    // replay the witness the direct decision materializes.
+                    match decide_containment(q1, q2) {
+                        Ok(answer) => {
+                            let fresh = answer.summary();
+                            if fresh != summary {
+                                check.discrepancies.push(Discrepancy::VerdictMismatch {
+                                    observed: summary,
+                                    fresh,
+                                });
+                            }
+                            if let ContainmentAnswer::NotContained {
+                                witness: Some(witness),
+                                ..
+                            } = &answer
+                            {
+                                match replay_witness(q1, q2, witness) {
+                                    Ok(()) => report.confirmed_refutations += 1,
+                                    Err(d) => check.discrepancies.push(d),
+                                }
+                            } else {
+                                report.unconfirmed_refutations += 1;
+                            }
+                        }
+                        Err(_) => report.errors += 1,
+                    }
+                }
+            }
+            if !check.discrepancies.is_empty() {
+                report.findings.push(build_finding(
+                    q1,
+                    q2,
+                    pair_index,
+                    injected,
+                    check.discrepancies,
+                    config,
+                ));
+            }
+        }
+        index += count;
+        report.pairs = index;
+        progress(index);
+    }
+    report
+}
+
+fn pair_family(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+    config: &FuzzConfig,
+    pair_index: usize,
+) -> Vec<(String, Structure)> {
+    let family_config = FamilyConfig {
+        seed: config
+            .seed
+            .wrapping_mul(0x2545_f491_4f6c_dd1d)
+            .wrapping_add(pair_index as u64),
+        ..config.family
+    };
+    database_family(q1, q2, &family_config)
+}
+
+/// `true` iff some family member separates the pair by counting (counter
+/// mismatches are treated as non-separating here; they surface through the
+/// regular check instead).
+fn family_separates(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+    family: &[(String, Structure)],
+) -> bool {
+    family
+        .iter()
+        .any(|(_, db)| matches!(count_violation(q1, q2, db), Ok(Some(_))))
+}
+
+fn build_finding(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+    index: usize,
+    injected: bool,
+    discrepancies: Vec<Discrepancy>,
+    config: &FuzzConfig,
+) -> Finding {
+    // What must keep holding while we shrink.  For an injected flip the
+    // decision procedure is actually correct, so the property is "the oracle
+    // would convict a Contained verdict": the pair is decided NotContained
+    // and the family separates it.  For a real finding it is "a fresh check
+    // of the fresh verdict still reports a discrepancy".
+    let persists: PersistPredicate = if injected {
+        let config = *config;
+        Box::new(move |a: &ConjunctiveQuery, b: &ConjunctiveQuery| {
+            let family = pair_family(a, b, &config, index);
+            matches!(
+                decide_containment(a, b).map(|ans| ans.summary()),
+                Ok(AnswerSummary::NotContained { .. })
+            ) && family_separates(a, b, &family)
+        })
+    } else {
+        let config = *config;
+        Box::new(move |a: &ConjunctiveQuery, b: &ConjunctiveQuery| {
+            let family = pair_family(a, b, &config, index);
+            match decide_containment(a, b) {
+                Ok(answer) => !bqc_core::oracle::check_answer(a, b, &answer, &family)
+                    .discrepancies
+                    .is_empty(),
+                Err(_) => false,
+            }
+        })
+    };
+    let minimized = minimize_case(q1, q2, persists.as_ref());
+    let repro = render_repro(
+        &minimized.0,
+        &minimized.1,
+        index,
+        injected,
+        &discrepancies,
+        config,
+    );
+    Finding {
+        index,
+        q1: q1.clone(),
+        q2: q2.clone(),
+        injected,
+        discrepancies,
+        minimized,
+        repro,
+    }
+}
+
+/// Renders the minimized pair as a corpus case: the expected verdict is the
+/// *oracle-correct* one — `not-contained` with the separating family
+/// database as `WITNESS:` when the family separates the minimized pair,
+/// otherwise whatever a fresh decision produces.
+fn render_repro(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+    index: usize,
+    injected: bool,
+    discrepancies: &[Discrepancy],
+    config: &FuzzConfig,
+) -> String {
+    let family = pair_family(q1, q2, config, index);
+    let separation = family
+        .iter()
+        .find_map(|(label, db)| match count_violation(q1, q2, db) {
+            Ok(Some(v)) => Some((label.clone(), db.clone(), v)),
+            _ => None,
+        });
+    let mut comments = vec![format!(
+        "found by `bqc fuzz`: seed={:#x}, pair #{index}{}",
+        config.seed,
+        if injected {
+            " (self-test injection)"
+        } else {
+            ""
+        }
+    )];
+    for d in discrepancies {
+        comments.push(format!("discrepancy: {d}"));
+    }
+    let (expect, witness) = match &separation {
+        Some((label, db, violation)) => {
+            comments.push(format!(
+                "family member {label} separates: |Q1(D)| = {} > {} = |Q2(D)|",
+                violation.hom_q1, violation.hom_q2
+            ));
+            (ExpectedVerdict::NotContained, Some(db.clone()))
+        }
+        None => {
+            let expect = match decide_containment(q1, q2).map(|a| a.summary()) {
+                Ok(AnswerSummary::Contained) => ExpectedVerdict::Contained,
+                Ok(AnswerSummary::NotContained { .. }) => ExpectedVerdict::NotContained,
+                Ok(AnswerSummary::Unknown { .. }) | Err(_) => ExpectedVerdict::Unknown,
+            };
+            (expect, None)
+        }
+    };
+    render_case(&comments, q1, q2, expect, witness.as_ref())
+}
+
+/// Budget on `persists` evaluations during minimization — each one is a full
+/// decision plus a family replay.
+const MINIMIZE_BUDGET: usize = 200;
+
+/// Greedy shrinking: repeatedly tries dropping one atom (either query) and
+/// identifying one variable pair (either query), keeping any candidate for
+/// which `persists` still holds, until a fixpoint or the evaluation budget
+/// is reached.  `persists` must hold for the input pair; the result is a
+/// pair on which it still holds.
+pub fn minimize_case(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+    persists: &dyn Fn(&ConjunctiveQuery, &ConjunctiveQuery) -> bool,
+) -> (ConjunctiveQuery, ConjunctiveQuery) {
+    let mut current = (q1.clone(), q2.clone());
+    let mut budget = MINIMIZE_BUDGET;
+    loop {
+        let mut improved = false;
+        for candidate in shrink_candidates(&current.0, &current.1) {
+            if budget == 0 {
+                return current;
+            }
+            budget -= 1;
+            if persists(&candidate.0, &candidate.1) {
+                current = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return current;
+        }
+    }
+}
+
+/// All one-step shrinks of a pair, smallest-effect first: atom drops on
+/// either side, then variable identifications on either side.
+fn shrink_candidates(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+) -> Vec<(ConjunctiveQuery, ConjunctiveQuery)> {
+    let mut candidates = Vec::new();
+    for (side, q) in [(0, q1), (1, q2)] {
+        if q.atoms().len() > 1 {
+            for skip in 0..q.atoms().len() {
+                let atoms: Vec<Atom> = q
+                    .atoms()
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != skip)
+                    .map(|(_, a)| a.clone())
+                    .collect();
+                if let Some(shrunk) = rebuild(q, atoms) {
+                    candidates.push(if side == 0 {
+                        (shrunk, q2.clone())
+                    } else {
+                        (q1.clone(), shrunk)
+                    });
+                }
+            }
+        }
+    }
+    for (side, q) in [(0, q1), (1, q2)] {
+        let vars = q.vars();
+        for i in 0..vars.len() {
+            for j in 0..vars.len() {
+                if i == j {
+                    continue;
+                }
+                let atoms: Vec<Atom> = q
+                    .atoms()
+                    .iter()
+                    .map(|a| {
+                        Atom::new(
+                            a.relation.clone(),
+                            a.args.iter().map(|v| {
+                                if *v == vars[i] {
+                                    vars[j].clone()
+                                } else {
+                                    v.clone()
+                                }
+                            }),
+                        )
+                    })
+                    .collect();
+                if let Some(shrunk) = rebuild(q, atoms) {
+                    candidates.push(if side == 0 {
+                        (shrunk, q2.clone())
+                    } else {
+                        (q1.clone(), shrunk)
+                    });
+                }
+            }
+        }
+    }
+    candidates
+}
+
+/// Rebuilds a query with new atoms, keeping only the head variables that
+/// still occur in the body.  `None` when the result is invalid.
+fn rebuild(q: &ConjunctiveQuery, atoms: Vec<Atom>) -> Option<ConjunctiveQuery> {
+    let body_vars: std::collections::BTreeSet<&String> =
+        atoms.iter().flat_map(|a| a.args.iter()).collect();
+    let head: Vec<String> = q
+        .head()
+        .iter()
+        .filter(|v| body_vars.contains(v))
+        .cloned()
+        .collect();
+    ConjunctiveQuery::new(q.name.clone(), head, atoms).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqc_engine::parse_corpus;
+
+    #[test]
+    fn small_clean_campaign_passes() {
+        let config = FuzzConfig {
+            pairs: 50,
+            ..FuzzConfig::default()
+        };
+        let mut last = 0;
+        let report = run_campaign(&config, &mut |done| last = done);
+        assert_eq!(last, 50);
+        assert_eq!(report.pairs, 50);
+        assert!(report.passed(), "findings: {:?}", report.findings);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.contained + report.not_contained + report.unknown, 50);
+        // The strategy mix must reach all verdict classes even this small.
+        assert!(report.contained > 0, "no contained verdicts generated");
+        assert!(report.not_contained > 0, "no refutations generated");
+        assert!(report.confirmed_refutations > 0);
+    }
+
+    #[test]
+    fn self_test_injection_is_caught_and_minimized() {
+        let config = FuzzConfig {
+            pairs: 40,
+            self_test: true,
+            ..FuzzConfig::default()
+        };
+        let report = run_campaign(&config, &mut |_| {});
+        let injected_at = report.injected_at.expect("an injection site exists");
+        assert!(report.passed(), "injection not caught: {report:?}");
+        let finding = report
+            .findings
+            .iter()
+            .find(|f| f.injected)
+            .expect("the injected bug is a finding");
+        assert_eq!(finding.index, injected_at);
+        assert!(matches!(
+            finding.discrepancies[0],
+            Discrepancy::ContainedViolated { .. }
+        ));
+        // Minimization did not grow the pair …
+        assert!(
+            finding.minimized.0.atoms().len() <= finding.q1.atoms().len()
+                && finding.minimized.1.atoms().len() <= finding.q2.atoms().len()
+        );
+        // … and the repro is a valid corpus case expecting the true verdict.
+        let cases = parse_corpus(&finding.repro).expect("repro parses as corpus");
+        assert_eq!(cases.len(), 1);
+        assert_eq!(cases[0].expect, bqc_engine::ExpectedVerdict::NotContained);
+        let witness = cases[0].witness.as_ref().expect("repro carries a witness");
+        let violation = bqc_core::oracle::count_violation(&cases[0].q1, &cases[0].q2, witness)
+            .expect("counts agree")
+            .expect("witness separates");
+        assert!(violation.hom_q1 > violation.hom_q2);
+    }
+
+    #[test]
+    fn minimizer_reaches_small_fixpoints() {
+        // star2 ⋢ triangle: minimization under "still refuted with family
+        // separation" must keep a separating shape but may drop atoms.
+        let q1 = crate::star_query(2);
+        let q2 = crate::cycle_query(3);
+        let persists = |a: &ConjunctiveQuery, b: &ConjunctiveQuery| {
+            matches!(
+                decide_containment(a, b).map(|ans| ans.summary()),
+                Ok(AnswerSummary::NotContained { .. })
+            )
+        };
+        let (m1, m2) = minimize_case(&q1, &q2, &persists);
+        assert!(persists(&m1, &m2));
+        assert!(m1.atoms().len() <= q1.atoms().len());
+        assert!(m2.atoms().len() <= q2.atoms().len());
+    }
+}

@@ -14,6 +14,8 @@ use bqc_relational::{Atom, ConjunctiveQuery, Structure, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+pub mod families;
+pub mod fuzz;
 pub mod report;
 
 /// A directed cycle `R(0,1), R(1,2), …, R(n−1,0)` as a Boolean query.

@@ -6,7 +6,9 @@
 //!
 //! * [`rngs::StdRng`] — a deterministic 64-bit PRNG (splitmix64);
 //! * [`SeedableRng::seed_from_u64`] — the only constructor the workspace uses;
-//! * [`Rng::gen_range`] — uniform sampling from half-open integer ranges.
+//! * [`Rng::gen_range`] — uniform sampling from half-open and inclusive
+//!   integer ranges;
+//! * [`Rng::gen_bool`] — a Bernoulli draw.
 //!
 //! The signatures match `rand 0.8`, so replacing the `rand` entry in the
 //! workspace `[workspace.dependencies]` table with a registry version is a
@@ -26,7 +28,7 @@
 //! assert_eq!(rng2.gen_range(0i64..10), a);
 //! ```
 
-use std::ops::Range;
+use std::ops::{Range, RangeInclusive};
 
 /// The raw 64-bit generator interface.
 pub trait RngCore {
@@ -52,6 +54,19 @@ pub trait Rng: RngCore {
     {
         range.sample_single(self)
     }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability {p} not in [0, 1]");
+        // 53 uniform mantissa bits in [0, 1), the standard conversion.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
 }
 
 impl<R: RngCore> Rng for R {}
@@ -72,10 +87,20 @@ macro_rules! impl_sample_range {
                 ((self.start as i128) + offset) as $t
             }
         }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<G: RngCore>(self, rng: &mut G) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let width = (end as i128).wrapping_sub(start as i128) as u128 + 1;
+                let offset = ((rng.next_u64() as u128) % width) as i128;
+                ((start as i128) + offset) as $t
+            }
+        }
     )*};
 }
 
-impl_sample_range!(i8, i16, i32, i64, u8, u16, u32, usize, isize);
+impl_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
 
 pub mod rngs {
     //! Concrete generator types.

@@ -19,6 +19,10 @@
 //!   [`pipeline::DecisionTrace`];
 //! * [`legacy`] — the pre-refactor monolithic procedure, preserved verbatim
 //!   as the equivalence-test oracle and benchmark baseline;
+//! * [`oracle`] — the differential counting oracle: consensus homomorphism
+//!   counting (backtracking vs junction-tree DP vs brute-force enumeration)
+//!   and verdict replay against explicit database families, the independent
+//!   ground truth behind the adversarial corpus and `bqc fuzz`;
 //! * [`witness`] — witnesses of non-containment (Fact 3.2), product and
 //!   normal witnesses (Theorem 3.4), extraction of verified witnesses from
 //!   polymatroid counterexamples (Lemma 3.7 + Lemma 4.8), and a brute-force
@@ -51,6 +55,11 @@ pub mod containment;
 pub mod decide;
 pub mod et;
 pub mod legacy;
+// The oracle's `Err` is the full diagnostic (separating database, claimed
+// vs recomputed counts) and only materializes when a checker finds a bug —
+// the cold path by definition, so the large-variant lint does not apply.
+#[allow(clippy::result_large_err)]
+pub mod oracle;
 pub mod pipeline;
 pub mod reduction_to_bagcqc;
 pub mod reductions;
@@ -73,6 +82,10 @@ pub use pipeline::{
 // `bqc-entropy` dependency.
 pub use bqc_entropy::SkeletonCache;
 pub use et::{et_expression, et_inclusion_exclusion, et_node_edge_form};
+pub use oracle::{
+    check_answer, check_obstruction, check_summary, checked_count, count_violation, naive_count,
+    replay_witness, CheckReport, CountViolation, Discrepancy,
+};
 pub use reduction_to_bagcqc::{max_iip_to_containment, ReductionOutput};
 pub use reductions::{
     bag_bag_to_bag_set, boolean_reduction, dom_to_containment, exponent_domination_to_containment,

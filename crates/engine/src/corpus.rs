@@ -1,0 +1,404 @@
+//! The adversarial corpus format: workload lines with expected verdicts.
+//!
+//! A corpus file (`examples/corpus/*.bqc`) is a valid workload file — the
+//! `bqc` CLI and [`crate::workload::parse_workload`] read it unchanged —
+//! whose comments carry *directives* binding each question to the verdict it
+//! must produce, mirroring the `regress` layout of SMT solvers (one
+//! expectation per case, checked in next to the input):
+//!
+//! ```text
+//! # Example 3.5: normal witness exists, product witness does not.
+//! # EXPECT: not-contained
+//! # WITNESS: R(0,0). R(0,1). R(1,0).
+//! Q1() :- R(x,y), R(y,z) ; Q2() :- R(u,v), R(v,w), R(u,w)
+//! ```
+//!
+//! * `# EXPECT: contained | not-contained | unknown` — required before each
+//!   question line; consumed by it.
+//! * `# WITNESS: R(0,1). …` — optional, only valid for `not-contained`: a
+//!   separating database the corpus runner re-counts independently
+//!   (`|Q1(W)| > |Q2(W)|` must hold by explicit evaluation, Fact 3.2).
+//! * every other comment is free text; `%` works wherever `#` does.
+//!
+//! [`render_case`] writes this exact shape back out — it is the emission
+//! format of `bqc fuzz --minimize`, so every fuzzer finding lands on disk as
+//! a ready-to-check-in corpus case.
+
+use crate::workload::{parse_workload_line, WorkloadEntry, WorkloadError};
+use bqc_relational::{parse_structure, ConjunctiveQuery, ParseError, Structure};
+use std::fmt;
+
+/// The verdict a corpus case expects from the decision procedure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExpectedVerdict {
+    /// `Q1 ⊑ Q2` must be answered `Contained`.
+    Contained,
+    /// `Q1 ⋢ Q2` must be answered `NotContained`.
+    NotContained,
+    /// The instance must be reported `Unknown` (outside the decidable
+    /// class); any obstruction is accepted.
+    Unknown,
+}
+
+impl ExpectedVerdict {
+    /// The keyword used in `EXPECT:` directives.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            ExpectedVerdict::Contained => "contained",
+            ExpectedVerdict::NotContained => "not-contained",
+            ExpectedVerdict::Unknown => "unknown",
+        }
+    }
+
+    fn from_keyword(word: &str) -> Option<ExpectedVerdict> {
+        match word {
+            "contained" => Some(ExpectedVerdict::Contained),
+            "not-contained" => Some(ExpectedVerdict::NotContained),
+            "unknown" => Some(ExpectedVerdict::Unknown),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ExpectedVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// One corpus case: a containment question plus its expected verdict and,
+/// for refutations, an optional separating database.
+#[derive(Clone, Debug)]
+pub struct CorpusCase {
+    /// 1-based line of the question line in the corpus text.
+    pub line: usize,
+    /// The contained-candidate query.
+    pub q1: ConjunctiveQuery,
+    /// The containing-candidate query.
+    pub q2: ConjunctiveQuery,
+    /// The verdict the decision procedure must produce.
+    pub expect: ExpectedVerdict,
+    /// A separating database (`not-contained` only): the runner must verify
+    /// `|Q1(W)| > |Q2(W)|` on it by explicit counting.
+    pub witness: Option<Structure>,
+}
+
+/// Errors reading a corpus file, all carrying a 1-based line and — when the
+/// underlying parser anchors one — a 1-based byte column into that line.
+#[derive(Clone, Debug)]
+pub enum CorpusError {
+    /// The workload layer failed (missing `;`, unparseable query); carries
+    /// line and column via [`WorkloadError`].
+    Workload(WorkloadError),
+    /// An `EXPECT:` directive names an unknown verdict.
+    BadExpect {
+        /// 1-based line number of the directive.
+        line: usize,
+        /// 1-based byte column of the unknown verdict word.
+        column: usize,
+        /// What was found instead of a verdict keyword.
+        found: String,
+    },
+    /// A `WITNESS:` database does not parse.
+    BadWitness {
+        /// 1-based line number of the directive.
+        line: usize,
+        /// 1-based byte column in the directive line, when anchored.
+        column: Option<usize>,
+        /// The underlying parser error.
+        error: ParseError,
+    },
+    /// A question line with no preceding `EXPECT:` directive.
+    MissingExpect {
+        /// 1-based line number of the question line.
+        line: usize,
+    },
+    /// A `WITNESS:` directive for a case not expected `not-contained`, or
+    /// with no `EXPECT:` at all.
+    WitnessWithoutRefutation {
+        /// 1-based line number of the directive.
+        line: usize,
+    },
+    /// An `EXPECT:`/`WITNESS:` directive with no question line after it.
+    DanglingDirective {
+        /// 1-based line number of the directive.
+        line: usize,
+    },
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::Workload(e) => e.fmt(f),
+            CorpusError::BadExpect {
+                line,
+                column,
+                found,
+            } => write!(
+                f,
+                "line {line}, column {column}: EXPECT must be one of contained, not-contained, \
+                 unknown (found {found:?})"
+            ),
+            CorpusError::BadWitness {
+                line,
+                column,
+                error,
+            } => match column {
+                Some(column) => {
+                    write!(
+                        f,
+                        "line {line}, column {column}: WITNESS does not parse: {error}"
+                    )
+                }
+                None => write!(f, "line {line}: WITNESS does not parse: {error}"),
+            },
+            CorpusError::MissingExpect { line } => write!(
+                f,
+                "line {line}: question has no preceding `# EXPECT:` directive"
+            ),
+            CorpusError::WitnessWithoutRefutation { line } => write!(
+                f,
+                "line {line}: WITNESS is only meaningful for `EXPECT: not-contained` cases"
+            ),
+            CorpusError::DanglingDirective { line } => {
+                write!(
+                    f,
+                    "line {line}: directive is not followed by a question line"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+impl From<WorkloadError> for CorpusError {
+    fn from(e: WorkloadError) -> CorpusError {
+        CorpusError::Workload(e)
+    }
+}
+
+/// Returns the payload of a `KEY:` directive comment: for a line whose
+/// comment text (after `#`/`%` and whitespace) starts with `KEY:`, the text
+/// after the colon together with its byte offset in `raw`.
+fn directive<'a>(raw: &'a str, key: &str) -> Option<(&'a str, usize)> {
+    let trimmed = raw.trim_start();
+    let body = trimmed.strip_prefix(['#', '%'])?.trim_start();
+    let rest = body.strip_prefix(key)?.strip_prefix(':')?;
+    let offset = (rest.as_ptr() as usize).saturating_sub(raw.as_ptr() as usize);
+    Some((rest, offset))
+}
+
+/// Parses a corpus text into its cases.
+pub fn parse_corpus(text: &str) -> Result<Vec<CorpusCase>, CorpusError> {
+    let mut cases = Vec::new();
+    // Pending directives: (line they appeared on, payload).
+    let mut expect: Option<(usize, ExpectedVerdict)> = None;
+    let mut witness: Option<(usize, Structure)> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        if let Some((rest, offset)) = directive(raw, "EXPECT") {
+            let word = rest.trim();
+            let verdict = ExpectedVerdict::from_keyword(word).ok_or_else(|| {
+                let column = offset + (rest.len() - rest.trim_start().len()) + 1;
+                CorpusError::BadExpect {
+                    line,
+                    column,
+                    found: word.to_string(),
+                }
+            })?;
+            expect = Some((line, verdict));
+            continue;
+        }
+        if let Some((rest, offset)) = directive(raw, "WITNESS") {
+            match expect {
+                Some((_, ExpectedVerdict::NotContained)) => {}
+                _ => return Err(CorpusError::WitnessWithoutRefutation { line }),
+            }
+            let database = parse_structure(rest).map_err(|error| CorpusError::BadWitness {
+                line,
+                column: error.position().map(|p| offset + p + 1),
+                error,
+            })?;
+            witness = Some((line, database));
+            continue;
+        }
+        let Some(WorkloadEntry { q1, q2, .. }) = parse_workload_line(raw, line)? else {
+            continue;
+        };
+        let Some((_, verdict)) = expect.take() else {
+            return Err(CorpusError::MissingExpect { line });
+        };
+        cases.push(CorpusCase {
+            line,
+            q1,
+            q2,
+            expect: verdict,
+            witness: witness.take().map(|(_, db)| db),
+        });
+    }
+    if let Some((line, _)) = witness {
+        return Err(CorpusError::DanglingDirective { line });
+    }
+    if let Some((line, _)) = expect {
+        return Err(CorpusError::DanglingDirective { line });
+    }
+    Ok(cases)
+}
+
+/// Renders one case in corpus format, with optional free-text comment lines
+/// above the directives (each rendered as a `# …` comment).  Witness
+/// databases are first renamed onto an integer domain
+/// ([`Structure::with_integer_domain`]) so the output re-parses regardless
+/// of the value shapes (tags, pairs) the witness machinery produced; the
+/// renaming is injective, so every homomorphism count is preserved.
+pub fn render_case(
+    comments: &[String],
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+    expect: ExpectedVerdict,
+    witness: Option<&Structure>,
+) -> String {
+    let mut out = String::new();
+    for comment in comments {
+        for line in comment.lines() {
+            out.push_str("# ");
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out.push_str("# EXPECT: ");
+    out.push_str(expect.keyword());
+    out.push('\n');
+    if let Some(witness) = witness {
+        let flat: Vec<String> = witness
+            .with_integer_domain()
+            .to_string()
+            .lines()
+            .map(str::to_string)
+            .collect();
+        out.push_str("# WITNESS: ");
+        out.push_str(&flat.join(" "));
+        out.push('\n');
+    }
+    out.push_str(&format!("{q1} ; {q2}\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqc_relational::parse_query;
+
+    const SAMPLE: &str = "\
+# free-text comment
+# EXPECT: not-contained
+% WITNESS: R(0,0). R(0,1). R(1,0).
+Q1() :- R(x,y), R(y,z) ; Q2() :- R(u,v), R(v,w), R(u,w)
+
+# EXPECT: contained
+Q1() :- R(x,y), R(y,z), R(z,x) ; Q2() :- R(u,v), R(u,w) # Example 4.3
+";
+
+    #[test]
+    fn parses_cases_with_directives() {
+        let cases = parse_corpus(SAMPLE).unwrap();
+        assert_eq!(cases.len(), 2);
+        assert_eq!(cases[0].expect, ExpectedVerdict::NotContained);
+        assert_eq!(cases[0].witness.as_ref().unwrap().num_facts("R"), 3);
+        assert_eq!(cases[1].expect, ExpectedVerdict::Contained);
+        assert!(cases[1].witness.is_none());
+        assert_eq!(cases[1].line, 7);
+    }
+
+    #[test]
+    fn corpus_files_are_valid_workloads() {
+        let entries = crate::workload::parse_workload(SAMPLE).unwrap();
+        assert_eq!(entries.len(), 2);
+    }
+
+    #[test]
+    fn directive_errors_carry_positions() {
+        let err =
+            parse_corpus("# EXPECT: definitely\nQ1() :- R(x,y) ; Q2() :- R(u,v)\n").unwrap_err();
+        match err {
+            CorpusError::BadExpect {
+                line: 1,
+                column,
+                ref found,
+            } => {
+                assert_eq!(found, "definitely");
+                assert_eq!(column, 11);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+
+        let text = "# EXPECT: not-contained\n# WITNESS: R(0,?).\nQ1() :- R(x,y) ; Q2() :- R(u,v)\n";
+        let err = parse_corpus(text).unwrap_err();
+        match err {
+            CorpusError::BadWitness {
+                line: 2,
+                column: Some(col),
+                ..
+            } => {
+                let witness_line = text.lines().nth(1).unwrap();
+                assert_eq!(&witness_line[col - 1..col], "?");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn structural_errors() {
+        assert!(matches!(
+            parse_corpus("Q1() :- R(x,y) ; Q2() :- R(u,v)\n").unwrap_err(),
+            CorpusError::MissingExpect { line: 1 }
+        ));
+        assert!(matches!(
+            parse_corpus("# WITNESS: R(0,0).\n").unwrap_err(),
+            CorpusError::WitnessWithoutRefutation { line: 1 }
+        ));
+        assert!(matches!(
+            parse_corpus("# EXPECT: contained\n").unwrap_err(),
+            CorpusError::DanglingDirective { line: 1 }
+        ));
+        assert!(matches!(
+            parse_corpus(
+                "# EXPECT: contained\n# WITNESS: R(0,0).\nQ() :- R(x,y) ; P() :- R(u,v)\n"
+            )
+            .unwrap_err(),
+            CorpusError::WitnessWithoutRefutation { line: 2 }
+        ));
+        // Workload-level errors pass through with their line/column.
+        assert!(matches!(
+            parse_corpus("# EXPECT: contained\nQ1() :- R(x,y)\n").unwrap_err(),
+            CorpusError::Workload(WorkloadError::MissingSeparator { line: 2 })
+        ));
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let q1 = parse_query("Q1() :- R(x,y), R(y,z)").unwrap();
+        let q2 = parse_query("Q2() :- R(u,v)").unwrap();
+        let mut witness = Structure::empty();
+        witness.add_fact(
+            "R",
+            vec![
+                bqc_relational::Value::tagged("c1", bqc_relational::Value::int(0)),
+                bqc_relational::Value::tagged("c1", bqc_relational::Value::int(1)),
+            ],
+        );
+        let text = render_case(
+            &["found by fuzzing".to_string()],
+            &q1,
+            &q2,
+            ExpectedVerdict::NotContained,
+            Some(&witness),
+        );
+        let cases = parse_corpus(&text).unwrap();
+        assert_eq!(cases.len(), 1);
+        assert_eq!(cases[0].expect, ExpectedVerdict::NotContained);
+        assert_eq!(cases[0].witness.as_ref().unwrap().num_facts("R"), 1);
+        assert_eq!(cases[0].q1.atoms().len(), 2);
+    }
+}

@@ -24,6 +24,11 @@
 //! * [`workload`] — the textual workload format consumed by the `bqc` CLI
 //!   (one `Q1 … ; Q2 …` question per line) and a small JSON string escaper
 //!   for the machine-readable report;
+//! * [`corpus`] — the adversarial corpus format: workload files whose
+//!   `# EXPECT:` / `# WITNESS:` directive comments pin each question to the
+//!   verdict it must produce (and, for refutations, a separating database);
+//!   parsed by the corpus runner in `cargo test` and written back out by
+//!   `bqc fuzz` repro minimization;
 //! * [`telemetry`] — per-stage aggregate counters
 //!   ([`telemetry::PipelineTelemetry`]) folded from the
 //!   [`bqc_core::DecisionTrace`] of every fresh decision, answering "which
@@ -62,12 +67,16 @@
 
 pub mod cache;
 pub mod canon;
+pub mod corpus;
 pub mod engine;
 pub mod telemetry;
 pub mod workload;
 
 pub use cache::{CacheStats, DecisionCache};
 pub use canon::{canonicalize, canonicalize_pair, fnv1a, CanonicalPair, CanonicalQuery};
+pub use corpus::{parse_corpus, render_case, CorpusCase, CorpusError, ExpectedVerdict};
 pub use engine::{BatchResult, Engine, EngineOptions, Provenance};
 pub use telemetry::{PipelineTelemetry, StageStats};
-pub use workload::{json_escape, parse_workload, WorkloadEntry, WorkloadError};
+pub use workload::{
+    json_escape, parse_workload, parse_workload_line, WorkloadEntry, WorkloadError,
+};

@@ -39,6 +39,11 @@ pub enum WorkloadError {
     BadQuery {
         /// 1-based line number.
         line: usize,
+        /// 1-based byte column *in the original line* where the parser gave
+        /// up, when the underlying error is anchored to a position (comment
+        /// stripping and the `;` split are accounted for, so the column
+        /// points into the line as written in the file).
+        column: Option<usize>,
         /// Which side of the `;` failed: `"Q1"` or `"Q2"`.
         side: &'static str,
         /// The underlying parser error.
@@ -53,46 +58,77 @@ impl fmt::Display for WorkloadError {
                 f,
                 "line {line}: expected `Q1 … ; Q2 …` (exactly one `;` separating the two queries)"
             ),
-            WorkloadError::BadQuery { line, side, error } => {
-                write!(f, "line {line}: {side} does not parse: {error}")
-            }
+            WorkloadError::BadQuery {
+                line,
+                column,
+                side,
+                error,
+            } => match column {
+                Some(column) => {
+                    write!(
+                        f,
+                        "line {line}, column {column}: {side} does not parse: {error}"
+                    )
+                }
+                None => write!(f, "line {line}: {side} does not parse: {error}"),
+            },
         }
     }
 }
 
+/// Byte offset of subslice `sub` within `raw`.  Both `code` (comment-stripped,
+/// trimmed) and the `;`-split sides are genuine subslices of the raw line, so
+/// pointer arithmetic recovers where they start in the original text.
+fn offset_within(raw: &str, sub: &str) -> usize {
+    (sub.as_ptr() as usize).saturating_sub(raw.as_ptr() as usize)
+}
+
 impl std::error::Error for WorkloadError {}
+
+/// Parses one line of workload text: `Ok(None)` for blank/comment lines,
+/// `Ok(Some(entry))` for a `Q1 … ; Q2 …` question.  `line` is the 1-based
+/// line number used in errors; reported columns point into `raw` as given.
+/// Shared by [`parse_workload`] and the corpus parser
+/// ([`crate::corpus::parse_corpus`]), which layers directive comments on top
+/// of this line shape.
+pub fn parse_workload_line(raw: &str, line: usize) -> Result<Option<WorkloadEntry>, WorkloadError> {
+    // Strip the comment tail before splitting on `;`, so a comment
+    // containing a semicolon cannot break the separator count.
+    let code = raw
+        .split(['#', '%'])
+        .next()
+        .expect("split yields at least one piece")
+        .trim();
+    if code.is_empty() {
+        return Ok(None);
+    }
+    let mut sides = code.split(';');
+    let (left, right) = match (sides.next(), sides.next(), sides.next()) {
+        (Some(l), Some(r), None) => (l, r),
+        _ => return Err(WorkloadError::MissingSeparator { line }),
+    };
+    let q1 = parse_query(left).map_err(|error| WorkloadError::BadQuery {
+        line,
+        column: error.position().map(|p| offset_within(raw, left) + p + 1),
+        side: "Q1",
+        error,
+    })?;
+    let q2 = parse_query(right).map_err(|error| WorkloadError::BadQuery {
+        line,
+        column: error.position().map(|p| offset_within(raw, right) + p + 1),
+        side: "Q2",
+        error,
+    })?;
+    Ok(Some(WorkloadEntry { line, q1, q2 }))
+}
 
 /// Parses a workload text into its entries.
 pub fn parse_workload(text: &str) -> Result<Vec<WorkloadEntry>, WorkloadError> {
     let mut entries = Vec::new();
     for (i, raw) in text.lines().enumerate() {
-        let line = i + 1;
-        // Strip the comment tail before splitting on `;`, so a comment
-        // containing a semicolon cannot break the separator count.
-        let code = raw
-            .split(['#', '%'])
-            .next()
-            .expect("split yields at least one piece")
-            .trim();
-        if code.is_empty() {
-            continue;
+        if let Some(entry) = parse_workload_line(raw, i + 1)? {
+            entries.push(entry);
         }
-        let mut sides = code.split(';');
-        let (left, right) = match (sides.next(), sides.next(), sides.next()) {
-            (Some(l), Some(r), None) => (l, r),
-            _ => return Err(WorkloadError::MissingSeparator { line }),
-        };
-        let q1 = parse_query(left).map_err(|error| WorkloadError::BadQuery {
-            line,
-            side: "Q1",
-            error,
-        })?;
-        let q2 = parse_query(right).map_err(|error| WorkloadError::BadQuery {
-            line,
-            side: "Q2",
-            error,
-        })?;
-        entries.push(WorkloadEntry { line, q1, q2 });
     }
     Ok(entries)
 }
@@ -175,6 +211,52 @@ Q1(a) :- S(a,b) ; Q2(c) :- S(c,c)
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn bad_query_columns_point_into_the_raw_line() {
+        // The stray `?` sits after the `;`, so the reported column must
+        // account for everything to its left in the original line.
+        let text = "Q1() :- R(x,y) ; Q2() :- R(u,?v)";
+        let err = parse_workload(text).unwrap_err();
+        match &err {
+            WorkloadError::BadQuery {
+                line: 1,
+                column: Some(col),
+                side: "Q2",
+                ..
+            } => assert_eq!(&text[col - 1..*col], "?"),
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(err.to_string().contains("column"));
+
+        // Same for the left side, with leading whitespace in the line.
+        let text = "   Q1() :- R(x,?y) ; Q2() :- R(u,v)";
+        let err = parse_workload(text).unwrap_err();
+        match &err {
+            WorkloadError::BadQuery {
+                line: 1,
+                column: Some(col),
+                side: "Q1",
+                ..
+            } => assert_eq!(&text[col - 1..*col], "?"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unanchored_errors_have_no_column() {
+        let err = parse_workload("Q1() :- R(x,y) ; Q2() :- R(u,").unwrap_err();
+        match &err {
+            WorkloadError::BadQuery {
+                line: 1,
+                column: None,
+                side: "Q2",
+                error: ParseError::UnexpectedEnd,
+            } => {}
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(!err.to_string().contains("column"));
     }
 
     #[test]

@@ -44,6 +44,20 @@ pub enum ParseError {
     InvalidQuery(QueryError),
 }
 
+impl ParseError {
+    /// Byte offset into the parsed text where the error occurred, when the
+    /// error is anchored to a position ([`ParseError::UnexpectedChar`] and
+    /// [`ParseError::Expected`]; end-of-input and structural query errors
+    /// carry none).
+    pub fn position(&self) -> Option<usize> {
+        match self {
+            ParseError::UnexpectedChar { position, .. } => Some(*position),
+            ParseError::Expected { position, .. } => Some(*position),
+            ParseError::UnexpectedEnd | ParseError::InvalidQuery(_) => None,
+        }
+    }
+}
+
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

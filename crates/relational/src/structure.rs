@@ -167,6 +167,31 @@ impl Structure {
         result
     }
 
+    /// An isomorphic copy whose domain values are the integers
+    /// `0, …, |adom|−1` (in the order of the active domain).  Renaming the
+    /// domain injectively preserves every homomorphism count, so this is the
+    /// canonical way to print a structure — e.g. a witness database whose
+    /// values are tags or pairs — in the re-parseable ground-fact syntax.
+    pub fn with_integer_domain(&self) -> Structure {
+        let renaming: BTreeMap<Value, Value> = self
+            .active_domain()
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (v, Value::int(i as i64)))
+            .collect();
+        let mut result = Structure::new(self.vocabulary.clone());
+        for value in &self.extra_domain {
+            result.add_domain_value(renaming[value].clone());
+        }
+        for (name, tuples) in &self.relations {
+            for tuple in tuples {
+                let renamed: Tuple = tuple.iter().map(|v| renaming[v].clone()).collect();
+                result.add_fact(name, renamed);
+            }
+        }
+        result
+    }
+
     /// Merges all facts of `other` into this structure.
     pub fn merge(&mut self, other: &Structure) {
         for (name, tuples) in &other.relations {
@@ -269,6 +294,27 @@ mod tests {
         let mut merged = only_r.clone();
         merged.merge(&s);
         assert_eq!(merged.num_facts("S"), 1);
+    }
+
+    #[test]
+    fn integer_domain_is_isomorphic() {
+        let mut s = Structure::empty();
+        s.add_fact(
+            "R",
+            vec![
+                Value::tagged("c1", Value::int(7)),
+                Value::tagged("c2", Value::int(7)),
+            ],
+        );
+        s.add_fact(
+            "R",
+            vec![Value::text("a"), Value::tagged("c1", Value::int(7))],
+        );
+        s.add_domain_value(Value::text("iso"));
+        let renamed = s.with_integer_domain();
+        assert_eq!(renamed.num_facts("R"), 2);
+        assert_eq!(renamed.active_domain().len(), s.active_domain().len());
+        assert!(renamed.active_domain().iter().all(|v| v.as_int().is_some()));
     }
 
     #[test]

@@ -11,8 +11,15 @@
 //! ```text
 //! bqc [--json] [--explain] [--fail-on CLASS] [--workers N] [--shards N]
 //!     [--capacity N] [--no-witness] [--repeat N] FILE
+//! bqc fuzz [--pairs N] [--seed N] [--self-test] [--out DIR] [--json]
 //! ```
+//!
+//! `bqc fuzz` generates random containment questions, batches them through
+//! the engine, and replays every verdict against the differential counting
+//! oracle (`bqc_core::oracle`); discrepancies are minimized and emitted in
+//! the adversarial corpus format (`bqc_engine::corpus`).
 
+use bag_query_containment::bench::fuzz::{run_campaign, FuzzConfig};
 use bag_query_containment::engine::{
     json_escape, parse_workload, BatchResult, Engine, EngineOptions, Provenance, WorkloadEntry,
 };
@@ -61,9 +68,41 @@ options:
   --repeat N      run the workload N times back to back (cache warm-up demo)
   --help          this message
 
+subcommands:
+  fuzz            differential fuzzing: generated pairs through the engine,
+                  every verdict replayed against the counting oracle
+                  (`bqc fuzz --help` for its options)
+
 exit status: 0 on success, 1 on usage/IO/parse errors, 2 when the workload
 ran but some requests failed with decision errors (reported per line), 3
 when --fail-on matched at least one verdict (and no decision error occurred).";
+
+const FUZZ_USAGE: &str = "\
+usage: bqc fuzz [OPTIONS]
+
+Generate random containment questions, decide them in batches through the
+caching engine, and replay every verdict against the differential counting
+oracle on a per-pair database family: a `contained` verdict contradicted by
+explicit counts is a soundness bug (Fact 3.2), refutations are confirmed by
+family separation or independent witness re-counting, and `unknown`
+obstructions are recomputed from the containing query's structure.  Each
+discrepancy is shrunk (drop atoms, identify variables) while it persists and
+emitted as a ready-to-check-in corpus case (see examples/corpus/).
+
+options:
+  --pairs N     number of generated pairs (default 10000)
+  --seed N      campaign seed (default 0xbac5eed; decimal or 0x-hex)
+  --self-test   flip one family-separable refutation to `contained` before
+                checking: the oracle must catch and minimize the injected
+                bug (exit 0 if caught, 4 if missed)
+  --out DIR     write each minimized repro to DIR/fuzz-<seed>-<pair>.bqc
+                instead of printing it
+  --json        machine-readable JSON report instead of the text report
+  --help        this message
+
+exit status: 0 when the campaign passed (no discrepancy; with --self-test,
+the injected bug was caught and nothing else was), 1 on usage/IO errors, 4
+when a verdict/count discrepancy was found (or an injected one was missed).";
 
 /// Why argument parsing did not yield a runnable configuration.
 enum CliExit {
@@ -143,8 +182,209 @@ fn parse_args(args: &[String]) -> Result<Cli, CliExit> {
     Ok(cli)
 }
 
+struct FuzzCli {
+    pairs: usize,
+    seed: u64,
+    self_test: bool,
+    out: Option<String>,
+    json: bool,
+}
+
+fn parse_fuzz_args(args: &[String]) -> Result<FuzzCli, CliExit> {
+    let mut cli = FuzzCli {
+        pairs: 10_000,
+        seed: 0x0bac_5eed,
+        self_test: false,
+        out: None,
+        json: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--pairs" => {
+                cli.pairs = it
+                    .next()
+                    .ok_or_else(|| CliExit::Usage("--pairs requires a value".into()))?
+                    .parse::<usize>()
+                    .map_err(|_| {
+                        CliExit::Usage("--pairs requires a non-negative integer".into())
+                    })?;
+            }
+            "--seed" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliExit::Usage("--seed requires a value".into()))?;
+                let parsed = match value.strip_prefix("0x") {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => value.parse::<u64>(),
+                };
+                cli.seed = parsed
+                    .map_err(|_| CliExit::Usage("--seed requires an integer (or 0x-hex)".into()))?;
+            }
+            "--self-test" => cli.self_test = true,
+            "--out" => {
+                cli.out = Some(
+                    it.next()
+                        .ok_or_else(|| CliExit::Usage("--out requires a directory".into()))?
+                        .clone(),
+                );
+            }
+            "--json" => cli.json = true,
+            "--help" | "-h" => return Err(CliExit::Help),
+            other => return Err(CliExit::Usage(format!("unknown fuzz option {other}"))),
+        }
+    }
+    Ok(cli)
+}
+
+fn fuzz_main(args: &[String]) -> ExitCode {
+    let cli = match parse_fuzz_args(args) {
+        Ok(cli) => cli,
+        Err(CliExit::Help) => {
+            println!("{FUZZ_USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(CliExit::Usage(message)) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = FuzzConfig {
+        pairs: cli.pairs,
+        seed: cli.seed,
+        self_test: cli.self_test,
+        ..FuzzConfig::default()
+    };
+    let start = Instant::now();
+    let report = run_campaign(&config, &mut |done| {
+        if !cli.json && (done % 2048 == 0 || done == config.pairs) {
+            eprintln!("bqc fuzz: {done}/{} pairs checked", config.pairs);
+        }
+    });
+    let wall_micros = start.elapsed().as_micros() as u64;
+
+    // Persist or print the minimized repros before the summary.
+    let mut repro_paths: Vec<String> = Vec::new();
+    if let Some(dir) = &cli.out {
+        if let Err(error) = std::fs::create_dir_all(dir) {
+            eprintln!("bqc fuzz: cannot create {dir}: {error}");
+            return ExitCode::FAILURE;
+        }
+        for finding in &report.findings {
+            let path = format!("{dir}/fuzz-{:x}-{}.bqc", config.seed, finding.index);
+            if let Err(error) = std::fs::write(&path, &finding.repro) {
+                eprintln!("bqc fuzz: cannot write {path}: {error}");
+                return ExitCode::FAILURE;
+            }
+            repro_paths.push(path);
+        }
+    }
+
+    if cli.json {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"pairs\": {}, \"seed\": \"{:#x}\", \"self_test\": {},\n",
+            report.pairs, config.seed, cli.self_test
+        ));
+        out.push_str(&format!(
+            "  \"verdicts\": {{\"contained\": {}, \"not_contained\": {}, \"unknown\": {}, \
+             \"errors\": {}}},\n",
+            report.contained, report.not_contained, report.unknown, report.errors
+        ));
+        out.push_str(&format!(
+            "  \"refutations\": {{\"confirmed\": {}, \"unconfirmed\": {}}},\n",
+            report.confirmed_refutations, report.unconfirmed_refutations
+        ));
+        out.push_str("  \"findings\": [\n");
+        for (i, finding) in report.findings.iter().enumerate() {
+            let comma = if i + 1 == report.findings.len() {
+                ""
+            } else {
+                ","
+            };
+            out.push_str(&format!(
+                "    {{\"pair\": {}, \"injected\": {}, \"discrepancies\": {}, \
+                 \"repro\": \"{}\"}}{comma}\n",
+                finding.index,
+                finding.injected,
+                finding.discrepancies.len(),
+                json_escape(&finding.repro)
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"passed\": {}, \"wall_micros\": {wall_micros}\n}}",
+            report.passed()
+        ));
+        println!("{out}");
+    } else {
+        println!(
+            "bqc fuzz: {} pairs (seed {:#x}): {} contained, {} not contained ({} confirmed, \
+             {} unconfirmed), {} unknown, {} errors",
+            report.pairs,
+            config.seed,
+            report.contained,
+            report.not_contained,
+            report.confirmed_refutations,
+            report.unconfirmed_refutations,
+            report.unknown,
+            report.errors
+        );
+        for (i, finding) in report.findings.iter().enumerate() {
+            println!(
+                "finding #{i} (pair {}{}):",
+                finding.index,
+                if finding.injected {
+                    ", self-test injection"
+                } else {
+                    ""
+                }
+            );
+            for d in &finding.discrepancies {
+                println!("  {d}");
+            }
+            match repro_paths.get(i) {
+                Some(path) => println!("  minimized repro written to {path}"),
+                None => {
+                    println!("  minimized repro (corpus format):");
+                    for line in finding.repro.lines() {
+                        println!("    {line}");
+                    }
+                }
+            }
+        }
+        if cli.self_test {
+            match report.injected_at {
+                Some(index) if report.passed() => println!(
+                    "self-test: injected verdict flip at pair {index} was caught and minimized"
+                ),
+                Some(index) => {
+                    println!("self-test: injected verdict flip at pair {index} was NOT caught")
+                }
+                None => println!(
+                    "self-test: no family-separable refutation to flip (campaign too small?)"
+                ),
+            }
+        }
+        println!(
+            "result: {} ({:.3}s)",
+            if report.passed() { "PASS" } else { "FAIL" },
+            wall_micros as f64 / 1e6
+        );
+    }
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(4)
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("fuzz") {
+        return fuzz_main(&args[1..]);
+    }
     let cli = match parse_args(&args) {
         Ok(cli) => cli,
         Err(CliExit::Help) => {

@@ -18,7 +18,9 @@
 //! * [`core`] — the containment inequality (Eq. 8), the decision procedure of
 //!   Theorem 3.1, witness extraction, and both reductions of Theorem 2.7;
 //! * [`engine`] — the serving layer: query canonicalization, a sharded LRU
-//!   decision cache, and the concurrent batch executor behind the `bqc` CLI.
+//!   decision cache, and the concurrent batch executor behind the `bqc` CLI;
+//! * [`mod@bench`] — deterministic workload generators, the differential-oracle
+//!   database families, and the `bqc fuzz` campaign harness.
 //!
 //! ## Quickstart
 //!
@@ -31,6 +33,7 @@
 //! ```
 
 pub use bqc_arith as arith;
+pub use bqc_bench as bench;
 pub use bqc_core as core;
 pub use bqc_engine as engine;
 pub use bqc_entropy as entropy;
