@@ -18,6 +18,11 @@
 //!   screen, refuter via canonical database and via the random family, LP
 //!   valid, single-bag fallback), the scenario the per-stage telemetry is
 //!   for.
+//! * **Observability overhead** (`pipeline/obs/*`) — the same cold-engine
+//!   stage-mix batch with the `bqc-obs` metric probes live vs killed by the
+//!   runtime switch (`bqc_obs::set_enabled`).  The CI floor requires
+//!   `disabled / enabled ≥ 0.952`, i.e. live counters cost at most 5% —
+//!   the experiment E18 overhead policy.
 
 use bqc_bench::{cycle_query, parallel_blocks_query, path_query, spread_query, stage_mix_workload};
 use bqc_core::legacy::decide_containment_legacy;
@@ -114,5 +119,37 @@ fn bench_stage_mix(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_refutable, bench_overhead, bench_stage_mix);
+fn bench_obs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/obs");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+    let repeats = 4usize;
+    let workload = stage_mix_workload(repeats, 42);
+    // Same cold-engine batch in both scenarios; only the metric kill switch
+    // differs.  Spans are not started in either (tracing is off by default
+    // and is not part of the always-on overhead budget).
+    for enabled in [true, false] {
+        let name = if enabled { "enabled" } else { "disabled" };
+        group.bench_with_input(BenchmarkId::new(name, repeats), &workload, |b, workload| {
+            bqc_obs::set_enabled(enabled);
+            b.iter(|| {
+                let engine = Engine::new(EngineOptions {
+                    decide: decide_options(true),
+                    ..EngineOptions::default()
+                });
+                engine.decide_batch(workload)
+            });
+            bqc_obs::set_enabled(true);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_refutable,
+    bench_overhead,
+    bench_stage_mix,
+    bench_obs
+);
 criterion_main!(benches);

@@ -182,10 +182,13 @@ impl DecisionPipeline {
     ) -> Result<Decision, DecideError> {
         let mut state = PipelineState::new(gamma, q1, q2, options);
         let mut trace = DecisionTrace::new();
+        let _pipeline_span = bqc_obs::span("pipeline");
         for stage in &self.stages {
+            let stage_span = bqc_obs::span(stage.name());
             let start = Instant::now();
             let StageResult { outcome, note } = stage.run(&mut state)?;
             let micros = start.elapsed().as_micros() as u64;
+            drop(stage_span);
             let status = match &outcome {
                 StageOutcome::Decided(answer) => StageStatus::Decided(answer.summary().verdict()),
                 StageOutcome::Continue => StageStatus::Continued,

@@ -18,6 +18,30 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+/// Per-shard exported counters (`bqc_engine_cache_*_total{shard="i"}`).
+/// Registered by shard index, so every cache instance in the process feeds
+/// the same per-shard series — the tier hit-rate accounting the exposition
+/// (`bqc --metrics`) reports.
+struct ShardObs {
+    hits: bqc_obs::Counter,
+    misses: bqc_obs::Counter,
+    evictions: bqc_obs::Counter,
+}
+
+impl ShardObs {
+    fn new(index: usize) -> ShardObs {
+        ShardObs {
+            hits: bqc_obs::counter(&format!("bqc_engine_cache_hits_total{{shard=\"{index}\"}}")),
+            misses: bqc_obs::counter(&format!(
+                "bqc_engine_cache_misses_total{{shard=\"{index}\"}}"
+            )),
+            evictions: bqc_obs::counter(&format!(
+                "bqc_engine_cache_evictions_total{{shard=\"{index}\"}}"
+            )),
+        }
+    }
+}
+
 /// Point-in-time counters of cache activity.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -48,6 +72,7 @@ struct Shard {
 /// all methods take `&self`.
 pub struct DecisionCache {
     shards: Vec<Mutex<Shard>>,
+    obs: Vec<ShardObs>,
     capacity_per_shard: usize,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -68,6 +93,7 @@ impl DecisionCache {
                     })
                 })
                 .collect(),
+            obs: (0..shards).map(ShardObs::new).collect(),
             capacity_per_shard: capacity_per_shard.max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -75,25 +101,28 @@ impl DecisionCache {
         }
     }
 
-    fn shard_for(&self, hash: u64) -> &Mutex<Shard> {
+    fn shard_index(&self, hash: u64) -> usize {
         // The low bits of FNV-1a are well mixed; simple modulo sharding.
-        &self.shards[(hash % self.shards.len() as u64) as usize]
+        (hash % self.shards.len() as u64) as usize
     }
 
     /// Looks up the summary cached for `hash`, verifying `key_text` against
     /// the stored canonical text.  Counts a hit or a miss.
     pub fn get(&self, hash: u64, key_text: &str) -> Option<AnswerSummary> {
-        let mut shard = self.shard_for(hash).lock().expect("cache shard poisoned");
+        let index = self.shard_index(hash);
+        let mut shard = self.shards[index].lock().expect("cache shard poisoned");
         shard.clock += 1;
         let clock = shard.clock;
         match shard.map.get_mut(&hash) {
             Some(entry) if entry.key_text == key_text => {
                 entry.last_used = clock;
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.obs[index].hits.inc();
                 Some(entry.summary)
             }
             _ => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                self.obs[index].misses.inc();
                 None
             }
         }
@@ -102,7 +131,8 @@ impl DecisionCache {
     /// Inserts (or refreshes) the summary for `hash`, evicting the shard's
     /// least-recently-used entry when the shard is at capacity.
     pub fn insert(&self, hash: u64, key_text: &str, summary: AnswerSummary) {
-        let mut shard = self.shard_for(hash).lock().expect("cache shard poisoned");
+        let index = self.shard_index(hash);
+        let mut shard = self.shards[index].lock().expect("cache shard poisoned");
         shard.clock += 1;
         let clock = shard.clock;
         if let Some(entry) = shard.map.get_mut(&hash) {
@@ -126,6 +156,7 @@ impl DecisionCache {
             {
                 shard.map.remove(&victim);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.obs[index].evictions.inc();
             }
         }
         shard.map.insert(

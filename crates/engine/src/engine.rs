@@ -23,16 +23,25 @@
 
 use crate::cache::{CacheStats, DecisionCache};
 use crate::canon::{canonicalize_pair, CanonicalPair};
-use crate::telemetry::{PipelineTelemetry, StageStats};
+use crate::telemetry::{PipelineTelemetry, ShortCircuitStats, StageStats};
 use bqc_core::{
     decide_containment_traced, AnswerSummary, DecideContext, DecideError, DecideOptions,
     DecisionTrace, SkeletonCache,
 };
+use bqc_obs::{LazyCounter, LazyHistogram};
 use bqc_relational::ConjunctiveQuery;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+static BATCHES: LazyCounter = LazyCounter::new("bqc_engine_batches_total");
+static BATCH_REQUESTS: LazyCounter = LazyCounter::new("bqc_engine_batch_requests_total");
+static FRESH_DECISIONS: LazyCounter = LazyCounter::new("bqc_engine_fresh_decisions_total");
+static CACHED_HITS: LazyCounter = LazyCounter::new("bqc_engine_cached_hits_total");
+static DEDUPED: LazyCounter = LazyCounter::new("bqc_engine_deduped_total");
+static DECIDE_MICROS: LazyHistogram = LazyHistogram::new("bqc_engine_decide_micros");
+static BATCH_MICROS: LazyHistogram = LazyHistogram::new("bqc_engine_batch_micros");
 
 /// How a request in a batch obtained its answer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -153,17 +162,24 @@ impl Engine {
     ) -> Result<AnswerSummary, DecideError> {
         let pair = canonicalize_pair(q1, q2);
         if let Some(summary) = self.cache.get(pair.hash, &pair.key) {
+            CACHED_HITS.inc();
+            self.telemetry.record_cache_hit();
             return Ok(summary);
         }
         // A fresh context per call keeps single decides history-independent;
         // the shared skeletons carry no history (see DecideContext docs).
         let mut ctx = DecideContext::with_skeletons(self.skeletons.clone());
+        let start = Instant::now();
+        let decide_span = bqc_obs::span_with_arg("decide", "pair", format!("{:016x}", pair.hash));
         let decision = decide_containment_traced(
             &mut ctx,
             &pair.q1.query,
             &pair.q2.query,
             &self.options.decide,
         )?;
+        drop(decide_span);
+        FRESH_DECISIONS.inc();
+        DECIDE_MICROS.observe(start.elapsed().as_micros() as u64);
         self.telemetry.record(&decision.trace);
         let summary = decision.answer.summary();
         self.cache.insert(pair.hash, &pair.key, summary);
@@ -178,12 +194,20 @@ impl Engine {
         &self,
         requests: &[(ConjunctiveQuery, ConjunctiveQuery)],
     ) -> Vec<BatchResult> {
+        let batch_start = Instant::now();
+        BATCHES.inc();
+        BATCH_REQUESTS.add(requests.len() as u64);
+        let batch_span =
+            bqc_obs::span_with_arg("decide-batch", "requests", requests.len().to_string());
+
         // Phase 1: canonicalize every request, in parallel — on a warm batch
         // this is the whole cost, and the backtracking search can be slow on
         // large symmetric queries.
         let workers = self.worker_count(requests.len());
+        let canon_span = bqc_obs::span("canonicalize");
         let pairs: Vec<CanonicalPair> =
             parallel_map(requests, workers, |(q1, q2)| canonicalize_pair(q1, q2));
+        drop(canon_span);
 
         // Group by the full canonical key text, NOT by the 64-bit hash: the
         // cache-determinism invariant requires that a hash collision between
@@ -207,9 +231,12 @@ impl Engine {
         }
         let mut outcomes: HashMap<&str, LeaderOutcome> = HashMap::new();
         let mut jobs: Vec<usize> = Vec::new();
+        let probe_span = bqc_obs::span("cache-probe");
         for &i in &leaders {
             let pair = &pairs[i];
             if let Some(summary) = self.cache.get(pair.hash, &pair.key) {
+                CACHED_HITS.inc();
+                self.telemetry.record_cache_hit();
                 outcomes.insert(
                     pair.key.as_str(),
                     LeaderOutcome {
@@ -223,6 +250,7 @@ impl Engine {
                 jobs.push(i);
             }
         }
+        drop(probe_span);
 
         // Phase 3: fan the uncached leaders out over scoped workers.  Each
         // worker carries a DecideContext, so the Shannon-cone LP probes of
@@ -232,6 +260,7 @@ impl Engine {
         // its prover for witness-free decisions — see the DecideContext docs
         // — so cached summaries never depend on which worker computed them.)
         let workers = self.worker_count(jobs.len());
+        let fan_out_span = bqc_obs::span("fan-out");
         let computed = parallel_map_with(
             &jobs,
             workers,
@@ -239,15 +268,22 @@ impl Engine {
             |ctx, &i| {
                 let pair = &pairs[i];
                 let start = Instant::now();
+                let decide_span =
+                    bqc_obs::span_with_arg("decide", "pair", format!("{:016x}", pair.hash));
                 let outcome = decide_containment_traced(
                     ctx,
                     &pair.q1.query,
                     &pair.q2.query,
                     &self.options.decide,
                 );
-                (outcome, start.elapsed().as_micros() as u64)
+                drop(decide_span);
+                let micros = start.elapsed().as_micros() as u64;
+                FRESH_DECISIONS.inc();
+                DECIDE_MICROS.observe(micros);
+                (outcome, micros)
             },
         );
+        drop(fan_out_span);
         for (&i, (outcome, micros)) in jobs.iter().zip(computed) {
             let pair = &pairs[i];
             let (answer, trace) = match outcome {
@@ -271,7 +307,7 @@ impl Engine {
         }
 
         // Phase 4: assemble per-request results in request order.
-        pairs
+        let results = pairs
             .iter()
             .enumerate()
             .map(|(i, pair)| {
@@ -280,6 +316,8 @@ impl Engine {
                 let provenance = if i == leader {
                     outcome.provenance
                 } else {
+                    DEDUPED.inc();
+                    self.telemetry.record_dedup();
                     Provenance::DedupedInFlight
                 };
                 BatchResult {
@@ -294,7 +332,10 @@ impl Engine {
                     },
                 }
             })
-            .collect()
+            .collect();
+        drop(batch_span);
+        BATCH_MICROS.observe(batch_start.elapsed().as_micros() as u64);
+        results
     }
 
     /// The engine-wide Shannon-cone skeleton cache (exposed for
@@ -309,11 +350,18 @@ impl Engine {
     }
 
     /// Snapshot of the per-stage pipeline telemetry folded from every fresh
-    /// decision this engine computed (cache hits and dedups reuse earlier
-    /// computations and are counted in [`Engine::cache_stats`] /
-    /// [`Provenance`] instead).
+    /// decision this engine computed.  Cache hits and in-flight dedups never
+    /// run the pipeline; they are tallied in the short-circuited bucket
+    /// ([`Engine::short_circuit_stats`]), so stage fractions can be reported
+    /// against total traffic rather than fresh decisions alone.
     pub fn pipeline_stats(&self) -> Vec<StageStats> {
         self.telemetry.snapshot()
+    }
+
+    /// Decisions this engine served without running the pipeline: cache hits
+    /// (single and batch) and in-flight batch dedups.
+    pub fn short_circuit_stats(&self) -> ShortCircuitStats {
+        self.telemetry.short_circuited()
     }
 
     /// Drops every cached decision (counters are kept).

@@ -33,8 +33,17 @@
 //!   ([`telemetry::PipelineTelemetry`]) folded from the
 //!   [`bqc_core::DecisionTrace`] of every fresh decision, answering "which
 //!   pipeline stage decides how much of the traffic, at what cost" for a
-//!   whole serving deployment; fresh [`BatchResult`]s also carry their
+//!   whole serving deployment, with cache hits and in-flight dedups tallied
+//!   in a distinct short-circuited bucket
+//!   ([`telemetry::ShortCircuitStats`]) so stage fractions can be reported
+//!   against total traffic; fresh [`BatchResult`]s also carry their
 //!   individual trace for `bqc --explain` / `--json`.
+//!
+//! The cache, the batch executor and the telemetry also feed the
+//! workspace-wide `bqc-obs` registry (per-shard
+//! `bqc_engine_cache_*_total{shard="i"}` counters, provenance totals, batch
+//! and per-decision latency histograms, and `decide-batch` / `decide` spans)
+//! for export via `bqc --metrics` / `--trace-out`.
 //!
 //! **Cache determinism invariant** (see ARCHITECTURE.md): a cached answer is
 //! byte-identical to the answer a fresh computation would produce, because
@@ -76,7 +85,7 @@ pub use cache::{CacheStats, DecisionCache};
 pub use canon::{canonicalize, canonicalize_pair, fnv1a, CanonicalPair, CanonicalQuery};
 pub use corpus::{parse_corpus, render_case, CorpusCase, CorpusError, ExpectedVerdict};
 pub use engine::{BatchResult, Engine, EngineOptions, Provenance};
-pub use telemetry::{PipelineTelemetry, StageStats};
+pub use telemetry::{PipelineTelemetry, ShortCircuitStats, StageStats};
 pub use workload::{
     json_escape, parse_workload, parse_workload_line, WorkloadEntry, WorkloadError,
 };

@@ -9,12 +9,17 @@
 //! the LP?", "where do the milliseconds go?") without retaining any
 //! per-request data.
 //!
-//! Cache hits and in-flight dedups never touch the pipeline and therefore
-//! do not appear here; their volume is visible in
+//! Cache hits and in-flight dedups never touch the pipeline, but they are
+//! still traffic: the accumulator counts them in a distinct
+//! **short-circuited** bucket ([`ShortCircuitStats`]), so per-stage
+//! fractions can be computed against [`PipelineTelemetry::traffic`] — every
+//! decision served — rather than only the fresh decisions the pipeline ran.
+//! The per-tier detail (which shard, how many evictions) remains in
 //! [`CacheStats`](crate::cache::CacheStats) and the batch provenance
-//! counters instead.
+//! counters.
 
 use bqc_core::{DecisionTrace, StageStatus};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Aggregate counters for one pipeline stage.
@@ -46,11 +51,30 @@ impl StageStats {
     }
 }
 
+/// Decisions served without running the pipeline at all.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShortCircuitStats {
+    /// Answered from the decision cache.
+    pub cached: u64,
+    /// Answered by deduplication against an identical in-flight request.
+    pub deduped: u64,
+}
+
+impl ShortCircuitStats {
+    /// Total short-circuited decisions.
+    pub fn total(&self) -> u64 {
+        self.cached + self.deduped
+    }
+}
+
 /// Thread-safe accumulator of [`StageStats`], ordered by first appearance
-/// (which, for the standard pipeline, is the stage execution order).
+/// (which, for the standard pipeline, is the stage execution order), plus
+/// the short-circuited bucket for cache-served and deduped decisions.
 #[derive(Debug, Default)]
 pub struct PipelineTelemetry {
     stages: Mutex<Vec<StageStats>>,
+    cached: AtomicU64,
+    deduped: AtomicU64,
 }
 
 impl PipelineTelemetry {
@@ -84,7 +108,25 @@ impl PipelineTelemetry {
         self.stages.lock().expect("telemetry poisoned").clone()
     }
 
-    /// Total decisions folded in (every trace has exactly one deciding
+    /// Counts one decision answered from the cache.
+    pub fn record_cache_hit(&self) {
+        self.cached.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one decision answered by in-flight deduplication.
+    pub fn record_dedup(&self) {
+        self.deduped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The short-circuited bucket: decisions served without the pipeline.
+    pub fn short_circuited(&self) -> ShortCircuitStats {
+        ShortCircuitStats {
+            cached: self.cached.load(Ordering::Relaxed),
+            deduped: self.deduped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total fresh decisions folded in (every trace has exactly one deciding
     /// stage).
     pub fn decisions(&self) -> u64 {
         self.stages
@@ -93,6 +135,12 @@ impl PipelineTelemetry {
             .iter()
             .map(|s| s.decided)
             .sum()
+    }
+
+    /// Total decisions served — fresh pipeline runs plus short-circuited —
+    /// the denominator stage fractions should be computed against.
+    pub fn traffic(&self) -> u64 {
+        self.decisions() + self.short_circuited().total()
     }
 }
 
@@ -140,6 +188,29 @@ mod tests {
         // the identity shortcut is consulted by every decision.
         assert_eq!(by_name("shannon-lp").reached(), 1);
         assert_eq!(by_name("identity-shortcut").reached(), 3);
+    }
+
+    #[test]
+    fn short_circuited_decisions_count_toward_traffic() {
+        let telemetry = PipelineTelemetry::new();
+        let mut ctx = DecideContext::new();
+        let q1 = parse_query("Q1() :- R(x,y)").unwrap();
+        let q2 = parse_query("Q2() :- S(u,v)").unwrap();
+        let decision =
+            decide_containment_traced(&mut ctx, &q1, &q2, &DecideOptions::default()).unwrap();
+        telemetry.record(&decision.trace);
+        telemetry.record_cache_hit();
+        telemetry.record_cache_hit();
+        telemetry.record_dedup();
+        assert_eq!(telemetry.decisions(), 1, "only the fresh decision");
+        assert_eq!(
+            telemetry.short_circuited(),
+            ShortCircuitStats {
+                cached: 2,
+                deduped: 1
+            }
+        );
+        assert_eq!(telemetry.traffic(), 4, "stage fractions divide by this");
     }
 
     #[test]

@@ -23,8 +23,13 @@
 use crate::setfn::{all_masks, Mask};
 use crate::shannon::elemental_count;
 use bqc_arith::Rational;
+use bqc_obs::LazyCounter;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
+
+static SEPARATION_SCANS: LazyCounter = LazyCounter::new("bqc_entropy_separation_scans_total");
+static ELEMENTALS_SCANNED: LazyCounter = LazyCounter::new("bqc_entropy_elementals_scanned_total");
+static VIOLATED_ROWS: LazyCounter = LazyCounter::new("bqc_entropy_violated_rows_total");
 
 /// Compact identifier of one elemental inequality of `Γ_n`.
 ///
@@ -228,8 +233,11 @@ impl ShannonSeparator {
                 }
             }
         }
+        SEPARATION_SCANS.inc();
+        ELEMENTALS_SCANNED.add(self.skeleton.num_elemental() as u64);
         violated.sort_by(|a, b| a.0.cmp(&b.0));
         violated.truncate(limit);
+        VIOLATED_ROWS.add(violated.len() as u64);
         violated.into_iter().map(|(_, id)| id).collect()
     }
 }

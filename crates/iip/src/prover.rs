@@ -56,7 +56,17 @@ use bqc_entropy::{
     all_masks, ElementalId, EntropyExpr, Mask, SetFunction, ShannonSeparator, SkeletonCache,
 };
 use bqc_lp::{ConstraintOp, LpBasis, LpProblem, LpStatus, Sense, VarBound, VarId};
+use bqc_obs::{LazyCounter, LazyHistogram};
 use std::collections::HashMap;
+
+static PROBES: LazyCounter = LazyCounter::new("bqc_iip_probes_total");
+static SEPARATION_ROUNDS: LazyCounter = LazyCounter::new("bqc_iip_separation_rounds_total");
+static ROUNDS_PER_PROBE: LazyHistogram = LazyHistogram::new("bqc_iip_rounds_per_probe");
+static ESCALATIONS: LazyCounter = LazyCounter::new("bqc_iip_escalations_total");
+static WARM_SHAPE_HITS: LazyCounter = LazyCounter::new("bqc_iip_warm_shape_hits_total");
+static FARKAS_SUPPORTS_HARVESTED: LazyCounter =
+    LazyCounter::new("bqc_iip_farkas_supports_harvested_total");
+static FARKAS_SUPPORT_HITS: LazyCounter = LazyCounter::new("bqc_iip_farkas_support_hits_total");
 
 /// Outcome of a validity check over the polymatroid cone.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -304,6 +314,8 @@ impl GammaProver {
     /// the inequality's universe, using the lazy separation loop and reusing
     /// the cached active rows and basis when the shape matches.
     pub fn check_max_inequality(&mut self, inequality: &MaxInequality) -> GammaValidity {
+        PROBES.inc();
+        let _probe_span = bqc_obs::span("gamma-check");
         let variables = &inequality.variables;
         let n = variables.len();
         if n <= eager_cutoff() {
@@ -321,6 +333,10 @@ impl GammaProver {
             add_elemental_row(&mut lp, &columns, &id, n);
         }
         if let Some(cached) = self.warm.get(&shape) {
+            WARM_SHAPE_HITS.inc();
+            if !cached.active.is_empty() {
+                FARKAS_SUPPORT_HITS.inc();
+            }
             for id in &cached.active {
                 add_elemental_row(&mut lp, &columns, id, n);
             }
@@ -361,6 +377,8 @@ impl GammaProver {
                         };
                     }
                     rounds += 1;
+                    SEPARATION_ROUNDS.inc();
+                    bqc_obs::instant("separation-round");
                     if rounds > escalation_rounds(n) {
                         // A deep probe: separation at relaxation vertices
                         // has stopped paying for itself, so finish with one
@@ -378,6 +396,9 @@ impl GammaProver {
                         // infeasible on its first solve, so warm re-probes
                         // of this shape skip both the loop and the
                         // escalation.
+                        ESCALATIONS.inc();
+                        bqc_obs::instant("escalation");
+                        ROUNDS_PER_PROBE.observe(rounds as u64);
                         let verdict = check_max_inequality_eager(inequality);
                         if verdict.is_valid() {
                             if let crate::convex::CertificateOutcome::Certificate {
@@ -390,6 +411,7 @@ impl GammaProver {
                                     .into_iter()
                                     .filter(|id| !seeds.contains(id))
                                     .collect();
+                                FARKAS_SUPPORTS_HARVESTED.add(active.len() as u64);
                             }
                         }
                         self.warm.insert(
@@ -416,6 +438,7 @@ impl GammaProver {
                 }
             }
         };
+        ROUNDS_PER_PROBE.observe(rounds as u64);
         self.warm.insert(
             shape,
             WarmShape {

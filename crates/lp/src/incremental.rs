@@ -29,7 +29,11 @@ use crate::revised::{solve_sparse, solve_sparse_resume, SimplexOutcome, SparseSo
 use crate::scalar::Scalar;
 use crate::sparse::SparseMatrix;
 use bqc_arith::Rational;
+use bqc_obs::LazyCounter;
 use std::collections::BTreeMap;
+
+static ROWS_APPENDED: LazyCounter = LazyCounter::new("bqc_lp_rows_appended_total");
+static RESUME_FALLBACKS: LazyCounter = LazyCounter::new("bqc_lp_resume_fallbacks_total");
 
 /// Which column is basic for a constraint row in the stored basis.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -169,6 +173,7 @@ impl IncrementalSolver {
             rhs = rhs.neg();
         }
 
+        ROWS_APPENDED.inc();
         let row = self.a.append_row(entries);
         self.b.push(rhs.clone());
         if op == ConstraintOp::Ge {
@@ -239,9 +244,15 @@ impl IncrementalSolver {
                     .then(|| basis.cols.clone())
             })
         };
+        let had_resume_basis = resume_cols.is_some();
         let result = resume_cols
             .and_then(|cols| solve_sparse_resume(&self.a, &self.b, &self.c, &cols))
-            .unwrap_or_else(|| self.cold_solve());
+            .unwrap_or_else(|| {
+                if had_resume_basis {
+                    RESUME_FALLBACKS.inc();
+                }
+                self.cold_solve()
+            });
         self.absorb(result)
     }
 

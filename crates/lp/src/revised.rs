@@ -31,6 +31,17 @@
 use crate::scalar::Scalar;
 use crate::sparse::SparseMatrix;
 use bqc_arith::Rational;
+use bqc_obs::{LazyCounter, LazyHistogram};
+
+static PIVOTS: LazyCounter = LazyCounter::new("bqc_lp_pivots_total");
+static DEGENERATE_PIVOTS: LazyCounter = LazyCounter::new("bqc_lp_degenerate_pivots_total");
+static REINVERSIONS: LazyCounter = LazyCounter::new("bqc_lp_reinversions_total");
+static BLAND_FALLBACKS: LazyCounter = LazyCounter::new("bqc_lp_bland_fallbacks_total");
+static SOLVES: LazyCounter = LazyCounter::new("bqc_lp_solves_total");
+static RESUME_SOLVES: LazyCounter = LazyCounter::new("bqc_lp_resume_solves_total");
+static WARM_START_HITS: LazyCounter = LazyCounter::new("bqc_lp_warm_start_hits_total");
+static WARM_START_REJECTS: LazyCounter = LazyCounter::new("bqc_lp_warm_start_rejects_total");
+static PIVOTS_PER_SOLVE: LazyHistogram = LazyHistogram::new("bqc_lp_pivots_per_solve");
 
 /// Result of running the simplex method on a standard-form program.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -149,6 +160,8 @@ struct Solver<'a> {
     /// Consecutive degenerate pivots; triggers the Bland fallback.
     stalls: usize,
     bland: bool,
+    /// Pivots executed by this solve, observed into the per-solve histogram.
+    pivots: u64,
 }
 
 impl<'a> Solver<'a> {
@@ -218,6 +231,8 @@ impl<'a> Solver<'a> {
     /// Replaces the eta file by a fresh factorization of the current basis
     /// and recomputes the basic values from `b`.
     fn refactorize(&mut self) {
+        REINVERSIONS.inc();
+        bqc_obs::instant("reinversion");
         let cols = self.basis.clone();
         let (etas, row_of_slot) = self
             .reinvert(&cols)
@@ -373,11 +388,17 @@ impl<'a> Solver<'a> {
 
     /// Executes the pivot `(p, q)` with FTRANed entering column `alpha`.
     fn pivot(&mut self, p: usize, q: usize, alpha: &[Scalar]) {
+        self.pivots += 1;
+        PIVOTS.inc();
+        bqc_obs::instant("pivot");
         let t = self.x[p].div(&alpha[p]);
         if t.is_zero() {
+            DEGENERATE_PIVOTS.inc();
             self.stalls += 1;
             if !self.bland && self.stalls > stall_limit(self.m) {
                 self.bland = true;
+                BLAND_FALLBACKS.inc();
+                bqc_obs::instant("bland-fallback");
             }
         } else {
             self.stalls = 0;
@@ -484,6 +505,7 @@ impl<'a> Solver<'a> {
     /// per row) is skipped unless asked for — most callers are feasibility
     /// probes that never look at multipliers.
     fn extract(&self, want_duals: bool) -> SparseSolve {
+        PIVOTS_PER_SOLVE.observe(self.pivots);
         let mut solution = vec![Rational::zero(); self.n];
         let mut objective = Rational::zero();
         let mut clean = true;
@@ -554,6 +576,10 @@ pub(crate) fn solve_sparse_resume_full(
     assert_eq!(b.len(), m, "rhs length must equal the number of rows");
     assert_eq!(c.len(), n, "cost length must equal the number of columns");
 
+    RESUME_SOLVES.inc();
+    SOLVES.inc();
+    let _solve_span = bqc_obs::span("lp-solve");
+
     if basis.len() != m || basis.iter().any(|&j| j >= n + m) {
         return None;
     }
@@ -578,6 +604,7 @@ pub(crate) fn solve_sparse_resume_full(
         pricing_start: 0,
         stalls: 0,
         bland: false,
+        pivots: 0,
     };
     let (etas, row_of_slot) = solver.reinvert(basis)?;
     solver.etas = etas;
@@ -598,6 +625,7 @@ pub(crate) fn solve_sparse_resume_full(
         let bounded = solver.optimize(Phase::One);
         debug_assert!(bounded, "phase 1 objective is bounded below by 0");
         if solver.infeasibility().is_positive() {
+            PIVOTS_PER_SOLVE.observe(solver.pivots);
             return Some(SparseSolve {
                 outcome: SimplexOutcome::Infeasible,
                 basis: None,
@@ -610,6 +638,7 @@ pub(crate) fn solve_sparse_resume_full(
     solver.drive_out_artificials();
 
     if !solver.optimize(Phase::Two) {
+        PIVOTS_PER_SOLVE.observe(solver.pivots);
         return Some(SparseSolve {
             outcome: SimplexOutcome::Unbounded,
             basis: None,
@@ -648,6 +677,9 @@ pub(crate) fn solve_sparse_full(
     assert_eq!(c.len(), n, "cost length must equal the number of columns");
     debug_assert!(b.iter().all(|v| !v.is_negative()), "rhs must be re-signed");
 
+    SOLVES.inc();
+    let _solve_span = bqc_obs::span("lp-solve");
+
     let mut solver = Solver {
         a,
         b,
@@ -661,6 +693,7 @@ pub(crate) fn solve_sparse_full(
         pricing_start: 0,
         stalls: 0,
         bland: false,
+        pivots: 0,
     };
 
     // Warm start: adopt the supplied basis if it factorizes and is feasible.
@@ -687,6 +720,12 @@ pub(crate) fn solve_sparse_full(
                 }
             }
         }
+    }
+
+    if started {
+        WARM_START_HITS.inc();
+    } else if warm.is_some() {
+        WARM_START_REJECTS.inc();
     }
 
     if !started {
@@ -728,6 +767,7 @@ pub(crate) fn solve_sparse_full(
             let bounded = solver.optimize(Phase::One);
             debug_assert!(bounded, "phase 1 objective is bounded below by 0");
             if solver.infeasibility().is_positive() {
+                PIVOTS_PER_SOLVE.observe(solver.pivots);
                 return SparseSolve {
                     outcome: SimplexOutcome::Infeasible,
                     basis: None,
@@ -741,6 +781,7 @@ pub(crate) fn solve_sparse_full(
     }
 
     if !solver.optimize(Phase::Two) {
+        PIVOTS_PER_SOLVE.observe(solver.pivots);
         return SparseSolve {
             outcome: SimplexOutcome::Unbounded,
             basis: None,

@@ -22,8 +22,17 @@
 //! [`Rational`] itself.
 
 use bqc_arith::{BigInt, Rational};
+use bqc_obs::LazyCounter;
 use std::cmp::Ordering;
 use std::fmt;
+
+/// Small→Big transitions: an operation on small operands whose result no
+/// longer fits the `i64` pair.  Lives on the overflow path only, so the
+/// all-small fast path pays nothing.
+static PROMOTIONS: LazyCounter = LazyCounter::new("bqc_lp_scalar_promotions_total");
+/// Big→Small transitions: an operation with a big operand whose result fits
+/// the `i64` pair again (a temporary excursion that healed).
+static DEMOTIONS: LazyCounter = LazyCounter::new("bqc_lp_scalar_demotions_total");
 
 /// An exact rational scalar with an `i64`-pair fast path.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -70,8 +79,26 @@ impl Scalar {
         if let (Ok(n), Ok(d)) = (i64::try_from(num), i64::try_from(den)) {
             Scalar::Small(n, d)
         } else {
+            PROMOTIONS.inc();
             Scalar::Big(Rational::new(bigint_from_i128(num), bigint_from_i128(den)))
         }
+    }
+
+    /// Rational fall-through shared by the binary operations; counts the
+    /// promotion (small operands overflowed `i128`) or demotion (a big
+    /// excursion whose result fits `i64` again) the transition represents.
+    fn from_rational_op(r: Rational, small_inputs: bool) -> Scalar {
+        let out = Scalar::from_rational(r);
+        match (&out, small_inputs) {
+            (Scalar::Big(_), true) => PROMOTIONS.inc(),
+            (Scalar::Small(..), false) => DEMOTIONS.inc(),
+            _ => {}
+        }
+        out
+    }
+
+    fn both_small(a: &Scalar, b: &Scalar) -> bool {
+        matches!((a, b), (Scalar::Small(..), Scalar::Small(..)))
     }
 
     /// Converts a [`Rational`], demoting to the small form when it fits.
@@ -154,7 +181,10 @@ impl Scalar {
                 return Scalar::from_i128_frac(num, (*ad as i128) * (*bd as i128));
             }
         }
-        Scalar::from_rational(self.to_rational() + rhs.to_rational())
+        Scalar::from_rational_op(
+            self.to_rational() + rhs.to_rational(),
+            Scalar::both_small(self, rhs),
+        )
     }
 
     /// Difference.
@@ -167,7 +197,10 @@ impl Scalar {
                 return Scalar::from_i128_frac(num, (*ad as i128) * (*bd as i128));
             }
         }
-        Scalar::from_rational(self.to_rational() - rhs.to_rational())
+        Scalar::from_rational_op(
+            self.to_rational() - rhs.to_rational(),
+            Scalar::both_small(self, rhs),
+        )
     }
 
     /// Product.
@@ -178,7 +211,7 @@ impl Scalar {
                 (*ad as i128) * (*bd as i128),
             );
         }
-        Scalar::from_rational(self.to_rational() * rhs.to_rational())
+        Scalar::from_rational_op(self.to_rational() * rhs.to_rational(), false)
     }
 
     /// Quotient.
@@ -194,7 +227,7 @@ impl Scalar {
                 (*ad as i128) * (*bn as i128),
             );
         }
-        Scalar::from_rational(self.to_rational() / rhs.to_rational())
+        Scalar::from_rational_op(self.to_rational() / rhs.to_rational(), false)
     }
 
     /// Fused `self + a * b`, the inner-loop operation of FTRAN/BTRAN.
@@ -215,7 +248,11 @@ impl Scalar {
                 }
             }
         }
-        Scalar::from_rational(self.to_rational() + a.to_rational() * b.to_rational())
+        let small = Scalar::both_small(self, a) && matches!(b, Scalar::Small(..));
+        Scalar::from_rational_op(
+            self.to_rational() + a.to_rational() * b.to_rational(),
+            small,
+        )
     }
 
     /// Fused `self - a * b`, the inner-loop operation of every pivot update.
@@ -237,7 +274,11 @@ impl Scalar {
                 }
             }
         }
-        Scalar::from_rational(self.to_rational() - a.to_rational() * b.to_rational())
+        let small = Scalar::both_small(self, a) && matches!(b, Scalar::Small(..));
+        Scalar::from_rational_op(
+            self.to_rational() - a.to_rational() * b.to_rational(),
+            small,
+        )
     }
 
     /// Numeric comparison (total order).

@@ -1,0 +1,256 @@
+//! Exporters over [`MetricsSnapshot`] and [`TraceSnapshot`]: Chrome
+//! trace-event JSON, Prometheus-style text exposition, and a compact JSON
+//! metrics snapshot.  All three are deterministic functions of their
+//! snapshot (metrics sorted by name, trace in completion order), so golden
+//! tests can assert on the exact output.
+
+use crate::metrics::{bucket_upper_edge, MetricsSnapshot};
+use crate::spans::{TraceEventKind, TraceSnapshot};
+use std::fmt::Write;
+
+fn json_escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders a trace as Chrome trace-event JSON (the "JSON array format" with
+/// a `traceEvents` wrapper), loadable in `chrome://tracing` and Perfetto.
+/// Spans become complete (`"ph": "X"`) events, instants become thread-scoped
+/// instant (`"ph": "i"`) events; timestamps are microseconds with nanosecond
+/// fractions.
+pub fn chrome_trace_json(trace: &TraceSnapshot) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, event) in trace.events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("  {\"name\":\"");
+        json_escape_into(&mut out, event.name);
+        let _ = write!(
+            out,
+            "\",\"ph\":\"{}\",\"ts\":{}.{:03},\"pid\":1,\"tid\":{}",
+            match event.kind {
+                TraceEventKind::Complete => 'X',
+                TraceEventKind::Instant => 'i',
+            },
+            event.start_ns / 1000,
+            event.start_ns % 1000,
+            event.tid
+        );
+        match event.kind {
+            TraceEventKind::Complete => {
+                let _ = write!(
+                    out,
+                    ",\"dur\":{}.{:03}",
+                    event.dur_ns / 1000,
+                    event.dur_ns % 1000
+                );
+            }
+            TraceEventKind::Instant => out.push_str(",\"s\":\"t\""),
+        }
+        let _ = write!(out, ",\"args\":{{\"depth\":{}", event.depth);
+        for (key, value) in &event.args {
+            out.push_str(",\"");
+            json_escape_into(&mut out, key);
+            out.push_str("\":\"");
+            json_escape_into(&mut out, value);
+            out.push('"');
+        }
+        out.push_str("}}");
+    }
+    if trace.dropped > 0 {
+        let _ = write!(
+            out,
+            ",\n  {{\"name\":\"bqc_obs_dropped_events\",\"ph\":\"i\",\"ts\":0.000,\"pid\":1,\
+             \"tid\":0,\"s\":\"g\",\"args\":{{\"dropped\":{}}}}}",
+            trace.dropped
+        );
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// The metric family a series belongs to: its name up to the label block,
+/// e.g. `bqc_engine_cache_hits_total{shard="3"}` → `bqc_engine_cache_hits_total`.
+fn family(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+/// Renders every metric in the Prometheus text exposition format.
+///
+/// Counters print one `# TYPE <family> counter` header per family followed
+/// by each series; histograms print cumulative `_bucket{le="..."}` lines at
+/// the deterministic log2 edges (`2^k - 1`; empty buckets elided, `+Inf`
+/// always present) plus `_sum` and `_count`.
+pub fn prometheus_text(metrics: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_family = "";
+    for (name, value) in &metrics.counters {
+        let fam = family(name);
+        if fam != last_family {
+            let _ = writeln!(out, "# TYPE {fam} counter");
+            last_family = fam;
+        }
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, hist) in &metrics.histograms {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (k, &bucket) in hist.buckets.iter().enumerate() {
+            if bucket == 0 {
+                continue;
+            }
+            cumulative += bucket;
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                bucket_upper_edge(k)
+            );
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count);
+        let _ = writeln!(out, "{name}_sum {}", hist.sum);
+        let _ = writeln!(out, "{name}_count {}", hist.count);
+    }
+    out
+}
+
+/// Renders every metric as one compact JSON object:
+/// `{"counters":{...},"histograms":{"name":{"count":…,"sum":…,"buckets":[[k,n],…]}}}`
+/// with histogram buckets as sparse `[bucket_index, count]` pairs.
+pub fn json_snapshot(metrics: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, (name, value)) in metrics.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        json_escape_into(&mut out, name);
+        let _ = write!(out, "\":{value}");
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, hist)) in metrics.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        json_escape_into(&mut out, name);
+        let _ = write!(
+            out,
+            "\":{{\"count\":{},\"sum\":{},\"buckets\":[",
+            hist.count, hist.sum
+        );
+        let mut first = true;
+        for (k, &bucket) in hist.buckets.iter().enumerate() {
+            if bucket == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "[{k},{bucket}]");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{HistogramSnapshot, BUCKETS};
+    use crate::spans::{TraceEvent, TraceEventKind};
+
+    fn sample_metrics() -> MetricsSnapshot {
+        let mut buckets = vec![0u64; BUCKETS];
+        buckets[0] = 2; // two zeros
+        buckets[3] = 1; // one value in [4, 8)
+        MetricsSnapshot {
+            counters: vec![
+                ("bqc_demo_hits_total{shard=\"0\"}".to_owned(), 4),
+                ("bqc_demo_hits_total{shard=\"1\"}".to_owned(), 1),
+                ("bqc_demo_pivots_total".to_owned(), 7),
+            ],
+            histograms: vec![(
+                "bqc_demo_rounds".to_owned(),
+                HistogramSnapshot {
+                    buckets,
+                    count: 3,
+                    sum: 5,
+                },
+            )],
+        }
+    }
+
+    #[test]
+    fn prometheus_text_golden() {
+        let expected = "\
+# TYPE bqc_demo_hits_total counter
+bqc_demo_hits_total{shard=\"0\"} 4
+bqc_demo_hits_total{shard=\"1\"} 1
+# TYPE bqc_demo_pivots_total counter
+bqc_demo_pivots_total 7
+# TYPE bqc_demo_rounds histogram
+bqc_demo_rounds_bucket{le=\"0\"} 2
+bqc_demo_rounds_bucket{le=\"7\"} 3
+bqc_demo_rounds_bucket{le=\"+Inf\"} 3
+bqc_demo_rounds_sum 5
+bqc_demo_rounds_count 3
+";
+        assert_eq!(prometheus_text(&sample_metrics()), expected);
+    }
+
+    #[test]
+    fn json_snapshot_golden() {
+        let expected = "{\"counters\":{\
+\"bqc_demo_hits_total{shard=\\\"0\\\"}\":4,\
+\"bqc_demo_hits_total{shard=\\\"1\\\"}\":1,\
+\"bqc_demo_pivots_total\":7},\
+\"histograms\":{\"bqc_demo_rounds\":{\"count\":3,\"sum\":5,\"buckets\":[[0,2],[3,1]]}}}";
+        assert_eq!(json_snapshot(&sample_metrics()), expected);
+    }
+
+    #[test]
+    fn chrome_trace_golden() {
+        let trace = TraceSnapshot {
+            events: vec![
+                TraceEvent {
+                    name: "pivot",
+                    kind: TraceEventKind::Instant,
+                    start_ns: 1500,
+                    dur_ns: 0,
+                    tid: 0,
+                    depth: 2,
+                    args: Vec::new(),
+                },
+                TraceEvent {
+                    name: "decide",
+                    kind: TraceEventKind::Complete,
+                    start_ns: 1000,
+                    dur_ns: 2500,
+                    tid: 0,
+                    depth: 1,
+                    args: vec![("pair", "00ff".to_owned())],
+                },
+            ],
+            dropped: 0,
+        };
+        let expected = "{\"traceEvents\":[\n  \
+{\"name\":\"pivot\",\"ph\":\"i\",\"ts\":1.500,\"pid\":1,\"tid\":0,\"s\":\"t\",\"args\":{\"depth\":2}},\n  \
+{\"name\":\"decide\",\"ph\":\"X\",\"ts\":1.000,\"pid\":1,\"tid\":0,\"dur\":2.500,\
+\"args\":{\"depth\":1,\"pair\":\"00ff\"}}\n]}\n";
+        assert_eq!(chrome_trace_json(&trace), expected);
+    }
+}

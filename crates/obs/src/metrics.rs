@@ -1,0 +1,373 @@
+//! Counters and fixed-log2-bucket histograms behind relaxed atomics.
+//!
+//! Metrics register themselves in a process-wide registry on first use and
+//! live for the rest of the process; handles are cheap clones around an
+//! `Arc<AtomicU64>`.  Hot call sites use [`LazyCounter`] / [`LazyHistogram`]
+//! statics, which pay the registry lookup once and a relaxed `fetch_add`
+//! thereafter.  Names follow `bqc_<crate>_<thing>_total` for counters;
+//! per-shard (or otherwise labelled) series bake the label into the name
+//! Prometheus-style, e.g. `bqc_engine_cache_hits_total{shard="3"}`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of histogram buckets: bucket 0 holds the value `0`, bucket `k`
+/// (1 ≤ k ≤ 64) holds values in `[2^(k-1), 2^k)`.
+pub const BUCKETS: usize = 65;
+
+/// The bucket a value falls into: `0 → 0`, `1 → 1`, `[2,4) → 2`, `[4,8) → 3`,
+/// …, `[2^63, 2^64) → 64`.  Deterministic by construction so tests (and the
+/// exposition golden files) can assert exact edges.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper edge of bucket `k` — the `le` label the Prometheus
+/// exposition prints: `0, 1, 3, 7, 15, …, 2^k - 1, …, u64::MAX`.
+pub fn bucket_upper_edge(k: usize) -> u64 {
+    match k {
+        0 => 0,
+        1..=63 => (1u64 << k) - 1,
+        _ => u64::MAX,
+    }
+}
+
+/// A monotonically increasing counter.  Cloning shares the underlying cell.
+#[derive(Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`; a relaxed load + untaken branch when metrics are disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+struct HistogramCore {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A histogram over `u64` observations with the fixed log2 buckets of
+/// [`bucket_index`].  Cloning shares the underlying cells.
+#[derive(Clone)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        if crate::enabled() {
+            self.core.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+            self.core.count.fetch_add(1, Ordering::Relaxed);
+            self.core.sum.fetch_add(value, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .core
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.core.count.load(Ordering::Relaxed),
+            sum: self.core.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Frozen histogram state, as captured by [`snapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts, [`BUCKETS`] entries.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(BTreeMap::new()),
+        histograms: Mutex::new(BTreeMap::new()),
+    })
+}
+
+/// Looks up (registering on first use) the counter named `name`.
+pub fn counter(name: &str) -> Counter {
+    let mut map = registry().counters.lock().unwrap();
+    if let Some(existing) = map.get(name) {
+        return existing.clone();
+    }
+    let fresh = Counter {
+        cell: Arc::new(AtomicU64::new(0)),
+    };
+    map.insert(name.to_owned(), fresh.clone());
+    fresh
+}
+
+/// Looks up (registering on first use) the histogram named `name`.
+pub fn histogram(name: &str) -> Histogram {
+    let mut map = registry().histograms.lock().unwrap();
+    if let Some(existing) = map.get(name) {
+        return existing.clone();
+    }
+    let fresh = Histogram {
+        core: Arc::new(HistogramCore::new()),
+    };
+    map.insert(name.to_owned(), fresh.clone());
+    fresh
+}
+
+/// A counter for `static` call sites: `const`-constructible, resolves its
+/// registry handle on first increment.
+///
+/// ```
+/// static PIVOTS: bqc_obs::LazyCounter = bqc_obs::LazyCounter::new("demo_pivots_total");
+/// PIVOTS.inc();
+/// assert_eq!(PIVOTS.get(), 1);
+/// ```
+pub struct LazyCounter {
+    name: &'static str,
+    cell: OnceLock<Counter>,
+}
+
+impl LazyCounter {
+    /// Declares a counter named `name` without registering it yet.
+    pub const fn new(name: &'static str) -> Self {
+        LazyCounter {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    fn handle(&self) -> &Counter {
+        self.cell.get_or_init(|| counter(self.name))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.handle().add(n);
+        }
+    }
+
+    /// Current value (registers the counter if it never fired).
+    pub fn get(&self) -> u64 {
+        self.handle().get()
+    }
+}
+
+/// A histogram for `static` call sites; see [`LazyCounter`].
+pub struct LazyHistogram {
+    name: &'static str,
+    cell: OnceLock<Histogram>,
+}
+
+impl LazyHistogram {
+    /// Declares a histogram named `name` without registering it yet.
+    pub const fn new(name: &'static str) -> Self {
+        LazyHistogram {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    fn handle(&self) -> &Histogram {
+        self.cell.get_or_init(|| histogram(self.name))
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        if crate::enabled() {
+            self.handle().observe(value);
+        }
+    }
+
+    /// A point-in-time copy (registers the histogram if it never fired).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.handle().snapshot()
+    }
+}
+
+/// Every registered metric at a point in time, sorted by name.
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every registered counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, state)` for every registered histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Value of the counter named `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// State of the histogram named `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+/// Captures every registered metric.  Sorted by name (registry iteration
+/// order), so repeated snapshots of the same state render identically.
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = registry();
+    let counters = reg
+        .counters
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(name, c)| (name.clone(), c.get()))
+        .collect();
+    let histograms = reg
+        .histograms
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(name, h)| (name.clone(), h.snapshot()))
+        .collect();
+    MetricsSnapshot {
+        counters,
+        histograms,
+    }
+}
+
+/// Zeroes every registered counter and histogram (they stay registered).
+/// For tests and per-campaign summaries; concurrent increments may land
+/// before or after the reset.
+pub fn reset_metrics() {
+    let reg = registry();
+    for c in reg.counters.lock().unwrap().values() {
+        c.cell.store(0, Ordering::Relaxed);
+    }
+    for h in reg.histograms.lock().unwrap().values() {
+        for b in &h.core.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        h.core.count.store(0, Ordering::Relaxed);
+        h.core.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_the_documented_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Every bucket's inclusive upper edge is the last value mapping to it.
+        for k in 0..BUCKETS {
+            let edge = bucket_upper_edge(k);
+            assert_eq!(bucket_index(edge), k, "upper edge of bucket {k}");
+            if k < 64 {
+                assert_eq!(bucket_index(edge + 1), k + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_observe_places_values_in_exact_buckets() {
+        let h = histogram("test_metrics_exact_buckets");
+        for v in [0u64, 1, 2, 3, 4, 1000] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.sum, 1010);
+        assert_eq!(snap.buckets[0], 1); // 0
+        assert_eq!(snap.buckets[1], 1); // 1
+        assert_eq!(snap.buckets[2], 2); // 2, 3
+        assert_eq!(snap.buckets[3], 1); // 4
+        assert_eq!(snap.buckets[10], 1); // 1000 ∈ [512, 1024)
+    }
+
+    #[test]
+    fn counters_share_state_by_name_and_lazy_statics_resolve() {
+        static LAZY: LazyCounter = LazyCounter::new("test_metrics_shared_total");
+        LAZY.add(3);
+        let same = counter("test_metrics_shared_total");
+        same.inc();
+        assert_eq!(LAZY.get(), 4);
+        assert_eq!(same.get(), 4);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_indexable() {
+        counter("test_metrics_snap_b_total").inc();
+        counter("test_metrics_snap_a_total").add(2);
+        let snap = snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        assert_eq!(snap.counter("test_metrics_snap_a_total"), Some(2));
+    }
+}

@@ -1,0 +1,334 @@
+//! Hierarchical spans and instant events with a thread-local depth stack.
+//!
+//! Tracing is a process-wide collection window: [`start_tracing`] clears the
+//! buffer and arms collection, [`stop_tracing`] disarms it and returns the
+//! captured [`TraceSnapshot`].  While disarmed, [`span`] and [`instant`]
+//! cost one relaxed atomic load.  While armed, a [`SpanGuard`] records its
+//! thread id, nesting depth (thread-local), and start time on creation, and
+//! appends one completed event on drop — including drops during a panic
+//! unwind, which keeps the depth stack balanced.
+//!
+//! Events are appended in *completion* order (program order of the push
+//! calls), so for a single-threaded deterministic computation the event
+//! sequence — and therefore [`TraceSnapshot::signature`] — is identical
+//! across runs even though the timings differ.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Hard cap on buffered events; past it, events are counted as dropped
+/// rather than grown without bound (a traced run is a bounded window, but a
+/// forgotten `stop_tracing` must not eat the heap).
+const MAX_EVENTS: usize = 1 << 18;
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static EVENTS: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+    static TID: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// Small dense thread ids (0 = first thread to trace, usually `main`), used
+/// as the Chrome trace `tid`.
+fn current_tid() -> u64 {
+    TID.with(|t| match t.get() {
+        Some(v) => v,
+        None => {
+            let v = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            t.set(Some(v));
+            v
+        }
+    })
+}
+
+/// Whether a tracing window is currently armed.  With the `enabled` feature
+/// off this const-folds to `false`.
+#[inline]
+pub fn tracing_active() -> bool {
+    cfg!(feature = "enabled") && ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Arms collection: clears any buffered events and starts a fresh window.
+pub fn start_tracing() {
+    if !cfg!(feature = "enabled") {
+        return;
+    }
+    let _ = epoch();
+    let mut events = EVENTS.lock().unwrap();
+    events.clear();
+    DROPPED.store(0, Ordering::Relaxed);
+    ACTIVE.store(true, Ordering::Relaxed);
+}
+
+/// Disarms collection and returns everything captured since
+/// [`start_tracing`].  Spans still open when the window closes are not
+/// recorded (their guards only balance the depth stack).
+pub fn stop_tracing() -> TraceSnapshot {
+    ACTIVE.store(false, Ordering::Relaxed);
+    let mut events = EVENTS.lock().unwrap();
+    TraceSnapshot {
+        events: std::mem::take(&mut *events),
+        dropped: DROPPED.swap(0, Ordering::Relaxed),
+    }
+}
+
+/// What kind of trace event a record is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A span with a duration (Chrome `"ph": "X"`).
+    Complete,
+    /// A point-in-time marker (Chrome `"ph": "i"`).
+    Instant,
+}
+
+/// One captured event.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Span or marker name (static by design: the span taxonomy is code).
+    pub name: &'static str,
+    /// Complete span or instant marker.
+    pub kind: TraceEventKind,
+    /// Nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds (0 for instants).
+    pub dur_ns: u64,
+    /// Dense thread id (see the module docs).
+    pub tid: u64,
+    /// Nesting depth on its thread when the event began (0 = top level).
+    pub depth: u32,
+    /// Key/value annotations, e.g. the canonical pair hash on a `decide`
+    /// span.
+    pub args: Vec<(&'static str, String)>,
+}
+
+struct SpanInner {
+    name: &'static str,
+    start_ns: u64,
+    tid: u64,
+    depth: u32,
+    args: Vec<(&'static str, String)>,
+}
+
+/// RAII guard returned by [`span`]: records the completed span when dropped,
+/// panic unwinds included.
+pub struct SpanGuard {
+    inner: Option<SpanInner>,
+}
+
+impl SpanGuard {
+    /// Attaches a key/value annotation to the span.
+    pub fn arg(&mut self, key: &'static str, value: String) {
+        if let Some(inner) = self.inner.as_mut() {
+            inner.args.push((key, value));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            if !tracing_active() {
+                return;
+            }
+            let end_ns = now_ns();
+            push_event(TraceEvent {
+                name: inner.name,
+                kind: TraceEventKind::Complete,
+                start_ns: inner.start_ns,
+                dur_ns: end_ns.saturating_sub(inner.start_ns),
+                tid: inner.tid,
+                depth: inner.depth,
+                args: inner.args,
+            });
+        }
+    }
+}
+
+/// Opens a span; the returned guard closes it when dropped.  Free while
+/// tracing is disarmed (the guard is then inert).
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !tracing_active() {
+        return SpanGuard { inner: None };
+    }
+    let tid = current_tid();
+    let depth = DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    });
+    SpanGuard {
+        inner: Some(SpanInner {
+            name,
+            start_ns: now_ns(),
+            tid,
+            depth,
+            args: Vec::new(),
+        }),
+    }
+}
+
+/// [`span`] with one annotation attached up front.
+pub fn span_with_arg(name: &'static str, key: &'static str, value: String) -> SpanGuard {
+    let mut guard = span(name);
+    guard.arg(key, value);
+    guard
+}
+
+/// Records a point-in-time marker at the current nesting depth (e.g. one
+/// simplex pivot).  Free while tracing is disarmed.
+#[inline]
+pub fn instant(name: &'static str) {
+    if !tracing_active() {
+        return;
+    }
+    push_event(TraceEvent {
+        name,
+        kind: TraceEventKind::Instant,
+        start_ns: now_ns(),
+        dur_ns: 0,
+        tid: current_tid(),
+        depth: DEPTH.with(|d| d.get()),
+        args: Vec::new(),
+    });
+}
+
+fn push_event(event: TraceEvent) {
+    let mut events = EVENTS.lock().unwrap();
+    if events.len() >= MAX_EVENTS {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    events.push(event);
+}
+
+/// Everything one tracing window captured.
+#[derive(Clone, Debug)]
+pub struct TraceSnapshot {
+    /// Captured events in completion order.
+    pub events: Vec<TraceEvent>,
+    /// Events discarded because the buffer cap was hit.
+    pub dropped: u64,
+}
+
+impl TraceSnapshot {
+    /// The timing-free projection of the trace: every event's name, kind,
+    /// and depth, in completion order.  For a single-threaded deterministic
+    /// computation this string is identical across runs — the observability
+    /// mirror of `DecisionTrace::signature()`.
+    pub fn signature(&self) -> String {
+        let mut out = String::new();
+        for (i, event) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" → ");
+            }
+            if event.kind == TraceEventKind::Instant {
+                out.push('!');
+            }
+            out.push_str(event.name);
+            out.push('@');
+            out.push_str(&event.depth.to_string());
+        }
+        out
+    }
+
+    /// Number of captured events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the window captured nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The tracing window is process-global; span tests serialize on this.
+    fn test_lock() -> &'static Mutex<()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+    }
+
+    #[test]
+    fn spans_nest_and_record_in_completion_order() {
+        let _guard = test_lock().lock().unwrap();
+        start_tracing();
+        {
+            let _outer = span("outer");
+            instant("tick");
+            {
+                let _inner = span("inner");
+            }
+        }
+        let trace = stop_tracing();
+        assert_eq!(
+            trace.signature(),
+            "!tick@1 → inner@1 → outer@0",
+            "instant fires first, inner closes before outer"
+        );
+        assert_eq!(trace.events[2].args, Vec::new());
+        assert!(trace.events[2].dur_ns >= trace.events[1].dur_ns);
+    }
+
+    #[test]
+    fn guard_is_panic_safe_and_rebalances_depth() {
+        let _guard = test_lock().lock().unwrap();
+        start_tracing();
+        let result = std::panic::catch_unwind(|| {
+            let _outer = span("panicking");
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        // The unwound guard recorded its span and restored depth 0: a new
+        // top-level span starts at depth 0 again.
+        {
+            let _after = span("after");
+        }
+        let trace = stop_tracing();
+        assert_eq!(trace.signature(), "panicking@0 → after@0");
+    }
+
+    #[test]
+    fn disarmed_probes_record_nothing() {
+        let _guard = test_lock().lock().unwrap();
+        let _ = stop_tracing();
+        {
+            let _ignored = span("ignored");
+            instant("ignored-too");
+        }
+        start_tracing();
+        let trace = stop_tracing();
+        assert!(trace.is_empty());
+        assert_eq!(trace.dropped, 0);
+    }
+
+    #[test]
+    fn span_args_are_captured() {
+        let _guard = test_lock().lock().unwrap();
+        start_tracing();
+        {
+            let _s = span_with_arg("decide", "pair", "00ff".to_owned());
+        }
+        let trace = stop_tracing();
+        assert_eq!(trace.events[0].args, vec![("pair", "00ff".to_owned())]);
+    }
+}

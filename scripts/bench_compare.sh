@@ -7,7 +7,7 @@
 # The quick-mode criterion run (BQC_BENCH_QUICK=1) appends per-scenario median
 # records to a JSONL file (BQC_BENCH_JSON); `bench_compare collect` turns that
 # into the canonical document and `bench_compare compare` enforces the 25%
-# regression threshold plus four machine-independent speedup floors:
+# regression threshold plus five machine-independent speedup floors:
 #
 #   * the revised simplex >= 5x the dense oracle on the n=5 Shannon-cone
 #     program;
@@ -17,7 +17,10 @@
 #     parallel-blocks workload (m=3, a Γ_6 refutation avoided by counting);
 #   * the staged pipeline (with trace collection) within 10% of the
 #     pre-refactor direct path on the LP-bound k=6 cycle-in-path scenario
-#     (legacy/pipeline >= 0.909, i.e. pipeline <= 1.1x legacy).
+#     (legacy/pipeline >= 0.909, i.e. pipeline <= 1.1x legacy);
+#   * live bqc-obs metric probes within 5% of the same run with the runtime
+#     kill switch off, on the cold-engine stage-mix batch
+#     (disabled/enabled >= 0.952, i.e. enabled <= 1.05x disabled).
 #
 # --normalize calibrates away uniform machine-speed differences (geomean of
 # all ratios), so the committed baseline stays usable on CI runners that are
@@ -56,4 +59,5 @@ cargo run --release -p bqc-bench --bin bench_compare -- compare "$BASELINE" "$NE
     --min-speedup lp/shannon_cone_feasibility/dense/5 lp/shannon_cone_feasibility/revised/5 5 \
     --min-speedup lp/gamma_validity/eager/6 lp/gamma_validity/lazy_warm/6 5 \
     --min-speedup pipeline/refutable/lp_only/3 pipeline/refutable/refuter/3 5 \
-    --min-speedup pipeline/overhead/legacy/6 pipeline/overhead/pipeline/6 0.909
+    --min-speedup pipeline/overhead/legacy/6 pipeline/overhead/pipeline/6 0.909 \
+    --min-speedup pipeline/obs/disabled/4 pipeline/obs/enabled/4 0.952

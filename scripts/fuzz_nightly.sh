@@ -43,5 +43,10 @@ echo "fuzz_nightly: $PAIRS pairs, seed $SEED, repros to $OUT"
 # trusting a clean run of the big campaign.
 cargo run --release --bin bqc -- fuzz --pairs 500 --seed "$SEED" --self-test
 
+# The campaign also writes its metric registry (LP pivots, cache hit rates,
+# separation rounds, Scalar promotions) next to the repros: a night-to-night
+# record of where the decision stack spends its work.
+mkdir -p "$OUT"
 exec cargo run --release --bin bqc -- \
-  fuzz --pairs "$PAIRS" --seed "$SEED" --out "$OUT" "${EXTRA[@]+"${EXTRA[@]}"}"
+  fuzz --pairs "$PAIRS" --seed "$SEED" --out "$OUT" \
+  --metrics-out "$OUT/metrics-$SEED.txt" "${EXTRA[@]+"${EXTRA[@]}"}"

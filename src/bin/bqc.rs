@@ -10,9 +10,18 @@
 //!
 //! ```text
 //! bqc [--json] [--explain] [--fail-on CLASS] [--workers N] [--shards N]
-//!     [--capacity N] [--no-witness] [--repeat N] FILE
-//! bqc fuzz [--pairs N] [--seed N] [--self-test] [--out DIR] [--json]
+//!     [--capacity N] [--no-witness] [--repeat N]
+//!     [--trace-out FILE] [--metrics-out FILE] [--metrics] FILE
+//! bqc fuzz [--pairs N] [--seed N] [--self-test] [--out DIR]
+//!          [--metrics-out FILE] [--json]
 //! ```
+//!
+//! Observability (`bqc-obs`): `--trace-out` records the span tree of the run
+//! (pipeline stages, LP solves, separation rounds, pivots) as Chrome
+//! trace-event JSON for `chrome://tracing` / Perfetto; `--metrics-out` /
+//! `--metrics` export the process-wide counter and histogram registry in the
+//! Prometheus text exposition format.  `--explain` additionally renders the
+//! recorded spans under each fresh answer.
 //!
 //! `bqc fuzz` generates random containment questions, batches them through
 //! the engine, and replays every verdict against the differential counting
@@ -46,6 +55,9 @@ struct Cli {
     extract_witness: bool,
     repeat: usize,
     fail_on: Vec<FailOn>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    metrics: bool,
 }
 
 const USAGE: &str = "\
@@ -66,6 +78,13 @@ options:
   --capacity N    LRU capacity per cache shard (default 1024)
   --no-witness    skip materializing non-containment witnesses
   --repeat N      run the workload N times back to back (cache warm-up demo)
+  --trace-out F   record spans (pipeline stages, LP solves, pivots) during
+                  the run and write Chrome trace-event JSON to F — open it
+                  in chrome://tracing or Perfetto
+  --metrics-out F write the metrics registry (counters + histograms) to F in
+                  the Prometheus text exposition format
+  --metrics       print the same exposition to stdout after the report
+                  (prefer --metrics-out alongside --json: stdout stays JSON)
   --help          this message
 
 subcommands:
@@ -97,6 +116,9 @@ options:
                 bug (exit 0 if caught, 4 if missed)
   --out DIR     write each minimized repro to DIR/fuzz-<seed>-<pair>.bqc
                 instead of printing it
+  --metrics-out F  write the campaign's metrics registry (LP pivots, cache
+                hits, separation rounds, …) to F in the Prometheus text
+                exposition format
   --json        machine-readable JSON report instead of the text report
   --help        this message
 
@@ -141,6 +163,9 @@ fn parse_args(args: &[String]) -> Result<Cli, CliExit> {
         extract_witness: true,
         repeat: 1,
         fail_on: Vec::new(),
+        trace_out: None,
+        metrics_out: None,
+        metrics: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -164,6 +189,21 @@ fn parse_args(args: &[String]) -> Result<Cli, CliExit> {
             "--capacity" => cli.capacity = numeric("--capacity")?.max(1),
             "--no-witness" => cli.extract_witness = false,
             "--repeat" => cli.repeat = numeric("--repeat")?.max(1),
+            "--trace-out" => {
+                cli.trace_out = Some(
+                    it.next()
+                        .ok_or_else(|| CliExit::Usage("--trace-out requires a file".into()))?
+                        .clone(),
+                );
+            }
+            "--metrics-out" => {
+                cli.metrics_out = Some(
+                    it.next()
+                        .ok_or_else(|| CliExit::Usage("--metrics-out requires a file".into()))?
+                        .clone(),
+                );
+            }
+            "--metrics" => cli.metrics = true,
             "--help" | "-h" => return Err(CliExit::Help),
             other if other.starts_with('-') => {
                 return Err(CliExit::Usage(format!("unknown option {other}")))
@@ -187,6 +227,7 @@ struct FuzzCli {
     seed: u64,
     self_test: bool,
     out: Option<String>,
+    metrics_out: Option<String>,
     json: bool,
 }
 
@@ -196,6 +237,7 @@ fn parse_fuzz_args(args: &[String]) -> Result<FuzzCli, CliExit> {
         seed: 0x0bac_5eed,
         self_test: false,
         out: None,
+        metrics_out: None,
         json: false,
     };
     let mut it = args.iter();
@@ -226,6 +268,13 @@ fn parse_fuzz_args(args: &[String]) -> Result<FuzzCli, CliExit> {
                 cli.out = Some(
                     it.next()
                         .ok_or_else(|| CliExit::Usage("--out requires a directory".into()))?
+                        .clone(),
+                );
+            }
+            "--metrics-out" => {
+                cli.metrics_out = Some(
+                    it.next()
+                        .ok_or_else(|| CliExit::Usage("--metrics-out requires a file".into()))?
                         .clone(),
                 );
             }
@@ -262,6 +311,13 @@ fn fuzz_main(args: &[String]) -> ExitCode {
         }
     });
     let wall_micros = start.elapsed().as_micros() as u64;
+    let metrics = bqc_obs::snapshot();
+    if let Some(path) = &cli.metrics_out {
+        if let Err(error) = std::fs::write(path, bqc_obs::prometheus_text(&metrics)) {
+            eprintln!("bqc fuzz: cannot write {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     // Persist or print the minimized repros before the summary.
     let mut repro_paths: Vec<String> = Vec::new();
@@ -330,6 +386,19 @@ fn fuzz_main(args: &[String]) -> ExitCode {
             report.unconfirmed_refutations,
             report.unknown,
             report.errors
+        );
+        let count = |name: &str| metrics.counter(name).unwrap_or(0);
+        println!(
+            "engine: {} LP solves ({} pivots, {} reinversions), {} separation rounds, \
+             {} gamma-probes, {} fresh / {} cached / {} deduped decisions",
+            count("bqc_lp_solves_total"),
+            count("bqc_lp_pivots_total"),
+            count("bqc_lp_reinversions_total"),
+            count("bqc_entropy_separation_scans_total"),
+            count("bqc_iip_probes_total"),
+            count("bqc_engine_fresh_decisions_total"),
+            count("bqc_engine_cached_hits_total"),
+            count("bqc_engine_deduped_total"),
         );
         for (i, finding) in report.findings.iter().enumerate() {
             println!(
@@ -424,17 +493,40 @@ fn main() -> ExitCode {
         .map(|e| (e.q1.clone(), e.q2.clone()))
         .collect();
 
+    let tracing = cli.explain || cli.trace_out.is_some();
+    if tracing {
+        bqc_obs::start_tracing();
+    }
     let start = Instant::now();
     let mut runs: Vec<Vec<BatchResult>> = Vec::with_capacity(cli.repeat);
     for _ in 0..cli.repeat {
         runs.push(engine.decide_batch(&requests));
     }
     let wall_micros = start.elapsed().as_micros() as u64;
+    let trace = tracing.then(bqc_obs::stop_tracing);
+
+    if let Some(path) = &cli.trace_out {
+        let snapshot = trace.as_ref().expect("tracing was started");
+        if let Err(error) = std::fs::write(path, bqc_obs::chrome_trace_json(snapshot)) {
+            eprintln!("bqc: cannot write {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let metrics = bqc_obs::snapshot();
+    if let Some(path) = &cli.metrics_out {
+        if let Err(error) = std::fs::write(path, bqc_obs::prometheus_text(&metrics)) {
+            eprintln!("bqc: cannot write {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     if cli.json {
-        print_json(&cli, &engine, &entries, &runs, wall_micros);
+        print_json(&cli, &engine, &entries, &runs, &metrics, wall_micros);
     } else {
-        print_text(&cli, &engine, &entries, &runs, wall_micros);
+        print_text(&cli, &engine, &entries, &runs, trace.as_ref(), wall_micros);
+    }
+    if cli.metrics {
+        print!("{}", bqc_obs::prometheus_text(&metrics));
     }
     // A run with per-request decision errors is a failed run for scripts,
     // even though the report itself was printed; the --fail-on verdict gate
@@ -467,13 +559,71 @@ fn distinct_pairs(results: &[BatchResult]) -> usize {
         .count()
 }
 
+/// Renders the recorded spans of one fresh decision: the `decide` span whose
+/// `pair` annotation matches `pair_hash`, plus everything nested inside it on
+/// the same thread, as an indented tree.  High-frequency instant markers
+/// (pivots, separation rounds) are aggregated into per-name counts rather
+/// than listed.  `used` consumes matched spans so a pair computed fresh more
+/// than once (LRU eviction under `--repeat`) maps to successive spans.
+fn print_decision_spans(trace: &bqc_obs::TraceSnapshot, pair_hash: u64, used: &mut [bool]) {
+    let hash_text = format!("{pair_hash:016x}");
+    let root_idx = trace.events.iter().enumerate().position(|(i, e)| {
+        !used[i]
+            && e.name == "decide"
+            && e.args.iter().any(|(k, v)| *k == "pair" && *v == hash_text)
+    });
+    let Some(root_idx) = root_idx else { return };
+    used[root_idx] = true;
+    let root = &trace.events[root_idx];
+    let end = root.start_ns + root.dur_ns;
+    let mut members: Vec<usize> = trace
+        .events
+        .iter()
+        .enumerate()
+        .filter(|(i, e)| {
+            *i == root_idx
+                || (e.tid == root.tid
+                    && e.depth > root.depth
+                    && e.start_ns >= root.start_ns
+                    && e.start_ns <= end)
+        })
+        .map(|(i, _)| i)
+        .collect();
+    // Completion order → start order, parents before their children on ties.
+    members.sort_by_key(|&i| {
+        let e = &trace.events[i];
+        (e.start_ns, std::cmp::Reverse(e.dur_ns))
+    });
+    let mut markers: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    println!("  spans:");
+    for i in members {
+        let e = &trace.events[i];
+        match e.kind {
+            bqc_obs::TraceEventKind::Complete => {
+                let indent = 4 + 2 * (e.depth - root.depth) as usize;
+                println!("{:indent$}{} {:.3}ms", "", e.name, e.dur_ns as f64 / 1e6,);
+            }
+            bqc_obs::TraceEventKind::Instant => *markers.entry(e.name).or_insert(0) += 1,
+        }
+    }
+    if !markers.is_empty() {
+        let rendered: Vec<String> = markers
+            .iter()
+            .map(|(name, count)| format!("{name} x{count}"))
+            .collect();
+        println!("    markers: {}", rendered.join(", "));
+    }
+}
+
 fn print_text(
     cli: &Cli,
     engine: &Engine,
     entries: &[WorkloadEntry],
     runs: &[Vec<BatchResult>],
+    trace: Option<&bqc_obs::TraceSnapshot>,
     wall_micros: u64,
 ) {
+    let mut spans_used = vec![false; trace.map_or(0, |t| t.events.len())];
     let first = &runs[0];
     println!(
         "bqc: {} requests ({} distinct canonical pairs), {} run(s)",
@@ -499,8 +649,11 @@ fn print_text(
                 entry.q2.name,
             );
             if cli.explain {
-                if let Some(trace) = &result.trace {
-                    print!("{trace}");
+                if let Some(decision_trace) = &result.trace {
+                    print!("{decision_trace}");
+                }
+                if let (Some(spans), Some(_)) = (trace, &result.trace) {
+                    print_decision_spans(spans, result.pair_hash, &mut spans_used);
                 }
             }
         }
@@ -527,18 +680,37 @@ fn print_text(
         stats.hits, stats.misses, stats.evictions, stats.entries, cli.shards, cli.capacity
     );
     let pipeline = engine.pipeline_stats();
+    let short = engine.short_circuit_stats();
+    let traffic = pipeline.iter().map(|s| s.decided).sum::<u64>() + short.total();
+    let pct = |n: u64| {
+        if traffic == 0 {
+            0.0
+        } else {
+            100.0 * n as f64 / traffic as f64
+        }
+    };
     if !pipeline.is_empty() {
-        println!("pipeline (fresh decisions, aggregated per stage):");
+        println!("pipeline (per stage, % of {traffic} total decisions served):");
         for stage in &pipeline {
             println!(
-                "  {:<22} {:>4} decided, {:>4} continued, {:>4} inapplicable, {:>9.3}ms",
+                "  {:<22} {:>4} decided ({:>5.1}%), {:>4} continued, {:>4} inapplicable, \
+                 {:>9.3}ms",
                 stage.stage,
                 stage.decided,
+                pct(stage.decided),
                 stage.continued,
                 stage.inapplicable,
                 stage.micros as f64 / 1000.0
             );
         }
+        println!(
+            "  {:<22} {:>4} decided ({:>5.1}%): {} cache hits + {} in-flight dedups",
+            "short-circuited",
+            short.total(),
+            pct(short.total()),
+            short.cached,
+            short.deduped
+        );
     }
     println!("wall time: {:.3}ms", wall_micros as f64 / 1000.0);
 }
@@ -548,6 +720,7 @@ fn print_json(
     engine: &Engine,
     entries: &[WorkloadEntry],
     runs: &[Vec<BatchResult>],
+    metrics: &bqc_obs::MetricsSnapshot,
     wall_micros: u64,
 ) {
     let mut out = String::new();
@@ -620,6 +793,23 @@ fn print_json(
         "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {}}},\n",
         stats.hits, stats.misses, stats.evictions, stats.entries
     ));
+    let by_provenance = |p: Provenance| {
+        runs.iter()
+            .flatten()
+            .filter(|result| result.provenance == p)
+            .count()
+    };
+    out.push_str(&format!(
+        "  \"provenance\": {{\"fresh\": {}, \"cached\": {}, \"deduped\": {}}},\n",
+        by_provenance(Provenance::Fresh),
+        by_provenance(Provenance::CachedHit),
+        by_provenance(Provenance::DedupedInFlight)
+    ));
+    let short = engine.short_circuit_stats();
+    out.push_str(&format!(
+        "  \"short_circuited\": {{\"cached\": {}, \"deduped\": {}}},\n",
+        short.cached, short.deduped
+    ));
     out.push_str("  \"pipeline\": [\n");
     let pipeline = engine.pipeline_stats();
     for (i, stage) in pipeline.iter().enumerate() {
@@ -635,6 +825,10 @@ fn print_json(
         ));
     }
     out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"obs\": {},\n",
+        bqc_obs::json_snapshot(metrics)
+    ));
     out.push_str(&format!("  \"wall_micros\": {wall_micros}\n}}"));
     println!("{out}");
 }

@@ -20,7 +20,11 @@
 //! * [`engine`] — the serving layer: query canonicalization, a sharded LRU
 //!   decision cache, and the concurrent batch executor behind the `bqc` CLI;
 //! * [`mod@bench`] — deterministic workload generators, the differential-oracle
-//!   database families, and the `bqc fuzz` campaign harness.
+//!   database families, and the `bqc fuzz` campaign harness;
+//! * [`obs`] — zero-dependency counters, log2-bucket histograms and
+//!   hierarchical spans instrumenting the LP, the separation loop and the
+//!   cache, with Chrome-trace / Prometheus-text / JSON exporters (the
+//!   `bqc` CLI's `--trace-out` / `--metrics` flags).
 //!
 //! ## Quickstart
 //!
@@ -40,6 +44,7 @@ pub use bqc_entropy as entropy;
 pub use bqc_hypergraph as hypergraph;
 pub use bqc_iip as iip;
 pub use bqc_lp as lp;
+pub use bqc_obs as obs;
 pub use bqc_relational as relational;
 
 /// The most commonly used items, for glob import in examples and tests.

@@ -1,0 +1,162 @@
+//! Observability integration: span nesting across crate boundaries,
+//! trace-signature determinism, and the metric registry fed by real engine
+//! runs.
+//!
+//! The tracing window and the metric registry are process-global, so every
+//! test here serializes on one lock — within this binary nothing else may
+//! record spans while a window is open (other integration-test binaries are
+//! separate processes and cannot interfere).
+
+use bag_query_containment::obs;
+use bag_query_containment::prelude::*;
+use std::sync::Mutex;
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Four questions: one LP-deciding pair, one homomorphism refutation, a
+/// renamed spelling of the first (deduplicated in flight), and the
+/// pendant-edge diamond (undecidable here) whose Γ-probe needs actual
+/// separation rounds — the seed rows alone don't refute its relaxation.
+fn workload() -> Vec<(ConjunctiveQuery, ConjunctiveQuery)> {
+    [
+        ("Q1() :- R(x,y), R(y,z), R(z,x)", "Q2() :- R(u,v), R(u,w)"),
+        ("Q1() :- R(x,y)", "Q2() :- S(u,v)"),
+        ("A() :- R(c,a), R(a,b), R(b,c)", "B() :- R(h,k), R(h,j)"),
+        (
+            "Q1() :- R(a,b), R(b,c), R(a,c), R(b,d), R(c,d), R(a,e)",
+            "Q2() :- R(a,b), R(b,c), R(a,c), R(b,d), R(c,d)",
+        ),
+    ]
+    .iter()
+    .map(|(a, b)| (parse_query(a).unwrap(), parse_query(b).unwrap()))
+    .collect()
+}
+
+/// `workers: 1` makes the batch executor run inline on the calling thread,
+/// which is what makes its trace single-threaded and hence deterministic.
+fn single_threaded_engine() -> Engine {
+    Engine::new(EngineOptions {
+        workers: 1,
+        ..EngineOptions::default()
+    })
+}
+
+#[test]
+fn trace_signature_is_deterministic_across_identical_runs() {
+    let _window = OBS_LOCK.lock().unwrap();
+    let requests = workload();
+    let run = || {
+        // A cold engine per run: the cache state (and therefore the set of
+        // spans recorded) must be identical between the two windows.
+        let engine = single_threaded_engine();
+        obs::start_tracing();
+        engine.decide_batch(&requests);
+        obs::stop_tracing()
+    };
+    let first = run();
+    let second = run();
+    assert!(!first.is_empty(), "the run recorded no spans");
+    assert_eq!(first.dropped, 0);
+    assert_eq!(
+        first.signature(),
+        second.signature(),
+        "the timing-free span projection must not vary between identical \
+         single-threaded runs"
+    );
+}
+
+#[test]
+fn lp_spans_nest_under_pipeline_stages() {
+    let _window = OBS_LOCK.lock().unwrap();
+    let engine = single_threaded_engine();
+    obs::start_tracing();
+    engine.decide_batch(&workload());
+    let trace = obs::stop_tracing();
+    let find = |name: &str| {
+        trace
+            .events
+            .iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("no `{name}` span recorded"))
+    };
+    let batch = find("decide-batch");
+    let decide = find("decide");
+    let pipeline = find("pipeline");
+    let stage = find("shannon-lp");
+    let solve = find("lp-solve");
+    assert_eq!(batch.depth, 0, "the batch span is the root");
+    assert!(pipeline.depth > decide.depth);
+    assert!(stage.depth > pipeline.depth);
+    assert!(solve.depth > stage.depth);
+    // The decide span is annotated with its canonical pair hash (what lets
+    // `bqc --explain` attach the span tree to the right answer).
+    assert!(decide.args.iter().any(|(k, _)| *k == "pair"));
+    // Interval containment, not just depth: some shannon-lp stage span
+    // encloses an lp-solve span on the same thread.
+    let encloses = |outer: &obs::TraceEvent, inner: &obs::TraceEvent| {
+        outer.tid == inner.tid
+            && outer.start_ns <= inner.start_ns
+            && inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns
+    };
+    assert!(
+        trace
+            .events
+            .iter()
+            .filter(|e| e.name == "shannon-lp")
+            .any(|s| encloses(s, solve)),
+        "an LP solve must run inside a shannon-lp pipeline stage"
+    );
+    // Pivot instants land inside the LP solve they belong to.
+    assert!(
+        trace
+            .events
+            .iter()
+            .filter(|e| e.name == "pivot")
+            .all(|p| trace
+                .events
+                .iter()
+                .filter(|e| e.name == "lp-solve")
+                .any(|s| encloses(s, p))),
+        "every pivot marker must fall within an lp-solve span"
+    );
+}
+
+#[test]
+fn engine_runs_populate_the_metric_registry() {
+    let _window = OBS_LOCK.lock().unwrap();
+    let engine = single_threaded_engine();
+    let requests = workload();
+    engine.decide_batch(&requests);
+    engine.decide_batch(&requests); // warm: every leader is a cache hit
+    let metrics = obs::snapshot();
+    for name in [
+        "bqc_lp_solves_total",
+        "bqc_lp_pivots_total",
+        "bqc_entropy_separation_scans_total",
+        "bqc_entropy_elementals_scanned_total",
+        "bqc_iip_probes_total",
+        "bqc_iip_separation_rounds_total",
+        "bqc_engine_fresh_decisions_total",
+        "bqc_engine_cached_hits_total",
+        "bqc_engine_deduped_total",
+        "bqc_engine_batches_total",
+    ] {
+        assert!(
+            metrics.counter(name).unwrap_or(0) > 0,
+            "counter `{name}` missing or zero after an LP-deciding batch"
+        );
+    }
+    for name in ["bqc_lp_pivots_per_solve", "bqc_engine_decide_micros"] {
+        let histogram = metrics
+            .histogram(name)
+            .unwrap_or_else(|| panic!("histogram `{name}` missing"));
+        assert!(histogram.count > 0, "histogram `{name}` never observed");
+    }
+    // The short-circuited bucket is per engine: one in-flight dedup per
+    // batch, and the second batch's three distinct pairs all hit the cache.
+    let short = engine.short_circuit_stats();
+    assert_eq!(short.deduped, 2);
+    assert_eq!(short.cached, 3);
+    let fresh: u64 = engine.pipeline_stats().iter().map(|s| s.decided).sum();
+    assert_eq!(fresh + short.total(), 8, "traffic covers all 2x4 requests");
+}
