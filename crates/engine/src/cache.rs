@@ -24,6 +24,7 @@ use std::sync::Mutex;
 /// (`bqc --metrics`) reports.
 struct ShardObs {
     hits: bqc_obs::Counter,
+    restored_hits: bqc_obs::Counter,
     misses: bqc_obs::Counter,
     evictions: bqc_obs::Counter,
 }
@@ -32,6 +33,9 @@ impl ShardObs {
     fn new(index: usize) -> ShardObs {
         ShardObs {
             hits: bqc_obs::counter(&format!("bqc_engine_cache_hits_total{{shard=\"{index}\"}}")),
+            restored_hits: bqc_obs::counter(&format!(
+                "bqc_engine_cache_restored_hits_total{{shard=\"{index}\"}}"
+            )),
             misses: bqc_obs::counter(&format!(
                 "bqc_engine_cache_misses_total{{shard=\"{index}\"}}"
             )),
@@ -45,14 +49,33 @@ impl ShardObs {
 /// Point-in-time counters of cache activity.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups answered from the cache.
+    /// Lookups answered from an entry this process computed and inserted.
     pub hits: u64,
+    /// Lookups answered from an entry restored out of a snapshot.  Counted
+    /// separately from [`hits`](CacheStats::hits) so traffic accounting
+    /// stays honest across restarts: a restored verdict was computed by a
+    /// *previous* process, and lumping it into either `hits` or `misses`
+    /// would misstate this process's warm-up behavior.
+    pub restored_hits: u64,
     /// Lookups that found nothing (or a colliding entry).
     pub misses: u64,
     /// Entries displaced by the per-shard LRU bound.
     pub evictions: u64,
     /// Entries currently resident, summed over shards.
     pub entries: u64,
+    /// Entries inserted from a snapshot since construction (monotonic; not
+    /// decremented by eviction).
+    pub restored: u64,
+}
+
+/// A successful cache probe: the summary plus where the entry came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheHit {
+    /// The cached verdict.
+    pub summary: AnswerSummary,
+    /// `true` iff the entry was restored from a snapshot and has not been
+    /// recomputed by this process.
+    pub restored: bool,
 }
 
 struct Entry {
@@ -61,6 +84,9 @@ struct Entry {
     summary: AnswerSummary,
     /// Logical timestamp of the last hit or insertion (shard-local clock).
     last_used: u64,
+    /// `true` for entries loaded from a snapshot; cleared when the entry is
+    /// re-inserted by a fresh computation.
+    restored: bool,
 }
 
 struct Shard {
@@ -75,8 +101,10 @@ pub struct DecisionCache {
     obs: Vec<ShardObs>,
     capacity_per_shard: usize,
     hits: AtomicU64,
+    restored_hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    restored: AtomicU64,
 }
 
 impl DecisionCache {
@@ -96,8 +124,10 @@ impl DecisionCache {
             obs: (0..shards).map(ShardObs::new).collect(),
             capacity_per_shard: capacity_per_shard.max(1),
             hits: AtomicU64::new(0),
+            restored_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            restored: AtomicU64::new(0),
         }
     }
 
@@ -107,8 +137,9 @@ impl DecisionCache {
     }
 
     /// Looks up the summary cached for `hash`, verifying `key_text` against
-    /// the stored canonical text.  Counts a hit or a miss.
-    pub fn get(&self, hash: u64, key_text: &str) -> Option<AnswerSummary> {
+    /// the stored canonical text.  Counts a hit (split by restored-ness) or
+    /// a miss.
+    pub fn probe(&self, hash: u64, key_text: &str) -> Option<CacheHit> {
         let index = self.shard_index(hash);
         let mut shard = self.shards[index].lock().expect("cache shard poisoned");
         shard.clock += 1;
@@ -116,9 +147,17 @@ impl DecisionCache {
         match shard.map.get_mut(&hash) {
             Some(entry) if entry.key_text == key_text => {
                 entry.last_used = clock;
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                self.obs[index].hits.inc();
-                Some(entry.summary)
+                if entry.restored {
+                    self.restored_hits.fetch_add(1, Ordering::Relaxed);
+                    self.obs[index].restored_hits.inc();
+                } else {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.obs[index].hits.inc();
+                }
+                Some(CacheHit {
+                    summary: entry.summary,
+                    restored: entry.restored,
+                })
             }
             _ => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -128,9 +167,26 @@ impl DecisionCache {
         }
     }
 
+    /// [`probe`](DecisionCache::probe) with the provenance dropped.
+    pub fn get(&self, hash: u64, key_text: &str) -> Option<AnswerSummary> {
+        self.probe(hash, key_text).map(|hit| hit.summary)
+    }
+
     /// Inserts (or refreshes) the summary for `hash`, evicting the shard's
     /// least-recently-used entry when the shard is at capacity.
     pub fn insert(&self, hash: u64, key_text: &str, summary: AnswerSummary) {
+        self.insert_with(hash, key_text, summary, false)
+    }
+
+    /// Inserts an entry restored from a snapshot: hits on it are counted as
+    /// [`CacheStats::restored_hits`] until a fresh computation re-inserts
+    /// the key.
+    pub fn restore(&self, hash: u64, key_text: &str, summary: AnswerSummary) {
+        self.restored.fetch_add(1, Ordering::Relaxed);
+        self.insert_with(hash, key_text, summary, true)
+    }
+
+    fn insert_with(&self, hash: u64, key_text: &str, summary: AnswerSummary, restored: bool) {
         let index = self.shard_index(hash);
         let mut shard = self.shards[index].lock().expect("cache shard poisoned");
         shard.clock += 1;
@@ -141,6 +197,7 @@ impl DecisionCache {
             entry.key_text.push_str(key_text);
             entry.summary = summary;
             entry.last_used = clock;
+            entry.restored = restored;
             return;
         }
         if shard.map.len() >= self.capacity_per_shard {
@@ -165,6 +222,7 @@ impl DecisionCache {
                 key_text: key_text.to_string(),
                 summary,
                 last_used: clock,
+                restored,
             },
         );
     }
@@ -178,10 +236,44 @@ impl DecisionCache {
             .sum();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
+            restored_hits: self.restored_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             entries,
+            restored: self.restored.load(Ordering::Relaxed),
         }
+    }
+
+    /// Resets the hit/miss/eviction/restored counters to zero without
+    /// touching the resident entries.  Lets a long-running server report
+    /// per-window traffic (e.g. "since the last snapshot") instead of
+    /// since-boot totals.  The process-wide `bqc-obs` counters are *not*
+    /// reset — they are monotonic by contract.
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.restored_hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.restored.store(0, Ordering::Relaxed);
+    }
+
+    /// Every resident entry as `(hash, key text, summary)`, the input of a
+    /// snapshot.  Taken shard by shard — concurrent inserts during the scan
+    /// may or may not be included, which is fine: a snapshot is a
+    /// point-in-time *approximation* of the cache, and every entry in it is
+    /// individually valid.
+    pub fn export(&self) -> Vec<(u64, String, AnswerSummary)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            out.extend(
+                shard
+                    .map
+                    .iter()
+                    .map(|(&hash, entry)| (hash, entry.key_text.clone(), entry.summary)),
+            );
+        }
+        out
     }
 
     /// Drops every entry (counters are kept).
@@ -267,6 +359,72 @@ mod tests {
         assert_eq!(stats.entries, 0);
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn restored_entries_hit_in_their_own_bucket() {
+        let cache = DecisionCache::new(2, 8);
+        cache.restore(9, "snap", contained());
+        // Probing a restored entry is a restored hit, not a plain hit (and
+        // certainly not a miss).
+        assert_eq!(
+            cache.probe(9, "snap"),
+            Some(CacheHit {
+                summary: contained(),
+                restored: true
+            })
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.restored_hits, 1);
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.restored, 1);
+        // A fresh insert over the same key clears the restored mark.
+        cache.insert(9, "snap", contained());
+        assert_eq!(
+            cache.probe(9, "snap"),
+            Some(CacheHit {
+                summary: contained(),
+                restored: false
+            })
+        );
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().restored_hits, 1);
+    }
+
+    #[test]
+    fn export_and_restore_round_trip() {
+        let cache = DecisionCache::new(4, 8);
+        cache.insert(1, "one", contained());
+        cache.insert(2, "two", not_contained());
+        let mut exported = cache.export();
+        exported.sort_by(|a, b| a.1.cmp(&b.1));
+        assert_eq!(exported.len(), 2);
+        let restored = DecisionCache::new(2, 8);
+        for (hash, key, summary) in &exported {
+            restored.restore(*hash, key, *summary);
+        }
+        assert_eq!(restored.get(1, "one"), Some(contained()));
+        assert_eq!(restored.get(2, "two"), Some(not_contained()));
+        assert_eq!(restored.stats().restored, 2);
+        assert_eq!(restored.stats().restored_hits, 2);
+    }
+
+    #[test]
+    fn reset_stats_keeps_entries() {
+        let cache = DecisionCache::new(1, 4);
+        cache.insert(1, "a", contained());
+        cache.get(1, "a");
+        cache.get(2, "b");
+        cache.reset_stats();
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses, stats.restored_hits),
+            (0, 0, 0),
+            "counters reset"
+        );
+        assert_eq!(stats.entries, 1, "entries survive a counter reset");
+        assert_eq!(cache.get(1, "a"), Some(contained()));
     }
 
     #[test]

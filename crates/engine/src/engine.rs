@@ -22,7 +22,8 @@
 //! computation of any member would produce through the engine.
 
 use crate::cache::{CacheStats, DecisionCache};
-use crate::canon::{canonicalize_pair, CanonicalPair};
+use crate::canon::{canonicalize_pair, fnv1a, CanonicalPair};
+use crate::persist::{LoadOutcome, Snapshot, SnapshotEntry, SnapshotError};
 use crate::telemetry::{PipelineTelemetry, ShortCircuitStats, StageStats};
 use bqc_core::{
     decide_containment_traced, AnswerSummary, DecideContext, DecideError, DecideOptions,
@@ -31,6 +32,7 @@ use bqc_core::{
 use bqc_obs::{LazyCounter, LazyHistogram};
 use bqc_relational::ConjunctiveQuery;
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -39,9 +41,17 @@ static BATCHES: LazyCounter = LazyCounter::new("bqc_engine_batches_total");
 static BATCH_REQUESTS: LazyCounter = LazyCounter::new("bqc_engine_batch_requests_total");
 static FRESH_DECISIONS: LazyCounter = LazyCounter::new("bqc_engine_fresh_decisions_total");
 static CACHED_HITS: LazyCounter = LazyCounter::new("bqc_engine_cached_hits_total");
+static RESTORED_HITS: LazyCounter = LazyCounter::new("bqc_engine_restored_hits_total");
 static DEDUPED: LazyCounter = LazyCounter::new("bqc_engine_deduped_total");
 static DECIDE_MICROS: LazyHistogram = LazyHistogram::new("bqc_engine_decide_micros");
 static BATCH_MICROS: LazyHistogram = LazyHistogram::new("bqc_engine_batch_micros");
+static SNAPSHOT_SAVES: LazyCounter = LazyCounter::new("bqc_engine_snapshot_saves_total");
+static SNAPSHOT_SAVED_ENTRIES: LazyCounter =
+    LazyCounter::new("bqc_engine_snapshot_saved_entries_total");
+static SNAPSHOT_RESTORED_ENTRIES: LazyCounter =
+    LazyCounter::new("bqc_engine_snapshot_restored_entries_total");
+static SNAPSHOT_SAVE_MICROS: LazyHistogram = LazyHistogram::new("bqc_engine_snapshot_save_micros");
+static SNAPSHOT_LOAD_MICROS: LazyHistogram = LazyHistogram::new("bqc_engine_snapshot_load_micros");
 
 /// How a request in a batch obtained its answer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -161,10 +171,15 @@ impl Engine {
         q2: &ConjunctiveQuery,
     ) -> Result<AnswerSummary, DecideError> {
         let pair = canonicalize_pair(q1, q2);
-        if let Some(summary) = self.cache.get(pair.hash, &pair.key) {
-            CACHED_HITS.inc();
-            self.telemetry.record_cache_hit();
-            return Ok(summary);
+        if let Some(hit) = self.cache.probe(pair.hash, &pair.key) {
+            if hit.restored {
+                RESTORED_HITS.inc();
+                self.telemetry.record_restored_hit();
+            } else {
+                CACHED_HITS.inc();
+                self.telemetry.record_cache_hit();
+            }
+            return Ok(hit.summary);
         }
         // A fresh context per call keeps single decides history-independent;
         // the shared skeletons carry no history (see DecideContext docs).
@@ -234,13 +249,18 @@ impl Engine {
         let probe_span = bqc_obs::span("cache-probe");
         for &i in &leaders {
             let pair = &pairs[i];
-            if let Some(summary) = self.cache.get(pair.hash, &pair.key) {
-                CACHED_HITS.inc();
-                self.telemetry.record_cache_hit();
+            if let Some(hit) = self.cache.probe(pair.hash, &pair.key) {
+                if hit.restored {
+                    RESTORED_HITS.inc();
+                    self.telemetry.record_restored_hit();
+                } else {
+                    CACHED_HITS.inc();
+                    self.telemetry.record_cache_hit();
+                }
                 outcomes.insert(
                     pair.key.as_str(),
                     LeaderOutcome {
-                        answer: Ok(summary),
+                        answer: Ok(hit.summary),
                         provenance: Provenance::CachedHit,
                         micros: 0,
                         trace: None,
@@ -369,10 +389,121 @@ impl Engine {
         self.cache.clear()
     }
 
+    /// Zeroes the cache counters and the pipeline telemetry, opening a
+    /// fresh accounting window.  Resident cache entries (and their restored
+    /// marks) are untouched, as are the monotonic process-wide `bqc-obs`
+    /// counters.
+    pub fn reset_stats(&self) {
+        self.cache.reset_stats();
+        self.telemetry.reset();
+    }
+
+    /// A point-in-time [`Snapshot`] of the engine's durable warm state:
+    /// every resident cache entry plus the skeleton-size manifest.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            entries: self
+                .cache
+                .export()
+                .into_iter()
+                .map(|(_, key, summary)| SnapshotEntry { key, summary })
+                .collect(),
+            skeleton_sizes: self.skeletons.sizes(),
+        }
+    }
+
+    /// Writes the engine's warm state to `path` atomically (see
+    /// [`crate::persist::write_snapshot_file`]).  Returns what was written.
+    pub fn save_snapshot(&self, path: &Path) -> std::io::Result<SnapshotSaved> {
+        let start = Instant::now();
+        let snapshot = self.snapshot();
+        let entries = snapshot.entries.len();
+        let bytes = crate::persist::write_snapshot_file(path, &snapshot)?;
+        SNAPSHOT_SAVES.inc();
+        SNAPSHOT_SAVED_ENTRIES.add(entries as u64);
+        SNAPSHOT_SAVE_MICROS.observe(start.elapsed().as_micros() as u64);
+        Ok(SnapshotSaved { entries, bytes })
+    }
+
+    /// Restores a decoded snapshot into the engine: every entry enters the
+    /// cache marked *restored* (hits on it count as
+    /// [`CacheStats::restored_hits`]), and every manifest skeleton is
+    /// rebuilt.  Returns the number of entries restored.  Restoring into a
+    /// smaller cache than the one that saved simply lets the LRU bound
+    /// evict the overflow.
+    pub fn restore_snapshot(&self, snapshot: &Snapshot) -> usize {
+        for entry in &snapshot.entries {
+            let hash = fnv1a(entry.key.as_bytes());
+            self.cache.restore(hash, &entry.key, entry.summary);
+        }
+        for &size in &snapshot.skeleton_sizes {
+            // Skeletons are pure functions of the universe size; rebuilding
+            // from the manifest reproduces the predecessor's warm set.
+            self.skeletons.get(size);
+        }
+        SNAPSHOT_RESTORED_ENTRIES.add(snapshot.entries.len() as u64);
+        snapshot.entries.len()
+    }
+
+    /// Loads the snapshot at `path` with the full degradation ladder: a
+    /// valid file is restored, a missing file is a cold start, and a
+    /// corrupt or version-mismatched file is quarantined to `<path>.corrupt`
+    /// and reported — the engine still starts, cold, either way.
+    pub fn load_snapshot(&self, path: &Path) -> SnapshotLoad {
+        let start = Instant::now();
+        let outcome = crate::persist::load_or_quarantine(path);
+        let load = match outcome {
+            LoadOutcome::Loaded(snapshot) => SnapshotLoad::Restored {
+                entries: self.restore_snapshot(&snapshot),
+                skeletons: snapshot.skeleton_sizes.len(),
+            },
+            LoadOutcome::Missing => SnapshotLoad::ColdStart,
+            LoadOutcome::Quarantined {
+                error,
+                quarantined_to,
+            } => SnapshotLoad::Quarantined {
+                error,
+                quarantined_to,
+            },
+        };
+        SNAPSHOT_LOAD_MICROS.observe(start.elapsed().as_micros() as u64);
+        load
+    }
+
     /// The engine's configuration.
     pub fn options(&self) -> &EngineOptions {
         &self.options
     }
+}
+
+/// What [`Engine::save_snapshot`] wrote.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotSaved {
+    /// Cache entries serialized.
+    pub entries: usize,
+    /// Encoded file size in bytes.
+    pub bytes: usize,
+}
+
+/// The outcome of [`Engine::load_snapshot`].
+#[derive(Debug)]
+pub enum SnapshotLoad {
+    /// The snapshot was valid; its entries and skeletons are live.
+    Restored {
+        /// Cache entries restored.
+        entries: usize,
+        /// Skeletons rebuilt from the warm-state manifest.
+        skeletons: usize,
+    },
+    /// No snapshot file exists: a normal cold start.
+    ColdStart,
+    /// The snapshot was rejected and renamed aside; the engine starts cold.
+    Quarantined {
+        /// Why the file was rejected.
+        error: SnapshotError,
+        /// Where the file was moved, if the rename succeeded.
+        quarantined_to: Option<PathBuf>,
+    },
 }
 
 /// Applies `f` to every item over a `std::thread::scope` worker pool and

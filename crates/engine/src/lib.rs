@@ -24,6 +24,13 @@
 //! * [`workload`] — the textual workload format consumed by the `bqc` CLI
 //!   (one `Q1 … ; Q2 …` question per line) and a small JSON string escaper
 //!   for the machine-readable report;
+//! * [`persist`] — durable snapshots of the decision cache: a versioned,
+//!   length-prefixed, checksummed binary format (written atomically, loaded
+//!   with a corrupt-file quarantine path) serializing every canonical key +
+//!   [`bqc_core::AnswerSummary`] pair plus a warm-state manifest of built
+//!   cone skeletons, so a restarted `bqc serve` answers its steady-state
+//!   traffic from byte-identical cached verdicts
+//!   ([`Engine::save_snapshot`] / [`Engine::load_snapshot`]);
 //! * [`corpus`] — the adversarial corpus format: workload files whose
 //!   `# EXPECT:` / `# WITNESS:` directive comments pin each question to the
 //!   verdict it must produce (and, for refutations, a separating database);
@@ -78,13 +85,18 @@ pub mod cache;
 pub mod canon;
 pub mod corpus;
 pub mod engine;
+pub mod persist;
 pub mod telemetry;
 pub mod workload;
 
-pub use cache::{CacheStats, DecisionCache};
+pub use cache::{CacheHit, CacheStats, DecisionCache};
 pub use canon::{canonicalize, canonicalize_pair, fnv1a, CanonicalPair, CanonicalQuery};
 pub use corpus::{parse_corpus, render_case, CorpusCase, CorpusError, ExpectedVerdict};
-pub use engine::{BatchResult, Engine, EngineOptions, Provenance};
+pub use engine::{BatchResult, Engine, EngineOptions, Provenance, SnapshotLoad, SnapshotSaved};
+pub use persist::{
+    decode_snapshot, encode_snapshot, load_or_quarantine, read_snapshot_file, write_snapshot_file,
+    LoadOutcome, Snapshot, SnapshotEntry, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
 pub use telemetry::{PipelineTelemetry, ShortCircuitStats, StageStats};
 pub use workload::{
     json_escape, parse_workload, parse_workload_line, WorkloadEntry, WorkloadError,

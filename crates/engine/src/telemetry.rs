@@ -54,8 +54,12 @@ impl StageStats {
 /// Decisions served without running the pipeline at all.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ShortCircuitStats {
-    /// Answered from the decision cache.
+    /// Answered from a cache entry this process computed.
     pub cached: u64,
+    /// Answered from a cache entry restored out of a snapshot — work done by
+    /// a *previous* process.  Kept out of `cached` so warm-up accounting
+    /// across restarts stays honest.
+    pub restored: u64,
     /// Answered by deduplication against an identical in-flight request.
     pub deduped: u64,
 }
@@ -63,7 +67,7 @@ pub struct ShortCircuitStats {
 impl ShortCircuitStats {
     /// Total short-circuited decisions.
     pub fn total(&self) -> u64 {
-        self.cached + self.deduped
+        self.cached + self.restored + self.deduped
     }
 }
 
@@ -74,6 +78,7 @@ impl ShortCircuitStats {
 pub struct PipelineTelemetry {
     stages: Mutex<Vec<StageStats>>,
     cached: AtomicU64,
+    restored: AtomicU64,
     deduped: AtomicU64,
 }
 
@@ -113,6 +118,11 @@ impl PipelineTelemetry {
         self.cached.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one decision answered from a snapshot-restored cache entry.
+    pub fn record_restored_hit(&self) {
+        self.restored.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Counts one decision answered by in-flight deduplication.
     pub fn record_dedup(&self) {
         self.deduped.fetch_add(1, Ordering::Relaxed);
@@ -122,8 +132,20 @@ impl PipelineTelemetry {
     pub fn short_circuited(&self) -> ShortCircuitStats {
         ShortCircuitStats {
             cached: self.cached.load(Ordering::Relaxed),
+            restored: self.restored.load(Ordering::Relaxed),
             deduped: self.deduped.load(Ordering::Relaxed),
         }
+    }
+
+    /// Zeroes every counter (stage rows and the short-circuited bucket),
+    /// starting a fresh accounting window.  A serving deployment calls this
+    /// after reporting an interval so stage fractions describe recent
+    /// traffic rather than since-boot totals.
+    pub fn reset(&self) {
+        self.stages.lock().expect("telemetry poisoned").clear();
+        self.cached.store(0, Ordering::Relaxed);
+        self.restored.store(0, Ordering::Relaxed);
+        self.deduped.store(0, Ordering::Relaxed);
     }
 
     /// Total fresh decisions folded in (every trace has exactly one deciding
@@ -201,16 +223,21 @@ mod tests {
         telemetry.record(&decision.trace);
         telemetry.record_cache_hit();
         telemetry.record_cache_hit();
+        telemetry.record_restored_hit();
         telemetry.record_dedup();
         assert_eq!(telemetry.decisions(), 1, "only the fresh decision");
         assert_eq!(
             telemetry.short_circuited(),
             ShortCircuitStats {
                 cached: 2,
+                restored: 1,
                 deduped: 1
             }
         );
-        assert_eq!(telemetry.traffic(), 4, "stage fractions divide by this");
+        assert_eq!(telemetry.traffic(), 5, "stage fractions divide by this");
+        telemetry.reset();
+        assert_eq!(telemetry.traffic(), 0, "reset opens a fresh window");
+        assert!(telemetry.snapshot().is_empty());
     }
 
     #[test]

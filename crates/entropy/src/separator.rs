@@ -271,6 +271,23 @@ impl SkeletonCache {
         self.inner.lock().expect("skeleton cache poisoned").len()
     }
 
+    /// The universe sizes with a built skeleton, in ascending order.  This is
+    /// the cheap "warm-state manifest" a cache snapshot records: skeletons
+    /// are pure functions of `n`, so persisting the sizes alone lets a
+    /// restarted process rebuild exactly the skeletons its predecessor had
+    /// warmed, without serializing the (large, reconstructible) row data.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes: Vec<usize> = self
+            .inner
+            .lock()
+            .expect("skeleton cache poisoned")
+            .keys()
+            .copied()
+            .collect();
+        sizes.sort_unstable();
+        sizes
+    }
+
     /// `true` iff no skeleton has been built yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0

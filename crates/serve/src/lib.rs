@@ -1,0 +1,70 @@
+#![warn(missing_docs)]
+//! # bqc-serve — the persistent containment-serving daemon
+//!
+//! `bqc-engine` amortizes work *within* a batch; this crate amortizes it
+//! *across process lifetimes and clients*.  It wraps one shared
+//! [`bqc_engine::Engine`] in a TCP daemon (`bqc serve`) that:
+//!
+//! * speaks a **newline-delimited text protocol** ([`proto`]) whose decide
+//!   requests are exactly the workload pair syntax — any `.bqc` workload
+//!   file can be streamed straight into the socket — plus `!`-prefixed
+//!   admin commands (`!ping`, `!stats`, `!snapshot`, `!shutdown`, `!quit`);
+//! * **micro-batches** concurrently arriving requests into
+//!   [`bqc_engine::Engine::decide_batch`] ([`server`]), so canonical
+//!   deduplication and the sharded decision cache work across clients the
+//!   same way they work across the lines of a workload file;
+//! * applies **admission control** at two layers — a connection cap and a
+//!   bounded pending-request queue — answering `busy …` immediately
+//!   instead of stalling admitted traffic;
+//! * shuts down **gracefully** on `!shutdown`, SIGTERM, or stdin close:
+//!   stop accepting, drain every admitted request, then write the decision
+//!   cache to a durable snapshot ([`bqc_engine::persist`]) so the next
+//!   process restarts *warm* — steady-state traffic answered from
+//!   byte-identical cached verdicts before the first LP is ever solved.
+//!
+//! The daemon is built on `std::net` blocking sockets and plain threads —
+//! one connection handler thread per client, one batcher — with no async
+//! runtime; admission control, not an executor, is the concurrency story.
+//! Operator documentation (wire grammar, capacity tuning, snapshot
+//! lifecycle, metrics walkthrough) lives in `docs/OPERATIONS.md`.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bqc_engine::Engine;
+//! use bqc_serve::{Server, ServeOptions};
+//! use std::io::{BufRead, BufReader, Write};
+//! use std::sync::Arc;
+//!
+//! let server = Server::bind(
+//!     Arc::new(Engine::default()),
+//!     ServeOptions {
+//!         addr: "127.0.0.1:0".to_string(), // OS-assigned port
+//!         ..ServeOptions::default()
+//!     },
+//! )
+//! .unwrap();
+//! let addr = server.local_addr().unwrap();
+//! let handle = server.shutdown_handle();
+//! let daemon = std::thread::spawn(move || server.run().unwrap());
+//!
+//! let stream = std::net::TcpStream::connect(addr).unwrap();
+//! let mut writer = stream.try_clone().unwrap();
+//! let mut lines = BufReader::new(stream).lines();
+//! assert_eq!(lines.next().unwrap().unwrap(), "ok bqc-serve proto=1");
+//! writeln!(writer, "Q1() :- R(x,y), R(y,z), R(z,x) ; Q2() :- R(u,v), R(u,w)").unwrap();
+//! let reply = lines.next().unwrap().unwrap();
+//! assert!(reply.starts_with("ok verdict=contained provenance=fresh"), "{reply}");
+//!
+//! handle.shutdown();
+//! daemon.join().unwrap();
+//! ```
+
+pub mod proto;
+pub mod server;
+
+pub use proto::{
+    banner, parse_request, provenance_token, render_result, verdict_token, Admin, Request,
+    PROTO_VERSION,
+};
+pub use server::{ServeOptions, ServeSummary, Server, ShutdownHandle};

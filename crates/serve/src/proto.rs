@@ -1,0 +1,220 @@
+//! The `bqc serve` wire protocol: newline-delimited text, request in,
+//! response out, one line each.
+//!
+//! The protocol deliberately reuses the workload file syntax
+//! ([`bqc_engine::workload`]) for decision requests, so any line that is
+//! valid in a `.bqc` workload file is a valid request — a client can stream
+//! a workload file straight into the socket.  Lines starting with `!` are
+//! admin commands.  The full grammar, with examples, lives in
+//! `docs/OPERATIONS.md`; this module is the single source of truth for
+//! parsing requests and rendering responses, shared by the server and its
+//! tests.
+//!
+//! ## Requests
+//!
+//! ```text
+//! request      = decide-line | admin-line | blank-line
+//! decide-line  = <Q1 query> ";" <Q2 query>      # workload pair syntax
+//! admin-line   = "!ping" | "!stats" | "!snapshot" | "!shutdown" | "!quit"
+//! blank-line   = ""                             # or comment-only (# / %)
+//! ```
+//!
+//! ## Responses
+//!
+//! Every response is one line of space-separated tokens.  The first token
+//! classifies it: `ok`, `error`, or `busy`.  Subsequent tokens are
+//! `key=value` pairs (for `ok` responses) or a category word followed by a
+//! free-text message (for `error` responses).
+
+use bqc_core::{AnswerSummary, Obstruction};
+use bqc_engine::{parse_workload_line, BatchResult, Provenance};
+use bqc_relational::ConjunctiveQuery;
+
+/// Version number sent in the connection banner and `!ping` reply.  Bump on
+/// any incompatible change to the request grammar or response tokens.
+pub const PROTO_VERSION: u32 = 1;
+
+/// The greeting the server writes as the first line of every accepted
+/// connection (rejected connections get a `busy` line instead).
+pub fn banner() -> String {
+    format!("ok bqc-serve proto={PROTO_VERSION}")
+}
+
+/// An admin command: a request line starting with `!`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admin {
+    /// `!ping` — liveness probe; answered inline, never queued.
+    Ping,
+    /// `!stats` — one-line serving statistics summary.
+    Stats,
+    /// `!snapshot` — write a decision-cache snapshot now.
+    Snapshot,
+    /// `!shutdown` — begin graceful shutdown of the whole server.
+    Shutdown,
+    /// `!quit` — close this connection only.
+    Quit,
+}
+
+/// One parsed request line.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Blank or comment-only line: acknowledged with `ok skip`, not queued.
+    Blank,
+    /// A containment question in workload pair syntax.
+    Decide {
+        /// The contained-candidate query (left of `;`).
+        q1: ConjunctiveQuery,
+        /// The containing-candidate query (right of `;`).
+        q2: ConjunctiveQuery,
+    },
+    /// An admin command.
+    Admin(Admin),
+}
+
+/// Parses one request line.  Returns `Err(message)` for lines that parse as
+/// neither a workload pair nor a known admin command; the message is the
+/// free-text tail of the `error parse …` response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let trimmed = line.trim();
+    if let Some(command) = trimmed.strip_prefix('!') {
+        return match command.trim_end() {
+            "ping" => Ok(Request::Admin(Admin::Ping)),
+            "stats" => Ok(Request::Admin(Admin::Stats)),
+            "snapshot" => Ok(Request::Admin(Admin::Snapshot)),
+            "shutdown" => Ok(Request::Admin(Admin::Shutdown)),
+            "quit" => Ok(Request::Admin(Admin::Quit)),
+            other => Err(format!(
+                "unknown admin command `!{other}` (expected !ping, !stats, !snapshot, \
+                 !shutdown, or !quit)"
+            )),
+        };
+    }
+    match parse_workload_line(line, 1) {
+        Ok(None) => Ok(Request::Blank),
+        Ok(Some(entry)) => Ok(Request::Decide {
+            q1: entry.q1,
+            q2: entry.q2,
+        }),
+        // The workload error prefixes its message with "line 1" — accurate
+        // for a file, noise for a single-line protocol.  Re-anchor it.
+        Err(error) => Err(error
+            .to_string()
+            .trim_start_matches("line 1, ")
+            .trim_start_matches("line 1: ")
+            .to_string()),
+    }
+}
+
+/// The `verdict=` token for a summary.
+pub fn verdict_token(summary: &AnswerSummary) -> &'static str {
+    match summary {
+        AnswerSummary::Contained => "contained",
+        AnswerSummary::NotContained { .. } => "not-contained",
+        AnswerSummary::Unknown { .. } => "unknown",
+    }
+}
+
+/// The `provenance=` token for a batch result.  Snapshot-restored answers
+/// report `cached` — restoration is an accounting distinction (`!stats`
+/// exposes it), not a protocol one: the bytes of the answer are identical.
+pub fn provenance_token(provenance: Provenance) -> &'static str {
+    match provenance {
+        Provenance::Fresh => "fresh",
+        Provenance::CachedHit => "cached",
+        Provenance::DedupedInFlight => "deduped",
+    }
+}
+
+/// Renders the response line for one decided request:
+///
+/// ```text
+/// ok verdict=contained provenance=fresh micros=412 pair=91f0c4e2a7b3d516
+/// ok verdict=not-contained witness=verified provenance=cached micros=0 pair=…
+/// ok verdict=unknown obstruction=not-chordal provenance=fresh micros=87 pair=…
+/// error decide <message>
+/// ```
+pub fn render_result(result: &BatchResult) -> String {
+    match &result.answer {
+        Ok(summary) => {
+            let mut line = format!("ok verdict={}", verdict_token(summary));
+            match summary {
+                AnswerSummary::Contained => {}
+                AnswerSummary::NotContained { witness_verified } => {
+                    line.push_str(if *witness_verified {
+                        " witness=verified"
+                    } else {
+                        " witness=unverified"
+                    });
+                }
+                AnswerSummary::Unknown { obstruction } => {
+                    line.push_str(match obstruction {
+                        Obstruction::NotChordal => " obstruction=not-chordal",
+                        Obstruction::JunctionTreeNotSimple => {
+                            " obstruction=junction-tree-not-simple"
+                        }
+                    });
+                }
+            }
+            line.push_str(&format!(
+                " provenance={} micros={} pair={:016x}",
+                provenance_token(result.provenance),
+                result.micros,
+                result.pair_hash
+            ));
+            line
+        }
+        Err(error) => format!("error decide {}", single_line(&error.to_string())),
+    }
+}
+
+/// Collapses a possibly multi-line message into one protocol line.
+pub fn single_line(message: &str) -> String {
+    message
+        .split(['\n', '\r'])
+        .filter(|piece| !piece.trim().is_empty())
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admin_commands_parse() {
+        for (text, expected) in [
+            ("!ping", Admin::Ping),
+            ("  !stats  ", Admin::Stats),
+            ("!snapshot", Admin::Snapshot),
+            ("!shutdown", Admin::Shutdown),
+            ("!quit", Admin::Quit),
+        ] {
+            match parse_request(text) {
+                Ok(Request::Admin(admin)) => assert_eq!(admin, expected),
+                other => panic!("{text:?} parsed as {other:?}"),
+            }
+        }
+        let err = parse_request("!reboot").unwrap_err();
+        assert!(err.contains("!reboot"), "names the bad command: {err}");
+    }
+
+    #[test]
+    fn workload_lines_parse_as_decide_requests() {
+        match parse_request("Q1() :- R(x,y) ; Q2() :- R(u,v), R(u,w)  # trailing comment") {
+            Ok(Request::Decide { .. }) => {}
+            other => panic!("parsed as {other:?}"),
+        }
+        assert!(matches!(parse_request(""), Ok(Request::Blank)));
+        assert!(matches!(
+            parse_request("  # just a comment"),
+            Ok(Request::Blank)
+        ));
+        let err = parse_request("Q1() :- R(x,y)").unwrap_err();
+        assert!(!err.starts_with("line 1"), "re-anchored message: {err}");
+    }
+
+    #[test]
+    fn messages_are_collapsed_to_one_line() {
+        assert_eq!(single_line("a\nb\r\n\nc"), "a; b; c");
+    }
+}

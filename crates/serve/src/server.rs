@@ -1,0 +1,535 @@
+//! The serving loop: listener, connection handlers, micro-batcher, and
+//! graceful shutdown.
+//!
+//! ## Thread layout
+//!
+//! ```text
+//! listener thread (run)          conn threads (one per client)      batcher thread
+//! ──────────────────────         ─────────────────────────────      ─────────────────────
+//! nonblocking accept poll   ──▶  read line, parse                   wait on condvar
+//!   admission: conn cap            admin: answer inline        ┌──  drain ≤ batch_max jobs
+//!   snapshot timer                 decide: bounded queue  ─────┘    Engine::decide_batch
+//!   shutdown flag check              (busy when full)         ◀──  reply via per-job channel
+//! ```
+//!
+//! Every decision request flows through one bounded queue into
+//! [`bqc_engine::Engine::decide_batch`], so concurrent clients share the
+//! engine's canonical dedup and cache exactly as a batch CLI run would —
+//! two clients asking the same renamed pair in the same micro-batch cost
+//! one fresh decision.
+//!
+//! ## Shutdown
+//!
+//! Shutdown is cooperative and has four triggers: the `!shutdown` admin
+//! command, SIGTERM (when [`ServeOptions::handle_sigterm`] is set), a call
+//! to [`ShutdownHandle::shutdown`] (the CLI wires stdin-close to this), and
+//! dropping every [`ShutdownHandle`] clone never triggers it — the flag is
+//! explicit.  On trigger: the listener stops accepting, the queue closes
+//! (late decide requests get `error shutdown …`), the batcher drains what
+//! was already admitted, connection threads notice within one read-timeout
+//! tick, and — when a snapshot path is configured — the final cache
+//! snapshot is written atomically before [`Server::run`] returns.
+
+use crate::proto::{self, Admin, Request};
+use bqc_engine::{Engine, SnapshotSaved};
+use bqc_obs::{LazyCounter, LazyHistogram};
+use bqc_relational::ConjunctiveQuery;
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+static CONNECTIONS: LazyCounter = LazyCounter::new("bqc_serve_connections_total");
+static CONN_REJECTED: LazyCounter = LazyCounter::new("bqc_serve_conn_rejected_total");
+static REQUESTS: LazyCounter = LazyCounter::new("bqc_serve_requests_total");
+static ADMIN_REQUESTS: LazyCounter = LazyCounter::new("bqc_serve_admin_requests_total");
+static PARSE_ERRORS: LazyCounter = LazyCounter::new("bqc_serve_parse_errors_total");
+static QUEUE_BUSY: LazyCounter = LazyCounter::new("bqc_serve_busy_total");
+static BATCHES: LazyCounter = LazyCounter::new("bqc_serve_batches_total");
+static BATCH_SIZE: LazyHistogram = LazyHistogram::new("bqc_serve_batch_size");
+static REQUEST_MICROS: LazyHistogram = LazyHistogram::new("bqc_serve_request_micros");
+
+/// How often blocked threads (reads, condvar waits, the accept poll) wake
+/// to re-check the shutdown flag.  Bounds shutdown latency.
+const POLL_TICK: Duration = Duration::from_millis(25);
+
+/// Tuning knobs for [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Listen address, e.g. `127.0.0.1:7411`.  Port `0` asks the OS for a
+    /// free port; read it back from [`Server::local_addr`].
+    pub addr: String,
+    /// Maximum simultaneously served connections.  Further connections are
+    /// turned away with a single `busy connections …` line.
+    pub max_conns: usize,
+    /// Bound on decision requests admitted but not yet decided.  A full
+    /// queue answers `busy queue …` instead of admitting.
+    pub queue_depth: usize,
+    /// Largest micro-batch handed to [`Engine::decide_batch`] at once.
+    pub batch_max: usize,
+    /// Snapshot file path.  `None` disables persistence: no snapshot on
+    /// shutdown, and the `!snapshot` admin command reports an error.
+    pub snapshot: Option<PathBuf>,
+    /// Also write a snapshot whenever this much time has passed since the
+    /// last one.  Requires [`ServeOptions::snapshot`].
+    pub snapshot_interval: Option<Duration>,
+    /// Install a SIGTERM handler that triggers graceful shutdown (Unix
+    /// only; ignored elsewhere).
+    pub handle_sigterm: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            addr: "127.0.0.1:7411".to_string(),
+            max_conns: 64,
+            queue_depth: 1024,
+            batch_max: 64,
+            snapshot: None,
+            snapshot_interval: None,
+            handle_sigterm: false,
+        }
+    }
+}
+
+/// What one run of the serving loop did, reported when it returns.
+#[derive(Clone, Debug, Default)]
+pub struct ServeSummary {
+    /// Connections accepted (admitted past the connection cap).
+    pub connections: u64,
+    /// Request lines served across all connections, admin included.
+    pub requests: u64,
+    /// The final shutdown snapshot, when one was configured and written.
+    pub snapshot: Option<SnapshotSaved>,
+}
+
+/// One queued decision request and the channel its connection waits on.
+struct Job {
+    q1: ConjunctiveQuery,
+    q2: ConjunctiveQuery,
+    respond: SyncSender<String>,
+}
+
+/// Queue state guarded by one mutex: the pending jobs and whether the
+/// queue still admits new ones.  `open` flips to `false` exactly once, at
+/// shutdown, under the same lock the batcher drains with — so the batcher
+/// exits only after every admitted job has been answered.
+struct QueueState {
+    queue: VecDeque<Job>,
+    open: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    work_ready: Condvar,
+    shutdown: AtomicBool,
+    active_conns: AtomicUsize,
+    connections: AtomicU64,
+    requests: AtomicU64,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let mut state = self.state.lock().expect("serve queue poisoned");
+        state.open = false;
+        drop(state);
+        self.work_ready.notify_all();
+    }
+}
+
+/// A clonable handle that triggers graceful shutdown from another thread
+/// (the CLI's stdin watcher, a test harness, a signal bridge).
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    shared: Arc<Shared>,
+}
+
+impl ShutdownHandle {
+    /// Begins graceful shutdown: stop accepting, drain admitted work,
+    /// write the final snapshot.  Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+}
+
+#[cfg(unix)]
+mod sigterm {
+    //! Minimal SIGTERM hook with no libc dependency: the POSIX `signal`
+    //! entry point declared directly.  The handler only stores a relaxed
+    //! atomic flag — the one operation that is async-signal-safe — which
+    //! the accept loop polls every tick.
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static RECEIVED: AtomicBool = AtomicBool::new(false);
+
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_sigterm(_signum: i32) {
+        RECEIVED.store(true, Ordering::Relaxed);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_sigterm);
+        }
+    }
+
+    pub fn received() -> bool {
+        RECEIVED.load(Ordering::Relaxed)
+    }
+}
+
+/// The `bqc serve` daemon: bind once, then [`run`](Server::run) until a
+/// shutdown trigger fires.
+pub struct Server {
+    engine: Arc<Engine>,
+    listener: TcpListener,
+    options: ServeOptions,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listen socket (failing fast on a bad or taken address) and
+    /// prepares the serving state.  Nothing is served until [`Server::run`].
+    pub fn bind(engine: Arc<Engine>, options: ServeOptions) -> io::Result<Server> {
+        let listener = TcpListener::bind(&options.addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            engine,
+            listener,
+            options,
+            shared: Arc::new(Shared {
+                state: Mutex::new(QueueState {
+                    queue: VecDeque::new(),
+                    open: true,
+                }),
+                work_ready: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+                active_conns: AtomicUsize::new(0),
+                connections: AtomicU64::new(0),
+                requests: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The bound address — the way to learn the port after binding `:0`.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that triggers graceful shutdown from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Serves until a shutdown trigger fires, then drains and (when
+    /// configured) writes the final snapshot.  Blocks the calling thread;
+    /// spawn it if the caller needs to keep working.
+    pub fn run(self) -> io::Result<ServeSummary> {
+        if self.options.handle_sigterm {
+            #[cfg(unix)]
+            sigterm::install();
+        }
+        let batcher = {
+            let engine = Arc::clone(&self.engine);
+            let shared = Arc::clone(&self.shared);
+            let batch_max = self.options.batch_max.max(1);
+            std::thread::Builder::new()
+                .name("bqc-serve-batcher".to_string())
+                .spawn(move || batcher_loop(&engine, &shared, batch_max))?
+        };
+
+        let mut conn_threads = Vec::new();
+        let mut last_snapshot = Instant::now();
+        loop {
+            #[cfg(unix)]
+            if sigterm::received() {
+                self.shared.begin_shutdown();
+            }
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            if let (Some(path), Some(interval)) =
+                (&self.options.snapshot, self.options.snapshot_interval)
+            {
+                if last_snapshot.elapsed() >= interval {
+                    // Periodic snapshots are best-effort: a failed write
+                    // (disk full, permissions) must not kill the server.
+                    let _ = self.engine.save_snapshot(path);
+                    last_snapshot = Instant::now();
+                }
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    CONNECTIONS.inc();
+                    let active = self.shared.active_conns.load(Ordering::SeqCst);
+                    if active >= self.options.max_conns {
+                        CONN_REJECTED.inc();
+                        reject_connection(stream, self.options.max_conns);
+                        continue;
+                    }
+                    self.shared.connections.fetch_add(1, Ordering::Relaxed);
+                    self.shared.active_conns.fetch_add(1, Ordering::SeqCst);
+                    let engine = Arc::clone(&self.engine);
+                    let shared = Arc::clone(&self.shared);
+                    let snapshot = self.options.snapshot.clone();
+                    let queue_depth = self.options.queue_depth.max(1);
+                    let handle = std::thread::Builder::new()
+                        .name("bqc-serve-conn".to_string())
+                        .spawn(move || {
+                            let _ =
+                                serve_connection(stream, &engine, &shared, &snapshot, queue_depth);
+                            shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+                        })?;
+                    conn_threads.push(handle);
+                    // Joined handles accumulate over a long-lived daemon;
+                    // reap the finished ones opportunistically.
+                    conn_threads.retain(|h| !h.is_finished());
+                }
+                Err(error) if error.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_TICK);
+                }
+                Err(error) if error.kind() == io::ErrorKind::Interrupted => {}
+                Err(error) => return Err(error),
+            }
+        }
+
+        // Drain: the queue is closed, so the batcher exits once every
+        // admitted job is answered; connection threads notice the closed
+        // queue / shutdown flag within one read-timeout tick.
+        batcher.join().expect("batcher panicked");
+        for handle in conn_threads {
+            let _ = handle.join();
+        }
+
+        let snapshot = match &self.options.snapshot {
+            Some(path) => Some(self.engine.save_snapshot(path)?),
+            None => None,
+        };
+        Ok(ServeSummary {
+            connections: self.shared.connections.load(Ordering::Relaxed),
+            requests: self.shared.requests.load(Ordering::Relaxed),
+            snapshot,
+        })
+    }
+}
+
+/// Turns a connection away at the cap: one `busy` line instead of the
+/// banner, then close.  Clients must treat a first line starting `busy` as
+/// rejection (documented in docs/OPERATIONS.md).
+fn reject_connection(mut stream: TcpStream, max_conns: usize) {
+    let _ = writeln!(stream, "busy connections max={max_conns}");
+}
+
+/// The micro-batcher: drains up to `batch_max` queued jobs at a time into
+/// [`Engine::decide_batch`] and routes each answer back to its connection.
+/// Exits only when the queue is both closed and empty, so every admitted
+/// request is answered even during shutdown.
+fn batcher_loop(engine: &Engine, shared: &Shared, batch_max: usize) {
+    loop {
+        let jobs: Vec<Job> = {
+            let mut state = shared.state.lock().expect("serve queue poisoned");
+            loop {
+                if !state.queue.is_empty() {
+                    let take = state.queue.len().min(batch_max);
+                    break state.queue.drain(..take).collect();
+                }
+                if !state.open {
+                    return;
+                }
+                state = shared
+                    .work_ready
+                    .wait_timeout(state, POLL_TICK)
+                    .expect("serve queue poisoned")
+                    .0;
+            }
+        };
+        BATCHES.inc();
+        BATCH_SIZE.observe(jobs.len() as u64);
+        let requests: Vec<(ConjunctiveQuery, ConjunctiveQuery)> = jobs
+            .iter()
+            .map(|job| (job.q1.clone(), job.q2.clone()))
+            .collect();
+        let results = engine.decide_batch(&requests);
+        for (job, result) in jobs.into_iter().zip(results) {
+            // A send fails only if the connection died while waiting; the
+            // answer is already in the cache, so nothing is lost.
+            let _ = job.respond.send(proto::render_result(&result));
+        }
+    }
+}
+
+/// Serves one connection: banner, then a request/response line loop until
+/// EOF, `!quit`, `!shutdown`, or server shutdown.
+fn serve_connection(
+    stream: TcpStream,
+    engine: &Engine,
+    shared: &Shared,
+    snapshot: &Option<PathBuf>,
+    queue_depth: usize,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(POLL_TICK))?;
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "{}", proto::banner())?;
+
+    let mut line_buf: Vec<u8> = Vec::new();
+    loop {
+        // read_until appends whatever arrived before a timeout, so a
+        // partial line survives across shutdown-flag polls.
+        match reader.read_until(b'\n', &mut line_buf) {
+            Ok(0) => {
+                if line_buf.is_empty() {
+                    return Ok(()); // clean EOF
+                }
+                // Final line without a trailing newline: serve it, then EOF.
+            }
+            Ok(_) => {
+                if !line_buf.ends_with(b"\n") {
+                    continue; // mid-line; keep reading
+                }
+            }
+            Err(error)
+                if matches!(
+                    error.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(error) if error.kind() == io::ErrorKind::Interrupted => continue,
+            Err(error) => return Err(error),
+        }
+        let at_eof = !line_buf.ends_with(b"\n");
+        let line = String::from_utf8_lossy(&line_buf).into_owned();
+        line_buf.clear();
+        REQUESTS.inc();
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+
+        match proto::parse_request(&line) {
+            Ok(Request::Blank) => writeln!(writer, "ok skip")?,
+            Ok(Request::Admin(admin)) => {
+                ADMIN_REQUESTS.inc();
+                match admin {
+                    Admin::Ping => {
+                        writeln!(writer, "ok pong proto={}", proto::PROTO_VERSION)?;
+                    }
+                    Admin::Stats => writeln!(writer, "{}", stats_line(engine))?,
+                    Admin::Snapshot => match snapshot {
+                        Some(path) => match engine.save_snapshot(path) {
+                            Ok(saved) => writeln!(
+                                writer,
+                                "ok snapshot entries={} bytes={}",
+                                saved.entries, saved.bytes
+                            )?,
+                            Err(error) => writeln!(
+                                writer,
+                                "error snapshot {}",
+                                proto::single_line(&error.to_string())
+                            )?,
+                        },
+                        None => writeln!(
+                            writer,
+                            "error snapshot no snapshot path configured (start with --snapshot)"
+                        )?,
+                    },
+                    Admin::Shutdown => {
+                        writeln!(writer, "ok shutting-down")?;
+                        shared.begin_shutdown();
+                        return Ok(());
+                    }
+                    Admin::Quit => {
+                        writeln!(writer, "ok bye")?;
+                        return Ok(());
+                    }
+                }
+            }
+            Ok(Request::Decide { q1, q2 }) => {
+                let response = enqueue_and_wait(shared, queue_depth, q1, q2);
+                match response {
+                    Some(response) => writeln!(writer, "{response}")?,
+                    None => {
+                        writeln!(writer, "error shutdown server is shutting down")?;
+                        return Ok(());
+                    }
+                }
+            }
+            Err(message) => {
+                PARSE_ERRORS.inc();
+                writeln!(writer, "error parse {}", proto::single_line(&message))?;
+            }
+        }
+        if at_eof {
+            return Ok(());
+        }
+    }
+}
+
+/// Admits one decision request into the bounded queue and blocks until the
+/// batcher answers.  Returns the response line, or `None` when the queue
+/// has closed for shutdown.
+fn enqueue_and_wait(
+    shared: &Shared,
+    queue_depth: usize,
+    q1: ConjunctiveQuery,
+    q2: ConjunctiveQuery,
+) -> Option<String> {
+    let (respond, receive) = std::sync::mpsc::sync_channel(1);
+    {
+        let mut state = shared.state.lock().expect("serve queue poisoned");
+        if !state.open {
+            return None;
+        }
+        if state.queue.len() >= queue_depth {
+            QUEUE_BUSY.inc();
+            return Some(format!("busy queue depth={queue_depth}"));
+        }
+        state.queue.push_back(Job { q1, q2, respond });
+    }
+    shared.work_ready.notify_one();
+    let start = Instant::now();
+    // The batcher drains every admitted job before exiting, so this recv
+    // fails only on a batcher panic — surface that as a decide error
+    // rather than poisoning the connection thread.
+    let response = receive
+        .recv()
+        .unwrap_or_else(|_| "error decide batch executor unavailable".to_string());
+    REQUEST_MICROS.observe(start.elapsed().as_micros() as u64);
+    Some(response)
+}
+
+/// The one-line `!stats` reply: total traffic and where it was served
+/// from, plus current cache residency.
+///
+/// ```text
+/// ok stats traffic=12 fresh=5 cached=4 restored=2 deduped=1 entries=7
+/// ```
+fn stats_line(engine: &Engine) -> String {
+    let short = engine.short_circuit_stats();
+    let fresh: u64 = engine.pipeline_stats().iter().map(|s| s.decided).sum();
+    let cache = engine.cache_stats();
+    format!(
+        "ok stats traffic={} fresh={} cached={} restored={} deduped={} entries={}",
+        fresh + short.total(),
+        fresh,
+        short.cached,
+        short.restored,
+        short.deduped,
+        cache.entries
+    )
+}

@@ -20,7 +20,10 @@
 #     (legacy/pipeline >= 0.909, i.e. pipeline <= 1.1x legacy);
 #   * live bqc-obs metric probes within 5% of the same run with the runtime
 #     kill switch off, on the cold-engine stage-mix batch
-#     (disabled/enabled >= 0.952, i.e. enabled <= 1.05x disabled).
+#     (disabled/enabled >= 0.952, i.e. enabled <= 1.05x disabled);
+#   * a snapshot-restored engine >= 5x a cold engine on the LP-bound restart
+#     workload (experiment E19: restart warmth — a restored decision cache
+#     answers repeat traffic without re-solving any LP).
 #
 # --normalize calibrates away uniform machine-speed differences (geomean of
 # all ratios), so the committed baseline stays usable on CI runners that are
@@ -44,6 +47,7 @@ for _ in 1 2; do
     BQC_BENCH_QUICK=1 BQC_BENCH_JSON="$RAW" cargo bench -p bqc-bench --bench bench_lp
     BQC_BENCH_QUICK=1 BQC_BENCH_JSON="$RAW" cargo bench -p bqc-bench --bench bench_engine
     BQC_BENCH_QUICK=1 BQC_BENCH_JSON="$RAW" cargo bench -p bqc-bench --bench bench_pipeline
+    BQC_BENCH_QUICK=1 BQC_BENCH_JSON="$RAW" cargo bench -p bqc-bench --bench bench_serve
 done
 
 cargo run --release -p bqc-bench --bin bench_compare -- collect "$RAW" > "$NEW"
@@ -60,4 +64,5 @@ cargo run --release -p bqc-bench --bin bench_compare -- compare "$BASELINE" "$NE
     --min-speedup lp/gamma_validity/eager/6 lp/gamma_validity/lazy_warm/6 5 \
     --min-speedup pipeline/refutable/lp_only/3 pipeline/refutable/refuter/3 5 \
     --min-speedup pipeline/overhead/legacy/6 pipeline/overhead/pipeline/6 0.909 \
-    --min-speedup pipeline/obs/disabled/4 pipeline/obs/enabled/4 0.952
+    --min-speedup pipeline/obs/disabled/4 pipeline/obs/enabled/4 0.952 \
+    --min-speedup serve/restart/cold/4 serve/restart/restored/4 5

@@ -12,6 +12,10 @@
 //! bqc [--json] [--explain] [--fail-on CLASS] [--workers N] [--shards N]
 //!     [--capacity N] [--no-witness] [--repeat N]
 //!     [--trace-out FILE] [--metrics-out FILE] [--metrics] FILE
+//! bqc serve [--addr HOST:PORT] [--workers N] [--shards N] [--capacity N]
+//!           [--no-witness] [--max-conns N] [--queue N] [--batch N]
+//!           [--snapshot FILE] [--snapshot-interval SECS]
+//!           [--metrics-out FILE] [--metrics]
 //! bqc fuzz [--pairs N] [--seed N] [--self-test] [--out DIR]
 //!          [--metrics-out FILE] [--json]
 //! ```
@@ -23,6 +27,11 @@
 //! Prometheus text exposition format.  `--explain` additionally renders the
 //! recorded spans under each fresh answer.
 //!
+//! `bqc serve` runs the same engine as a persistent TCP daemon
+//! (`bqc_serve`): newline-delimited requests in workload pair syntax,
+//! micro-batched across connections, with a durable decision-cache snapshot
+//! written on shutdown and restored on start — see `docs/OPERATIONS.md`.
+//!
 //! `bqc fuzz` generates random containment questions, batches them through
 //! the engine, and replays every verdict against the differential counting
 //! oracle (`bqc_core::oracle`); discrepancies are minimized and emitted in
@@ -30,11 +39,14 @@
 
 use bag_query_containment::bench::fuzz::{run_campaign, FuzzConfig};
 use bag_query_containment::engine::{
-    json_escape, parse_workload, BatchResult, Engine, EngineOptions, Provenance, WorkloadEntry,
+    json_escape, parse_workload, BatchResult, Engine, EngineOptions, Provenance, SnapshotLoad,
+    WorkloadEntry,
 };
+use bag_query_containment::serve::{ServeOptions, Server};
 use bqc_core::DecideOptions;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A verdict class that `--fail-on` can turn into a non-zero exit status.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -88,6 +100,9 @@ options:
   --help          this message
 
 subcommands:
+  serve           persistent TCP daemon over the same engine, with a durable
+                  decision-cache snapshot across restarts
+                  (`bqc serve --help` for its options)
   fuzz            differential fuzzing: generated pairs through the engine,
                   every verdict replayed against the counting oracle
                   (`bqc fuzz --help` for its options)
@@ -95,6 +110,48 @@ subcommands:
 exit status: 0 on success, 1 on usage/IO/parse errors, 2 when the workload
 ran but some requests failed with decision errors (reported per line), 3
 when --fail-on matched at least one verdict (and no decision error occurred).";
+
+const SERVE_USAGE: &str = "\
+usage: bqc serve [OPTIONS]
+
+Run the containment engine as a persistent TCP daemon.  Clients send one
+request per line — the workload pair syntax (`Q1 … ; Q2 …`, exactly what a
+.bqc file holds) or a `!`-prefixed admin command (!ping, !stats, !snapshot,
+!shutdown, !quit) — and get one response line per request.  Concurrent
+requests are micro-batched through the same caching engine the batch CLI
+uses, so canonical deduplication and cached verdicts work across clients.
+Full wire-protocol and operations reference: docs/OPERATIONS.md.
+
+The daemon shuts down gracefully on SIGTERM, on the !shutdown admin
+command, or when its stdin closes; admitted requests are drained and, with
+--snapshot, the decision cache is written durably so the next start is
+warm.
+
+options:
+  --addr H:P      listen address (default 127.0.0.1:7411; port 0 asks the
+                  OS for a free port, read it back from the listening line)
+  --workers N     worker threads per micro-batch (default: all cores)
+  --shards N      decision-cache shards (default 8)
+  --capacity N    LRU capacity per cache shard (default 1024)
+  --no-witness    skip materializing non-containment witnesses
+  --max-conns N   connection cap; further clients get `busy connections …`
+                  (default 64)
+  --queue N       bound on admitted-but-undecided requests; a full queue
+                  answers `busy queue …` (default 1024)
+  --batch N       largest micro-batch handed to the engine (default 64)
+  --snapshot F    durable decision-cache snapshot file: restored (or
+                  quarantined if corrupt) at start, written atomically at
+                  shutdown and on the !snapshot admin command
+  --snapshot-interval SECS
+                  also write the snapshot every SECS seconds (requires
+                  --snapshot)
+  --metrics-out F write the metrics registry to F in the Prometheus text
+                  exposition format at shutdown
+  --metrics       print the same exposition to stdout at shutdown
+  --help          this message
+
+exit status: 0 after a graceful shutdown, 1 on usage/bind/snapshot-write
+errors.";
 
 const FUZZ_USAGE: &str = "\
 usage: bqc fuzz [OPTIONS]
@@ -220,6 +277,204 @@ fn parse_args(args: &[String]) -> Result<Cli, CliExit> {
         return Err(CliExit::Usage(USAGE.to_string()));
     }
     Ok(cli)
+}
+
+struct ServeCli {
+    addr: String,
+    workers: usize,
+    shards: usize,
+    capacity: usize,
+    extract_witness: bool,
+    max_conns: usize,
+    queue_depth: usize,
+    batch_max: usize,
+    snapshot: Option<String>,
+    snapshot_interval: Option<u64>,
+    metrics_out: Option<String>,
+    metrics: bool,
+}
+
+fn parse_serve_args(args: &[String]) -> Result<ServeCli, CliExit> {
+    let mut cli = ServeCli {
+        addr: "127.0.0.1:7411".to_string(),
+        workers: 0,
+        shards: 8,
+        capacity: 1024,
+        extract_witness: true,
+        max_conns: 64,
+        queue_depth: 1024,
+        batch_max: 64,
+        snapshot: None,
+        snapshot_interval: None,
+        metrics_out: None,
+        metrics: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut numeric = |name: &str| -> Result<usize, CliExit> {
+            it.next()
+                .ok_or_else(|| CliExit::Usage(format!("{name} requires a value")))?
+                .parse::<usize>()
+                .map_err(|_| CliExit::Usage(format!("{name} requires a non-negative integer")))
+        };
+        match arg.as_str() {
+            "--addr" => {
+                cli.addr = it
+                    .next()
+                    .ok_or_else(|| CliExit::Usage("--addr requires HOST:PORT".into()))?
+                    .clone();
+            }
+            "--workers" => cli.workers = numeric("--workers")?,
+            "--shards" => cli.shards = numeric("--shards")?.max(1),
+            "--capacity" => cli.capacity = numeric("--capacity")?.max(1),
+            "--no-witness" => cli.extract_witness = false,
+            "--max-conns" => cli.max_conns = numeric("--max-conns")?.max(1),
+            "--queue" => cli.queue_depth = numeric("--queue")?.max(1),
+            "--batch" => cli.batch_max = numeric("--batch")?.max(1),
+            "--snapshot" => {
+                cli.snapshot = Some(
+                    it.next()
+                        .ok_or_else(|| CliExit::Usage("--snapshot requires a file".into()))?
+                        .clone(),
+                );
+            }
+            "--snapshot-interval" => {
+                cli.snapshot_interval = Some(numeric("--snapshot-interval")?.max(1) as u64);
+            }
+            "--metrics-out" => {
+                cli.metrics_out = Some(
+                    it.next()
+                        .ok_or_else(|| CliExit::Usage("--metrics-out requires a file".into()))?
+                        .clone(),
+                );
+            }
+            "--metrics" => cli.metrics = true,
+            "--help" | "-h" => return Err(CliExit::Help),
+            other => return Err(CliExit::Usage(format!("unknown serve option {other}"))),
+        }
+    }
+    if cli.snapshot_interval.is_some() && cli.snapshot.is_none() {
+        return Err(CliExit::Usage(
+            "--snapshot-interval requires --snapshot".into(),
+        ));
+    }
+    Ok(cli)
+}
+
+fn serve_main(args: &[String]) -> ExitCode {
+    let cli = match parse_serve_args(args) {
+        Ok(cli) => cli,
+        Err(CliExit::Help) => {
+            println!("{SERVE_USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(CliExit::Usage(message)) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let engine = Arc::new(Engine::new(EngineOptions {
+        cache_shards: cli.shards,
+        shard_capacity: cli.capacity,
+        workers: cli.workers,
+        decide: DecideOptions {
+            extract_witness: cli.extract_witness,
+            ..DecideOptions::default()
+        },
+    }));
+    if let Some(path) = &cli.snapshot {
+        match engine.load_snapshot(std::path::Path::new(path)) {
+            SnapshotLoad::Restored { entries, skeletons } => println!(
+                "bqc serve: restored {entries} cached decisions \
+                 ({skeletons} warm skeleton sizes) from {path}"
+            ),
+            SnapshotLoad::ColdStart => {
+                println!("bqc serve: no snapshot at {path}, starting cold");
+            }
+            SnapshotLoad::Quarantined {
+                error,
+                quarantined_to,
+            } => match quarantined_to {
+                Some(bad) => eprintln!(
+                    "bqc serve: snapshot {path} rejected ({error}); \
+                         quarantined to {}, starting cold",
+                    bad.display()
+                ),
+                None => eprintln!("bqc serve: snapshot {path} rejected ({error}); starting cold"),
+            },
+        }
+    }
+    let server = match Server::bind(
+        Arc::clone(&engine),
+        ServeOptions {
+            addr: cli.addr.clone(),
+            max_conns: cli.max_conns,
+            queue_depth: cli.queue_depth,
+            batch_max: cli.batch_max,
+            snapshot: cli.snapshot.as_ref().map(std::path::PathBuf::from),
+            snapshot_interval: cli.snapshot_interval.map(Duration::from_secs),
+            handle_sigterm: true,
+        },
+    ) {
+        Ok(server) => server,
+        Err(error) => {
+            eprintln!("bqc serve: cannot bind {}: {error}", cli.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        // The scripted form of this line is load-bearing: serve_smoke.sh
+        // parses the actual port out of it when binding port 0.
+        Ok(addr) => println!("bqc serve: listening on {addr}"),
+        Err(_) => println!("bqc serve: listening on {}", cli.addr),
+    }
+    // Make the listening line visible to pipes immediately; the daemon may
+    // now run for hours without printing anything else.
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    // Treat stdin close as a shutdown request: `bqc serve < /dev/null`-style
+    // supervision (or the parent closing the pipe) stops the daemon cleanly.
+    let stdin_handle = server.shutdown_handle();
+    std::thread::Builder::new()
+        .name("bqc-serve-stdin".to_string())
+        .spawn(move || {
+            use std::io::Read as _;
+            let mut sink = [0u8; 1024];
+            let mut stdin = std::io::stdin().lock();
+            while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+            stdin_handle.shutdown();
+        })
+        .expect("spawning stdin watcher");
+
+    let summary = match server.run() {
+        Ok(summary) => summary,
+        Err(error) => {
+            eprintln!("bqc serve: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "bqc serve: shutdown complete ({} connections, {} requests)",
+        summary.connections, summary.requests
+    );
+    if let (Some(saved), Some(path)) = (&summary.snapshot, &cli.snapshot) {
+        println!(
+            "bqc serve: snapshot written ({} entries, {} bytes) to {path}",
+            saved.entries, saved.bytes
+        );
+    }
+    let metrics = bqc_obs::snapshot();
+    if let Some(path) = &cli.metrics_out {
+        if let Err(error) = std::fs::write(path, bqc_obs::prometheus_text(&metrics)) {
+            eprintln!("bqc serve: cannot write {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if cli.metrics {
+        print!("{}", bqc_obs::prometheus_text(&metrics));
+    }
+    ExitCode::SUCCESS
 }
 
 struct FuzzCli {
@@ -454,6 +709,9 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("fuzz") {
         return fuzz_main(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve_main(&args[1..]);
+    }
     let cli = match parse_args(&args) {
         Ok(cli) => cli,
         Err(CliExit::Help) => {
@@ -676,8 +934,15 @@ fn print_text(
     );
     let stats = engine.cache_stats();
     println!(
-        "cache: {} hits, {} misses, {} evictions, {} entries ({} shards x {})",
-        stats.hits, stats.misses, stats.evictions, stats.entries, cli.shards, cli.capacity
+        "cache: {} hits, {} restored hits, {} misses, {} evictions, {} entries \
+         ({} shards x {})",
+        stats.hits,
+        stats.restored_hits,
+        stats.misses,
+        stats.evictions,
+        stats.entries,
+        cli.shards,
+        cli.capacity
     );
     let pipeline = engine.pipeline_stats();
     let short = engine.short_circuit_stats();
@@ -704,11 +969,13 @@ fn print_text(
             );
         }
         println!(
-            "  {:<22} {:>4} decided ({:>5.1}%): {} cache hits + {} in-flight dedups",
+            "  {:<22} {:>4} decided ({:>5.1}%): {} cache hits + {} restored + \
+             {} in-flight dedups",
             "short-circuited",
             short.total(),
             pct(short.total()),
             short.cached,
+            short.restored,
             short.deduped
         );
     }
@@ -790,8 +1057,9 @@ fn print_json(
     out.push_str("\n  ],\n");
     let stats = engine.cache_stats();
     out.push_str(&format!(
-        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {}}},\n",
-        stats.hits, stats.misses, stats.evictions, stats.entries
+        "  \"cache\": {{\"hits\": {}, \"restored_hits\": {}, \"misses\": {}, \
+         \"evictions\": {}, \"entries\": {}}},\n",
+        stats.hits, stats.restored_hits, stats.misses, stats.evictions, stats.entries
     ));
     let by_provenance = |p: Provenance| {
         runs.iter()
@@ -807,8 +1075,8 @@ fn print_json(
     ));
     let short = engine.short_circuit_stats();
     out.push_str(&format!(
-        "  \"short_circuited\": {{\"cached\": {}, \"deduped\": {}}},\n",
-        short.cached, short.deduped
+        "  \"short_circuited\": {{\"cached\": {}, \"restored\": {}, \"deduped\": {}}},\n",
+        short.cached, short.restored, short.deduped
     ));
     out.push_str("  \"pipeline\": [\n");
     let pipeline = engine.pipeline_stats();

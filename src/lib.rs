@@ -18,7 +18,12 @@
 //! * [`core`] — the containment inequality (Eq. 8), the decision procedure of
 //!   Theorem 3.1, witness extraction, and both reductions of Theorem 2.7;
 //! * [`engine`] — the serving layer: query canonicalization, a sharded LRU
-//!   decision cache, and the concurrent batch executor behind the `bqc` CLI;
+//!   decision cache, durable cache snapshots, and the concurrent batch
+//!   executor behind the `bqc` CLI;
+//! * [`serve`] — the `bqc serve` daemon: a thread-per-connection TCP
+//!   listener speaking a newline-delimited protocol, micro-batching
+//!   requests into the engine with admission control, and persisting the
+//!   decision cache across restarts;
 //! * [`mod@bench`] — deterministic workload generators, the differential-oracle
 //!   database families, and the `bqc fuzz` campaign harness;
 //! * [`obs`] — zero-dependency counters, log2-bucket histograms and
@@ -46,6 +51,7 @@ pub use bqc_iip as iip;
 pub use bqc_lp as lp;
 pub use bqc_obs as obs;
 pub use bqc_relational as relational;
+pub use bqc_serve as serve;
 
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
@@ -72,6 +78,7 @@ pub mod prelude {
         bag_set_answer, count_homomorphisms, parse_query, parse_structure, Atom, ConjunctiveQuery,
         Structure, VRelation, Value,
     };
+    pub use bqc_serve::{ServeOptions, Server};
 }
 
 #[cfg(test)]
