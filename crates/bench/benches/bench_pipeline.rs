@@ -18,6 +18,10 @@
 //!   screen, refuter via canonical database and via the random family, LP
 //!   valid, single-bag fallback), the scenario the per-stage telemetry is
 //!   for.
+//! * **Budget overhead** (`pipeline/budget/*`) — the LP-bound k=6 scenario
+//!   with resource budgets armed (generous deadline and work caps, so every
+//!   cooperative check runs but none fires) vs unlimited.  The CI floor
+//!   requires `off / on ≥ 0.952`, i.e. armed budget checks cost at most 5%.
 //! * **Observability overhead** (`pipeline/obs/*`) — the same cold-engine
 //!   stage-mix batch with the `bqc-obs` metric probes live vs killed by the
 //!   runtime switch (`bqc_obs::set_enabled`).  The CI floor requires
@@ -97,6 +101,40 @@ fn bench_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_budget(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/budget");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    // Resource-governance overhead (experiment: budgets armed but never
+    // exhausted).  Same LP-bound k=6 cycle-in-path scenario as
+    // `pipeline/overhead`: every stage runs, the Γ_6 LP decides, and with
+    // `on` every cooperative budget check (deadline per stage and per
+    // pivot-block, pivot/separation-round/hom-step counters) executes
+    // without ever firing.  The CI floor requires `off / on ≥ 0.952`, i.e.
+    // armed budgets cost at most 5% — the same overhead policy as the
+    // always-on bqc-obs probes.
+    let k = 6usize;
+    let cycle = cycle_query(k);
+    let path = path_query(k - 1);
+    for armed in [false, true] {
+        let name = if armed { "on" } else { "off" };
+        group.bench_with_input(BenchmarkId::new(name, k), &k, |b, _| {
+            let mut options = decide_options(true);
+            if armed {
+                options.budget.deadline = Some(Duration::from_secs(3600));
+                options.budget.max_pivots = Some(u64::MAX);
+                options.budget.max_separation_rounds = Some(u64::MAX);
+                options.budget.max_hom_steps = Some(u64::MAX);
+            }
+            b.iter(|| {
+                let answer = decide_containment_with(&cycle, &path, &options).unwrap();
+                assert!(answer.is_contained());
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_stage_mix(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline/stage_mix");
     group.sample_size(10);
@@ -149,6 +187,7 @@ criterion_group!(
     benches,
     bench_refutable,
     bench_overhead,
+    bench_budget,
     bench_stage_mix,
     bench_obs
 );

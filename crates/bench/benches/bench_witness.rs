@@ -50,6 +50,7 @@ fn bench_decide_and_extract(c: &mut Criterion) {
                     extract_witness: true,
                     witness_max_rows: 1 << 12,
                     counting_refuter: false,
+                    ..DecideOptions::default()
                 },
             )
             .unwrap();

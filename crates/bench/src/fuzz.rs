@@ -26,11 +26,12 @@
 //! (the acceptance test of the harness itself).
 
 use crate::families::{database_family, random_pair, FamilyConfig, PairConfig};
-use bqc_core::oracle::{check_summary, count_violation, replay_witness, Discrepancy};
-use bqc_core::{decide_containment, AnswerSummary, ContainmentAnswer};
+use bqc_core::oracle::{check_answer, check_summary, count_violation, replay_witness, Discrepancy};
+use bqc_core::{decide_containment, AnswerSummary, ContainmentAnswer, DecideOptions, Obstruction};
 use bqc_engine::corpus::{render_case, ExpectedVerdict};
-use bqc_engine::Engine;
+use bqc_engine::{Engine, EngineOptions};
 use bqc_relational::{Atom, ConjunctiveQuery, Structure};
+use std::time::Duration;
 
 /// The property a minimization step must preserve (see [`minimize_case`]).
 type PersistPredicate = Box<dyn Fn(&ConjunctiveQuery, &ConjunctiveQuery) -> bool>;
@@ -50,6 +51,15 @@ pub struct FuzzConfig {
     pub pair: PairConfig,
     /// Inject one flipped verdict (see module docs).
     pub self_test: bool,
+    /// Per-decision deadline for the engine run (`bqc fuzz --deadline-ms`).
+    ///
+    /// With a deadline set, the campaign exercises the *degraded-answer
+    /// contract* of resource governance: a budget-exhausted answer must be
+    /// `Unknown` with a resource-exhausted obstruction — by construction it
+    /// can never be a flipped verdict — and re-deciding the same pair with
+    /// no budget must produce an answer the counting oracle accepts.  The
+    /// budget may cost precision, never soundness.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for FuzzConfig {
@@ -61,6 +71,7 @@ impl Default for FuzzConfig {
             family: FamilyConfig::default(),
             pair: PairConfig::default(),
             self_test: false,
+            deadline: None,
         }
     }
 }
@@ -105,6 +116,10 @@ pub struct CampaignReport {
     /// (no family separation, no witness).  Not findings — but reported, so
     /// a generator change that collapses confirmation coverage is visible.
     pub unconfirmed_refutations: usize,
+    /// Budget-exhausted `Unknown` answers (only with [`FuzzConfig::deadline`]
+    /// set).  Each one was re-decided without a budget and the unbudgeted
+    /// answer replayed against the oracle.  Also counted in `unknown`.
+    pub budget_exhausted: usize,
     /// Every discrepancy, minimized.
     pub findings: Vec<Finding>,
     /// Index of the self-test injection, when one was made.
@@ -127,7 +142,12 @@ impl CampaignReport {
 
 /// Runs a fuzz campaign, invoking `progress(pairs_done)` after every chunk.
 pub fn run_campaign(config: &FuzzConfig, progress: &mut dyn FnMut(usize)) -> CampaignReport {
-    let engine = Engine::default();
+    let mut decide = DecideOptions::default();
+    decide.budget.deadline = config.deadline;
+    let engine = Engine::new(EngineOptions {
+        decide,
+        ..EngineOptions::default()
+    });
     let mut report = CampaignReport::default();
     let chunk_size = config.chunk.max(1);
     let mut index = 0;
@@ -163,7 +183,30 @@ pub fn run_campaign(config: &FuzzConfig, progress: &mut dyn FnMut(usize)) -> Cam
                 AnswerSummary::NotContained { .. } => report.not_contained += 1,
                 AnswerSummary::Unknown { .. } => report.unknown += 1,
             }
-            let mut check = check_summary(q1, q2, summary, &family);
+            let exhausted = matches!(
+                summary,
+                AnswerSummary::Unknown {
+                    obstruction: Obstruction::ResourceExhausted { .. }
+                }
+            );
+            let mut check = if exhausted {
+                // A budget-exhausted answer makes no claim about the pair,
+                // only about the run — the type system already guarantees it
+                // is `Unknown`, never a flipped verdict.  What the campaign
+                // must establish is that the budget cost only precision:
+                // re-decide with no budget and hold *that* answer to the
+                // oracle.
+                report.budget_exhausted += 1;
+                match decide_containment(q1, q2) {
+                    Ok(answer) => check_answer(q1, q2, &answer, &family),
+                    Err(_) => {
+                        report.errors += 1;
+                        continue;
+                    }
+                }
+            } else {
+                check_summary(q1, q2, summary, &family)
+            };
             if let AnswerSummary::NotContained { .. } = summary {
                 if check.separated_by.is_some() {
                     report.confirmed_refutations += 1;
@@ -482,6 +525,47 @@ mod tests {
         assert!(report.contained > 0, "no contained verdicts generated");
         assert!(report.not_contained > 0, "no refutations generated");
         assert!(report.confirmed_refutations > 0);
+    }
+
+    #[test]
+    fn zero_deadline_campaign_degrades_soundly() {
+        // A zero deadline exhausts every decision before its first pipeline
+        // stage: all answers must degrade to budget-exhausted `Unknown`
+        // (never a flipped verdict), and each unbudgeted re-decision must
+        // satisfy the oracle — so the campaign still passes.
+        let config = FuzzConfig {
+            pairs: 30,
+            deadline: Some(Duration::ZERO),
+            ..FuzzConfig::default()
+        };
+        let report = run_campaign(&config, &mut |_| {});
+        assert!(report.passed(), "findings: {:?}", report.findings);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.budget_exhausted, 30, "every answer degraded");
+        assert_eq!(report.unknown, 30);
+        assert_eq!(report.contained + report.not_contained, 0);
+    }
+
+    #[test]
+    fn generous_deadline_campaign_matches_the_unbudgeted_one() {
+        // With an ample deadline the budget machinery is armed but never
+        // fires: verdict counts must be identical to the unbudgeted run.
+        let base = FuzzConfig {
+            pairs: 40,
+            ..FuzzConfig::default()
+        };
+        let budgeted = FuzzConfig {
+            deadline: Some(Duration::from_secs(3600)),
+            ..base
+        };
+        let plain = run_campaign(&base, &mut |_| {});
+        let timed = run_campaign(&budgeted, &mut |_| {});
+        assert_eq!(timed.budget_exhausted, 0);
+        assert_eq!(
+            (timed.contained, timed.not_contained, timed.unknown),
+            (plain.contained, plain.not_contained, plain.unknown)
+        );
+        assert!(timed.passed());
     }
 
     #[test]

@@ -18,7 +18,8 @@ use bqc_arith::Rational;
 use bqc_entropy::{ConditionalExpr, EntropyExpr};
 use bqc_hypergraph::TreeDecomposition;
 use bqc_iip::MaxInequality;
-use bqc_relational::{enumerate_homomorphisms, ConjunctiveQuery, Value};
+use bqc_obs::{Budget, Exhausted};
+use bqc_relational::{enumerate_homomorphisms_budgeted, ConjunctiveQuery, Value};
 use std::collections::BTreeMap;
 
 /// A homomorphism `φ : Q2 → Q1` between queries, i.e. a mapping from `Q2`'s
@@ -28,8 +29,21 @@ pub type QueryHomomorphism = BTreeMap<String, String>;
 /// Enumerates the homomorphisms `φ ∈ hom(Q2, Q1)` by evaluating `Q2` on the
 /// canonical structure of `Q1`.
 pub fn query_homomorphisms(q2: &ConjunctiveQuery, q1: &ConjunctiveQuery) -> Vec<QueryHomomorphism> {
+    query_homomorphisms_budgeted(q2, q1, &Budget::unlimited())
+        .expect("unlimited budget cannot exhaust")
+}
+
+/// [`query_homomorphisms`] under a cooperative work budget: charges one
+/// hom-step per node of the backtracking search and aborts with
+/// `Err(Exhausted)` when the budget runs out.  An aborted enumeration
+/// certifies nothing (it must not be read as `hom(Q2, Q1) = ∅`).
+pub fn query_homomorphisms_budgeted(
+    q2: &ConjunctiveQuery,
+    q1: &ConjunctiveQuery,
+    budget: &Budget,
+) -> Result<Vec<QueryHomomorphism>, Exhausted> {
     let canonical = q1.canonical_structure();
-    enumerate_homomorphisms(q2, &canonical)
+    Ok(enumerate_homomorphisms_budgeted(q2, &canonical, budget)?
         .into_iter()
         .map(|assignment| {
             assignment
@@ -40,7 +54,7 @@ pub fn query_homomorphisms(q2: &ConjunctiveQuery, q1: &ConjunctiveQuery) -> Vec<
                 })
                 .collect()
         })
-        .collect()
+        .collect())
 }
 
 /// The containment inequality of Eq. (8) for a fixed tree decomposition `T`

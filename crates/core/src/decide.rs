@@ -27,6 +27,7 @@ use crate::pipeline::{Decision, DecisionPipeline};
 use crate::witness::NonContainmentWitness;
 use bqc_entropy::{SetFunction, SkeletonCache};
 use bqc_iip::{GammaProver, MaxInequality};
+use bqc_obs::{BudgetResource, BudgetSpec};
 use bqc_relational::ConjunctiveQuery;
 use std::sync::OnceLock;
 
@@ -38,6 +39,15 @@ pub enum Obstruction {
     /// `Q2` is chordal but its junction tree is not simple, so Theorem 3.6
     /// does not apply and a polymatroid counterexample is inconclusive.
     JunctionTreeNotSimple,
+    /// The decision's resource budget ([`DecideOptions::budget`]) ran out
+    /// before the procedure reached a verdict.  Sound by construction — the
+    /// answer is `Unknown`, never a guess — but unlike the structural
+    /// obstructions it depends on the budget (and, for deadlines, on wall
+    /// clock), so budget-exhausted answers must never be cached.
+    ResourceExhausted {
+        /// Which budgeted resource ran out.
+        resource: BudgetResource,
+    },
 }
 
 impl std::fmt::Display for Obstruction {
@@ -46,6 +56,9 @@ impl std::fmt::Display for Obstruction {
             Obstruction::NotChordal => write!(f, "containing query is not chordal"),
             Obstruction::JunctionTreeNotSimple => {
                 write!(f, "junction tree of the containing query is not simple")
+            }
+            Obstruction::ResourceExhausted { resource } => {
+                write!(f, "{} budget exhausted", resource.token())
             }
         }
     }
@@ -209,6 +222,11 @@ pub enum DecideError {
     /// pipeline never produces this: its LP and witness stages decide every
     /// instance that reaches them.
     PipelineIncomplete,
+    /// The decision procedure panicked and the panic was contained by the
+    /// caller (see `bqc-engine`).  The payload is the panic message.  This is
+    /// an *error*, not an answer: nothing about the pair was established, and
+    /// the result must never be cached.
+    Panicked(String),
 }
 
 impl std::fmt::Display for DecideError {
@@ -217,6 +235,9 @@ impl std::fmt::Display for DecideError {
             DecideError::MismatchedHeads(message) => write!(f, "{message}"),
             DecideError::PipelineIncomplete => {
                 write!(f, "decision pipeline exhausted its stages without deciding")
+            }
+            DecideError::Panicked(message) => {
+                write!(f, "decision procedure panicked: {message}")
             }
         }
     }
@@ -236,6 +257,15 @@ pub struct DecideOptions {
     /// [`crate::pipeline::CountingRefuter`]).  Disable to reproduce the
     /// LP-only cost profile of the pre-refactor procedure.
     pub counting_refuter: bool,
+    /// Resource budget for the decision: a wall-clock deadline and/or caps
+    /// on LP pivots, separation rounds and hom-steps, checked cooperatively
+    /// throughout the pipeline.  An exhausted budget yields a sound
+    /// `Unknown` answer with [`Obstruction::ResourceExhausted`] and a
+    /// partial trace — never a wrong verdict.  The default is
+    /// [`BudgetSpec::UNLIMITED`], under which every budget check is a single
+    /// pointer test and verdicts are bit-identical to the unbudgeted
+    /// procedure.
+    pub budget: BudgetSpec,
 }
 
 impl Default for DecideOptions {
@@ -244,6 +274,7 @@ impl Default for DecideOptions {
             witness_max_rows: 1 << 10,
             extract_witness: true,
             counting_refuter: true,
+            budget: BudgetSpec::UNLIMITED,
         }
     }
 }
@@ -627,6 +658,113 @@ mod tests {
         let q1 = parse_query("Q1() :- R(x,y), R(y,z), R(z,w), R(w,x), R(x,z)").unwrap();
         let answer = decide_containment(&q1, &square).unwrap();
         assert!(answer.is_unknown() || answer.is_contained() || answer.is_not_contained());
+    }
+
+    #[test]
+    fn exhausted_pivot_budget_yields_sound_unknown_with_partial_trace() {
+        let mut ctx = DecideContext::new();
+        let triangle = parse_query("Q1() :- R(x1,x2), R(x2,x3), R(x3,x1)").unwrap();
+        let star = parse_query("Q2() :- R(y1,y2), R(y1,y3)").unwrap();
+        // One LP pivot cannot finish the Γ_n probe for Example 4.3.
+        let starved = DecideOptions {
+            budget: BudgetSpec {
+                max_pivots: Some(1),
+                ..BudgetSpec::UNLIMITED
+            },
+            ..DecideOptions::default()
+        };
+        let decision = decide_containment_traced(&mut ctx, &triangle, &star, &starved).unwrap();
+        match decision.answer {
+            ContainmentAnswer::Unknown {
+                obstruction:
+                    Obstruction::ResourceExhausted {
+                        resource: BudgetResource::Pivots,
+                    },
+                counterexample: None,
+            } => {}
+            other => panic!("expected pivot-exhausted Unknown, got {other:?}"),
+        }
+        // The partial trace still records every stage up to the abort, and
+        // the exhausted stage's note carries the progress counters.
+        assert_eq!(decision.trace.decided_by(), Some("shannon-lp"));
+        let lp = decision.trace.reports().last().unwrap();
+        assert!(lp
+            .note
+            .as_ref()
+            .unwrap()
+            .contains("pivots budget exhausted"));
+        assert!(lp.note.as_ref().unwrap().contains("spent pivots="));
+        assert_eq!(
+            decision.answer.summary().to_string(),
+            "undecided: pivots budget exhausted"
+        );
+        // The same pair without a budget still decides normally — and with a
+        // generous budget the verdict is bit-identical to the unbudgeted one.
+        let unbudgeted = decide_containment(&triangle, &star).unwrap();
+        assert!(unbudgeted.is_contained());
+        let generous = DecideOptions {
+            budget: BudgetSpec {
+                max_pivots: Some(1 << 20),
+                ..BudgetSpec::UNLIMITED
+            },
+            ..DecideOptions::default()
+        };
+        let roomy = decide_containment_with(&triangle, &star, &generous).unwrap();
+        assert_eq!(roomy.summary(), unbudgeted.summary());
+    }
+
+    #[test]
+    fn exhausted_hom_step_budget_aborts_the_hom_screen() {
+        let q1 = parse_query("Q1() :- R(x,y), S(x,y)").unwrap();
+        let q2 = parse_query("Q2() :- R(u,v)").unwrap();
+        let starved = DecideOptions {
+            budget: BudgetSpec {
+                max_hom_steps: Some(0),
+                ..BudgetSpec::UNLIMITED
+            },
+            ..DecideOptions::default()
+        };
+        let answer = decide_containment_with(&q1, &q2, &starved).unwrap();
+        match answer {
+            ContainmentAnswer::Unknown {
+                obstruction:
+                    Obstruction::ResourceExhausted {
+                        resource: BudgetResource::HomSteps,
+                    },
+                ..
+            } => {}
+            other => panic!("expected hom-step-exhausted Unknown, got {other:?}"),
+        }
+        // An aborted hom scan must never masquerade as `hom(Q2,Q1) = ∅`
+        // (which would be a wrong NotContained: the pair is contained).
+        assert!(decide_containment(&q1, &q2).unwrap().is_contained());
+    }
+
+    #[test]
+    fn expired_deadline_decides_before_any_stage_work() {
+        let triangle = parse_query("Q1() :- R(x1,x2), R(x2,x3), R(x3,x1)").unwrap();
+        let star = parse_query("Q2() :- R(y1,y2), R(y1,y3)").unwrap();
+        let expired = DecideOptions {
+            budget: BudgetSpec {
+                deadline: Some(std::time::Duration::ZERO),
+                ..BudgetSpec::UNLIMITED
+            },
+            ..DecideOptions::default()
+        };
+        let mut ctx = DecideContext::new();
+        let decision = decide_containment_traced(&mut ctx, &triangle, &star, &expired).unwrap();
+        match decision.answer {
+            ContainmentAnswer::Unknown {
+                obstruction:
+                    Obstruction::ResourceExhausted {
+                        resource: BudgetResource::Deadline,
+                    },
+                ..
+            } => {}
+            other => panic!("expected deadline-exhausted Unknown, got {other:?}"),
+        }
+        // The run loop's pre-stage check fires on the very first stage.
+        assert_eq!(decision.trace.reports().len(), 1);
     }
 
     #[test]

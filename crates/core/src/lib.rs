@@ -68,7 +68,7 @@ pub mod yannakakis;
 
 pub use containment::{
     containment_inequality, containment_inequality_from_homs, query_homomorphisms,
-    sufficient_containment_check, QueryHomomorphism,
+    query_homomorphisms_budgeted, sufficient_containment_check, QueryHomomorphism,
 };
 pub use decide::{
     decide_containment, decide_containment_in, decide_containment_traced, decide_containment_with,
@@ -81,6 +81,9 @@ pub use pipeline::{
 // contexts (see `DecideContext::with_skeletons`) without a direct
 // `bqc-entropy` dependency.
 pub use bqc_entropy::SkeletonCache;
+// Re-exported so callers can configure `DecideOptions::budget` (and match on
+// `Obstruction::ResourceExhausted`) without a direct `bqc-obs` dependency.
+pub use bqc_obs::{Budget, BudgetResource, BudgetSpec, Exhausted};
 pub use et::{et_expression, et_inclusion_exclusion, et_node_edge_form};
 pub use oracle::{
     check_answer, check_obstruction, check_summary, checked_count, count_violation, naive_count,

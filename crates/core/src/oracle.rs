@@ -334,12 +334,19 @@ pub fn replay_witness(
 /// but the junction tree or a composed `E_T ∘ φ` not simple ⇒
 /// [`Obstruction::JunctionTreeNotSimple`]; otherwise the instance is inside
 /// the decidable class of Theorem 3.1 and an `Unknown` verdict is itself the
-/// bug.
+/// bug.  [`Obstruction::ResourceExhausted`] is non-structural (it reflects
+/// the budget the decision ran under, not the pair) and is always accepted.
 pub fn check_obstruction(
     q1: &ConjunctiveQuery,
     q2: &ConjunctiveQuery,
     claimed: Obstruction,
 ) -> Result<(), Discrepancy> {
+    if let Obstruction::ResourceExhausted { .. } = claimed {
+        // Not a structural claim: exhaustion depends on the budget (and, for
+        // deadlines, on wall clock), not on the query pair, so there is
+        // nothing to recompute and nothing to convict.
+        return Ok(());
+    }
     let (q1, q2) = if q1.is_boolean() && q2.is_boolean() {
         (q1.clone(), q2.clone())
     } else {

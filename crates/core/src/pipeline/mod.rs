@@ -40,8 +40,8 @@ mod state;
 mod trace;
 
 pub use refuter::{
-    candidate_count, counting_refutation, witness_from_refutation, CountRefutation, MAX_DOMAIN,
-    RANDOM_FAMILY_MIN_VARS, RANDOM_STRUCTURES,
+    candidate_count, counting_refutation, counting_refutation_budgeted, witness_from_refutation,
+    CountRefutation, MAX_DOMAIN, RANDOM_FAMILY_MIN_VARS, RANDOM_STRUCTURES,
 };
 pub use stages::{
     BooleanReduction, CountingRefuter, HomExistence, IdentityShortcut, JunctionTree, ShannonLp,
@@ -50,10 +50,29 @@ pub use stages::{
 pub use state::PipelineState;
 pub use trace::{DecisionTrace, StageReport, StageStatus};
 
-use crate::decide::{ContainmentAnswer, DecideError, DecideOptions};
+use crate::decide::{ContainmentAnswer, DecideError, DecideOptions, Obstruction};
 use bqc_iip::GammaProver;
+use bqc_obs::Exhausted;
 use bqc_relational::ConjunctiveQuery;
 use std::time::Instant;
+
+/// The decided `Unknown` a stage (or the run loop) produces when the
+/// decision's resource budget runs out mid-flight: sound — never a wrong
+/// verdict — and carrying how far the procedure got in its trace note.
+///
+/// The note embeds the budget's progress counters (including elapsed wall
+/// time), which makes it the one deliberate exception to the
+/// trace-determinism invariant; that is safe because budget-exhausted
+/// answers are excluded from every cache (see `bqc-engine`).
+pub fn budget_exhausted_result(state: &PipelineState<'_>, exhausted: Exhausted) -> StageResult {
+    StageResult::decided(ContainmentAnswer::Unknown {
+        obstruction: Obstruction::ResourceExhausted {
+            resource: exhausted.resource,
+        },
+        counterexample: None,
+    })
+    .with_note(format!("{exhausted}; {}", state.budget.progress_note()))
+}
 
 /// What a stage concluded for the current instance.
 #[allow(clippy::large_enum_variant)] // one outcome per stage execution
@@ -184,9 +203,16 @@ impl DecisionPipeline {
         let mut trace = DecisionTrace::new();
         let _pipeline_span = bqc_obs::span("pipeline");
         for stage in &self.stages {
+            bqc_obs::failpoint("pipeline::stage");
             let stage_span = bqc_obs::span(stage.name());
             let start = Instant::now();
-            let StageResult { outcome, note } = stage.run(&mut state)?;
+            // The deadline is rechecked between stages so that work done by
+            // budget-oblivious custom stages still cannot push a decision
+            // past its deadline by more than one stage.
+            let StageResult { outcome, note } = match state.budget.check_deadline() {
+                Ok(()) => stage.run(&mut state)?,
+                Err(exhausted) => budget_exhausted_result(&state, exhausted),
+            };
             let micros = start.elapsed().as_micros() as u64;
             drop(stage_span);
             let status = match &outcome {

@@ -20,8 +20,10 @@
 //! deterministic, matching the engine's cache-determinism invariant.
 
 use crate::witness::{verify_witness, NonContainmentWitness};
+use bqc_obs::{Budget, Exhausted};
 use bqc_relational::{
-    count_homomorphisms, enumerate_homomorphisms, ConjunctiveQuery, Structure, VRelation, Value,
+    count_homomorphisms, count_homomorphisms_budgeted, enumerate_homomorphisms, ConjunctiveQuery,
+    Structure, VRelation, Value,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -97,6 +99,22 @@ pub fn count_homomorphisms_fast(query: &ConjunctiveQuery, data: &Structure) -> u
         .unwrap_or_else(|| count_homomorphisms(query, data))
 }
 
+/// [`count_homomorphisms_fast`] under a cooperative work budget.  Limited
+/// budgets count by budgeted backtracking instead of the (budget-oblivious)
+/// junction-tree DP; both counters are exact, so the count — and hence every
+/// verdict derived from it — is the same either way.
+fn count_homomorphisms_fast_budgeted(
+    query: &ConjunctiveQuery,
+    data: &Structure,
+    budget: &Budget,
+) -> Result<u128, Exhausted> {
+    if budget.is_unlimited() {
+        Ok(count_homomorphisms_fast(query, data))
+    } else {
+        count_homomorphisms_budgeted(query, data, budget)
+    }
+}
+
 /// Runs the counting refuter on a (Boolean) containment instance: evaluates
 /// `|hom(Q1, D)|` vs `|hom(Q2, D)|` on the canonical database of `Q1` and —
 /// for universes of at least [`RANDOM_FAMILY_MIN_VARS`] variables, where the
@@ -110,22 +128,35 @@ pub fn counting_refutation(
     q1: &ConjunctiveQuery,
     q2: &ConjunctiveQuery,
 ) -> Option<CountRefutation> {
+    counting_refutation_budgeted(q1, q2, &Budget::unlimited())
+        .expect("unlimited budget cannot exhaust")
+}
+
+/// [`counting_refutation`] under a cooperative work budget: the hom counts
+/// charge hom-steps and the scan aborts with `Err(Exhausted)` when the
+/// budget runs out.  `Err` certifies nothing — in particular it is not an
+/// `Ok(None)` (inconclusive but completed) scan.
+pub fn counting_refutation_budgeted(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+    budget: &Budget,
+) -> Result<Option<CountRefutation>, Exhausted> {
     let canonical = q1.canonical_structure();
-    if let Some(refutation) = check_candidate(q1, q2, canonical, 0) {
-        return Some(refutation);
+    if let Some(refutation) = check_candidate(q1, q2, canonical, 0, budget)? {
+        return Ok(Some(refutation));
     }
     if candidate_count(q1) == 1 {
-        return None;
+        return Ok(None);
     }
     let mut rng = StdRng::seed_from_u64(FAMILY_SEED);
     for index in 1..=RANDOM_STRUCTURES {
         let domain = 2 + (index - 1) % (MAX_DOMAIN - 1);
         let candidate = random_structure(q1, q2, domain, &mut rng);
-        if let Some(refutation) = check_candidate(q1, q2, candidate, index) {
-            return Some(refutation);
+        if let Some(refutation) = check_candidate(q1, q2, candidate, index, budget)? {
+            return Ok(Some(refutation));
         }
     }
-    None
+    Ok(None)
 }
 
 /// Materializes a verified [`NonContainmentWitness`] from a counting
@@ -163,14 +194,15 @@ fn check_candidate(
     q2: &ConjunctiveQuery,
     database: Structure,
     candidate: usize,
-) -> Option<CountRefutation> {
-    let hom_q1 = count_homomorphisms_fast(q1, &database);
+    budget: &Budget,
+) -> Result<Option<CountRefutation>, Exhausted> {
+    let hom_q1 = count_homomorphisms_fast_budgeted(q1, &database, budget)?;
     if hom_q1 == 0 {
         // hom(Q2) can't be beaten by an empty count; skip the second count.
-        return None;
+        return Ok(None);
     }
-    let hom_q2 = count_homomorphisms_fast(q2, &database);
-    if hom_q1 > hom_q2 {
+    let hom_q2 = count_homomorphisms_fast_budgeted(q2, &database, budget)?;
+    Ok(if hom_q1 > hom_q2 {
         Some(CountRefutation {
             database,
             candidate,
@@ -179,7 +211,7 @@ fn check_candidate(
         })
     } else {
         None
-    }
+    })
 }
 
 /// One member of the deterministic family: every possible fact over a domain

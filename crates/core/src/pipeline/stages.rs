@@ -15,7 +15,7 @@
 //! 7. [`WitnessMaterialization`] — Lemma 3.7 + Lemma 4.8 witness extraction
 //!    from the violating polymatroid.
 
-use crate::containment::{containment_inequality_from_homs, query_homomorphisms};
+use crate::containment::{containment_inequality_from_homs, query_homomorphisms_budgeted};
 use crate::decide::{ContainmentAnswer, DecideError, Obstruction};
 use crate::reductions::{boolean_reduction, saturate_pair};
 use crate::witness::{verify_witness, witness_from_counterexample, NonContainmentWitness};
@@ -23,8 +23,8 @@ use bqc_hypergraph::{junction_tree, Graph, TreeDecomposition};
 use bqc_iip::GammaValidity;
 use bqc_relational::{ConjunctiveQuery, VRelation, Value};
 
-use super::refuter::{candidate_count, counting_refutation, witness_from_refutation};
-use super::{DecisionStage, PipelineState, StageResult};
+use super::refuter::{candidate_count, counting_refutation_budgeted, witness_from_refutation};
+use super::{budget_exhausted_result, DecisionStage, PipelineState, StageResult};
 
 /// Lemma A.1: queries with head variables are replaced by their Boolean
 /// reductions (fresh unary atoms pairing the head variables positionally).
@@ -112,7 +112,11 @@ impl DecisionStage for HomExistence {
     }
 
     fn run(&self, state: &mut PipelineState<'_>) -> Result<StageResult, DecideError> {
-        let homomorphisms = query_homomorphisms(&state.q2, &state.q1);
+        let homomorphisms = match query_homomorphisms_budgeted(&state.q2, &state.q1, &state.budget)
+        {
+            Ok(homomorphisms) => homomorphisms,
+            Err(exhausted) => return Ok(budget_exhausted_result(state, exhausted)),
+        };
         if homomorphisms.is_empty() {
             let witness = if state.options.extract_witness {
                 canonical_witness(&state.q1, &state.q2)
@@ -150,7 +154,10 @@ impl DecisionStage for JunctionTree {
     fn run(&self, state: &mut PipelineState<'_>) -> Result<StageResult, DecideError> {
         if state.homomorphisms.is_none() {
             // Defensive for custom stage lists that skipped the screen.
-            state.homomorphisms = Some(query_homomorphisms(&state.q2, &state.q1));
+            match query_homomorphisms_budgeted(&state.q2, &state.q1, &state.budget) {
+                Ok(homomorphisms) => state.homomorphisms = Some(homomorphisms),
+                Err(exhausted) => return Ok(budget_exhausted_result(state, exhausted)),
+            }
         }
         let gaifman = {
             let mut graph = Graph::from_cliques(state.q2.hyperedges());
@@ -247,8 +254,9 @@ impl DecisionStage for CountingRefuter {
             return Ok(StageResult::inapplicable()
                 .with_note("outside the decidable class of Theorem 3.1".to_string()));
         }
-        match counting_refutation(&state.q1, &state.q2) {
-            Some(refutation) => {
+        match counting_refutation_budgeted(&state.q1, &state.q2, &state.budget) {
+            Err(exhausted) => Ok(budget_exhausted_result(state, exhausted)),
+            Ok(Some(refutation)) => {
                 let witness = if state.options.extract_witness {
                     let witness = witness_from_refutation(
                         &state.q1,
@@ -289,7 +297,7 @@ impl DecisionStage for CountingRefuter {
                 })
                 .with_note(note))
             }
-            None => Ok(StageResult::cont().with_note(format!(
+            Ok(None) => Ok(StageResult::cont().with_note(format!(
                 "counts agree on {} candidate database(s)",
                 candidate_count(&state.q1)
             ))),
@@ -319,14 +327,21 @@ impl DecisionStage for ShannonLp {
                 .with_note("no containment inequality was built".to_string()));
         };
         let disjuncts = inequality.num_disjuncts();
-        match state.gamma.check_max_inequality(&inequality) {
-            GammaValidity::ValidShannon => Ok(StageResult::decided(ContainmentAnswer::Contained {
-                inequality: Some(inequality),
-            })
-            .with_note(format!(
-                "Eq. (8) inequality is Shannon-valid ({disjuncts} disjunct(s))"
-            ))),
-            GammaValidity::NotShannonProvable { counterexample } => {
+        let budget = state.budget.clone();
+        match state
+            .gamma
+            .check_max_inequality_budgeted(&inequality, &budget)
+        {
+            Err(exhausted) => Ok(budget_exhausted_result(state, exhausted)),
+            Ok(GammaValidity::ValidShannon) => {
+                Ok(StageResult::decided(ContainmentAnswer::Contained {
+                    inequality: Some(inequality),
+                })
+                .with_note(format!(
+                    "Eq. (8) inequality is Shannon-valid ({disjuncts} disjunct(s))"
+                )))
+            }
+            Ok(GammaValidity::NotShannonProvable { counterexample }) => {
                 if !state.decidable {
                     // The standard junction-tree stage always records the
                     // obstruction; a custom stage list that built the

@@ -15,6 +15,7 @@ use crate::decide::DecideOptions;
 use bqc_entropy::SetFunction;
 use bqc_hypergraph::TreeDecomposition;
 use bqc_iip::{GammaProver, MaxInequality};
+use bqc_obs::Budget;
 use bqc_relational::ConjunctiveQuery;
 
 use super::refuter::CountRefutation;
@@ -24,6 +25,12 @@ use crate::decide::Obstruction;
 pub struct PipelineState<'a> {
     /// Decision options (witness budget, refuter switch, …).
     pub options: &'a DecideOptions,
+    /// The running resource budget, started from
+    /// [`DecideOptions::budget`](crate::DecideOptions::budget) when the
+    /// pipeline began.  Stages charge their work against it and convert an
+    /// exhaustion into a decided `Unknown` (see
+    /// [`budget_exhausted_result`](super::budget_exhausted_result)).
+    pub budget: Budget,
     /// The Shannon-cone prover answering the LP stage's feasibility probes.
     pub gamma: &'a mut GammaProver,
     /// The contained-candidate query; replaced by its Boolean reduction by
@@ -68,6 +75,7 @@ impl<'a> PipelineState<'a> {
     ) -> PipelineState<'a> {
         PipelineState {
             options,
+            budget: options.budget.start(),
             gamma,
             q1: q1.clone(),
             q2: q2.clone(),

@@ -12,6 +12,12 @@
 //! cache-determinism invariant (ARCHITECTURE.md): *a cached answer must equal
 //! the freshly computed one*.  Each entry therefore stores the canonical pair
 //! text and a lookup whose text mismatches is treated as a miss.
+//!
+//! Shard locks recover from poisoning deliberately: every mutation under a
+//! shard lock leaves the map sound at any interruption point (at worst an
+//! entry whose cleared key text matches no lookup, which reads as a miss), so
+//! a contained panic on one worker must not condemn the whole cache — fault
+//! isolation is the point of the engine's panic containment.
 
 use bqc_core::AnswerSummary;
 use std::collections::HashMap;
@@ -141,7 +147,9 @@ impl DecisionCache {
     /// a miss.
     pub fn probe(&self, hash: u64, key_text: &str) -> Option<CacheHit> {
         let index = self.shard_index(hash);
-        let mut shard = self.shards[index].lock().expect("cache shard poisoned");
+        let mut shard = self.shards[index]
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
         shard.clock += 1;
         let clock = shard.clock;
         match shard.map.get_mut(&hash) {
@@ -188,7 +196,9 @@ impl DecisionCache {
 
     fn insert_with(&self, hash: u64, key_text: &str, summary: AnswerSummary, restored: bool) {
         let index = self.shard_index(hash);
-        let mut shard = self.shards[index].lock().expect("cache shard poisoned");
+        let mut shard = self.shards[index]
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
         shard.clock += 1;
         let clock = shard.clock;
         if let Some(entry) = shard.map.get_mut(&hash) {
@@ -232,7 +242,12 @@ impl DecisionCache {
         let entries = self
             .shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").map.len() as u64)
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(|poison| poison.into_inner())
+                    .map
+                    .len() as u64
+            })
             .sum();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -265,7 +280,7 @@ impl DecisionCache {
     pub fn export(&self) -> Vec<(u64, String, AnswerSummary)> {
         let mut out = Vec::new();
         for shard in &self.shards {
-            let shard = shard.lock().expect("cache shard poisoned");
+            let shard = shard.lock().unwrap_or_else(|poison| poison.into_inner());
             out.extend(
                 shard
                     .map
@@ -279,7 +294,11 @@ impl DecisionCache {
     /// Drops every entry (counters are kept).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("cache shard poisoned").map.clear();
+            shard
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner())
+                .map
+                .clear();
         }
     }
 }

@@ -27,13 +27,14 @@ use crate::persist::{LoadOutcome, Snapshot, SnapshotEntry, SnapshotError};
 use crate::telemetry::{PipelineTelemetry, ShortCircuitStats, StageStats};
 use bqc_core::{
     decide_containment_traced, AnswerSummary, DecideContext, DecideError, DecideOptions,
-    DecisionTrace, SkeletonCache,
+    DecisionTrace, Obstruction, SkeletonCache,
 };
 use bqc_obs::{LazyCounter, LazyHistogram};
 use bqc_relational::ConjunctiveQuery;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -52,6 +53,8 @@ static SNAPSHOT_RESTORED_ENTRIES: LazyCounter =
     LazyCounter::new("bqc_engine_snapshot_restored_entries_total");
 static SNAPSHOT_SAVE_MICROS: LazyHistogram = LazyHistogram::new("bqc_engine_snapshot_save_micros");
 static SNAPSHOT_LOAD_MICROS: LazyHistogram = LazyHistogram::new("bqc_engine_snapshot_load_micros");
+static PANICS: LazyCounter = LazyCounter::new("bqc_engine_panics_total");
+static BUDGET_EXHAUSTED: LazyCounter = LazyCounter::new("bqc_engine_budget_exhausted_total");
 
 /// How a request in a batch obtained its answer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -131,7 +134,50 @@ pub struct Engine {
     /// Per-stage aggregate counters folded from every fresh decision's
     /// trace.
     telemetry: PipelineTelemetry,
+    /// Decision-procedure panics contained by this engine (each one answered
+    /// `Err(DecideError::Panicked)` for its own request only).
+    panics: AtomicU64,
+    /// Fresh budget-exhausted summaries excluded from the cache.
+    budget_exhausted: AtomicU64,
     options: EngineOptions,
+}
+
+/// Fault-isolation counters: how often this engine degraded instead of
+/// failing.  Reported by `bqc serve`'s `!stats` alongside the cache and
+/// pipeline rows.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Panics contained by [`Engine::decide`] / [`Engine::decide_batch`].
+    pub panics: u64,
+    /// Fresh decisions whose summary was budget-exhausted and therefore not
+    /// cached.
+    pub budget_exhausted: u64,
+}
+
+/// Whether a fresh summary may enter the decision cache.  Budget-exhausted
+/// `Unknown`s describe the run's resource limits (and, for deadlines, the
+/// wall clock), not the pair, so caching one would hand a degraded answer to
+/// a later caller with a bigger budget — violating the cache-determinism
+/// invariant.  Every other summary is a pure function of the canonical pair.
+fn cacheable(summary: &AnswerSummary) -> bool {
+    !matches!(
+        summary,
+        AnswerSummary::Unknown {
+            obstruction: Obstruction::ResourceExhausted { .. }
+        }
+    )
+}
+
+/// Renders a caught panic payload as the human-readable message for
+/// [`DecideError::Panicked`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(text) = payload.downcast_ref::<&str>() {
+        (*text).to_string()
+    } else if let Some(text) = payload.downcast_ref::<String>() {
+        text.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 impl Default for Engine {
@@ -147,7 +193,43 @@ impl Engine {
             cache: DecisionCache::new(options.cache_shards, options.shard_capacity),
             skeletons: SkeletonCache::new(),
             telemetry: PipelineTelemetry::new(),
+            panics: AtomicU64::new(0),
+            budget_exhausted: AtomicU64::new(0),
             options,
+        }
+    }
+
+    /// Runs the decision procedure on `ctx` with panics contained: a panic
+    /// unwinds no further than this call and becomes
+    /// [`DecideError::Panicked`] for this one pair.  The caller must treat
+    /// `ctx` as tainted after an `Err(Panicked)` — the unwound context may
+    /// hold partially mutated warm-start state.
+    fn decide_containing_panics(
+        &self,
+        ctx: &mut DecideContext,
+        pair: &CanonicalPair,
+    ) -> Result<bqc_core::Decision, DecideError> {
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            decide_containment_traced(ctx, &pair.q1.query, &pair.q2.query, &self.options.decide)
+        }));
+        match attempt {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                PANICS.inc();
+                self.panics.fetch_add(1, Ordering::Relaxed);
+                Err(DecideError::Panicked(panic_message(payload)))
+            }
+        }
+    }
+
+    /// Inserts a fresh summary into the cache unless [`cacheable`] excludes
+    /// it (budget-exhausted answers are never cached).
+    fn absorb_summary(&self, pair: &CanonicalPair, summary: AnswerSummary) {
+        if cacheable(&summary) {
+            self.cache.insert(pair.hash, &pair.key, summary);
+        } else {
+            BUDGET_EXHAUSTED.inc();
+            self.budget_exhausted.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -186,18 +268,17 @@ impl Engine {
         let mut ctx = DecideContext::with_skeletons(self.skeletons.clone());
         let start = Instant::now();
         let decide_span = bqc_obs::span_with_arg("decide", "pair", format!("{:016x}", pair.hash));
-        let decision = decide_containment_traced(
-            &mut ctx,
-            &pair.q1.query,
-            &pair.q2.query,
-            &self.options.decide,
-        )?;
+        let outcome = self.decide_containing_panics(&mut ctx, &pair);
         drop(decide_span);
+        // The context is dropped either way, so a contained panic taints
+        // nothing beyond this request.
+        drop(ctx);
+        let decision = outcome?;
         FRESH_DECISIONS.inc();
         DECIDE_MICROS.observe(start.elapsed().as_micros() as u64);
         self.telemetry.record(&decision.trace);
         let summary = decision.answer.summary();
-        self.cache.insert(pair.hash, &pair.key, summary);
+        self.absorb_summary(&pair, summary);
         Ok(summary)
     }
 
@@ -290,13 +371,15 @@ impl Engine {
                 let start = Instant::now();
                 let decide_span =
                     bqc_obs::span_with_arg("decide", "pair", format!("{:016x}", pair.hash));
-                let outcome = decide_containment_traced(
-                    ctx,
-                    &pair.q1.query,
-                    &pair.q2.query,
-                    &self.options.decide,
-                );
+                let outcome = self.decide_containing_panics(ctx, pair);
                 drop(decide_span);
+                if matches!(outcome, Err(DecideError::Panicked(_))) {
+                    // The unwound context may hold arbitrarily inconsistent
+                    // warm-start state; rebuild it before this worker pulls
+                    // its next job so one poisoned pair cannot leak into
+                    // later decisions.
+                    *ctx = DecideContext::with_skeletons(self.skeletons.clone());
+                }
                 let micros = start.elapsed().as_micros() as u64;
                 FRESH_DECISIONS.inc();
                 DECIDE_MICROS.observe(micros);
@@ -310,7 +393,7 @@ impl Engine {
                 Ok(decision) => {
                     self.telemetry.record(&decision.trace);
                     let summary = decision.answer.summary();
-                    self.cache.insert(pair.hash, &pair.key, summary);
+                    self.absorb_summary(pair, summary);
                     (Ok(summary), Some(decision.trace))
                 }
                 Err(error) => (Err(error), None),
@@ -382,6 +465,15 @@ impl Engine {
     /// (single and batch) and in-flight batch dedups.
     pub fn short_circuit_stats(&self) -> ShortCircuitStats {
         self.telemetry.short_circuited()
+    }
+
+    /// Fault-isolation counters: contained panics and cache-excluded
+    /// budget-exhausted answers since construction.
+    pub fn fault_stats(&self) -> FaultStats {
+        FaultStats {
+            panics: self.panics.load(Ordering::Relaxed),
+            budget_exhausted: self.budget_exhausted.load(Ordering::Relaxed),
+        }
     }
 
     /// Drops every cached decision (counters are kept).
@@ -543,7 +635,10 @@ fn parallel_map_with<T: Sync, S, U: Send>(
                     if i >= items.len() {
                         break;
                     }
-                    *slots[i].lock().expect("result slot poisoned") =
+                    // A slot poisoned by a panicking `f` still holds `None`
+                    // (the lock is only held across the assignment, and `f`
+                    // runs before it); recover the guard and overwrite.
+                    *slots[i].lock().unwrap_or_else(|poison| poison.into_inner()) =
                         Some(f(&mut state, &items[i]));
                 }
             });
@@ -553,7 +648,7 @@ fn parallel_map_with<T: Sync, S, U: Send>(
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("result slot poisoned")
+                .unwrap_or_else(|poison| poison.into_inner())
                 .expect("worker filled every slot")
         })
         .collect()
@@ -714,6 +809,77 @@ mod tests {
             .find(|s| s.stage == "hom-existence")
             .expect("screen reached");
         assert_eq!(screen.decided, 1);
+    }
+
+    #[test]
+    fn budget_exhausted_answers_are_never_cached() {
+        let mut options = EngineOptions::default();
+        options.decide.budget.max_pivots = Some(1);
+        let engine = Engine::new(options);
+        let q1 = q("Q1() :- R(x,y), R(y,z), R(z,x)");
+        let q2 = q("Q2() :- R(u,v), R(u,w)");
+        // Example 4.3 needs the LP; one pivot is not enough.
+        let first = engine.decide(&q1, &q2).unwrap();
+        assert!(matches!(
+            first,
+            AnswerSummary::Unknown {
+                obstruction: Obstruction::ResourceExhausted { .. }
+            }
+        ));
+        // The degraded answer must not be resident: re-asking runs the
+        // procedure again (and exhausts again) rather than hitting a cache
+        // entry that a bigger-budget caller would be poisoned by.
+        let second = engine.decide(&q1, &q2).unwrap();
+        assert_eq!(first, second);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits + stats.restored_hits, 0);
+        assert_eq!(stats.entries, 0);
+        assert_eq!(engine.fault_stats().budget_exhausted, 2);
+    }
+
+    #[test]
+    fn batch_excludes_budget_exhausted_answers_from_the_cache() {
+        let mut options = EngineOptions::default();
+        options.decide.budget.max_pivots = Some(1);
+        let engine = Engine::new(options);
+        let first = engine.decide_batch(&small_batch());
+        // Example 4.3 (and its renamed copy) exhausts at the LP; the reverse
+        // direction is decided by the hom-existence screen long before any
+        // pivots and is cached normally.
+        assert!(matches!(
+            first[0].answer,
+            Ok(AnswerSummary::Unknown {
+                obstruction: Obstruction::ResourceExhausted { .. }
+            })
+        ));
+        assert_eq!(first[1].provenance, Provenance::DedupedInFlight);
+        assert!(first[2].answer.as_ref().unwrap().is_not_contained());
+        assert_eq!(engine.cache_stats().entries, 1, "only the sound verdict");
+        assert_eq!(engine.fault_stats().budget_exhausted, 1);
+        let second = engine.decide_batch(&small_batch());
+        assert_eq!(
+            second[0].provenance,
+            Provenance::Fresh,
+            "degraded answers are re-decided, never replayed"
+        );
+        assert_eq!(second[2].provenance, Provenance::CachedHit);
+    }
+
+    #[test]
+    fn unlimited_budget_answers_match_the_default_engine() {
+        let engine = Engine::default();
+        let mut budgeted_options = EngineOptions::default();
+        budgeted_options.decide.budget.max_pivots = Some(1 << 20);
+        budgeted_options.decide.budget.max_hom_steps = Some(1 << 20);
+        let budgeted = Engine::new(budgeted_options);
+        for (q1, q2) in small_batch() {
+            assert_eq!(
+                engine.decide(&q1, &q2).unwrap(),
+                budgeted.decide(&q1, &q2).unwrap(),
+                "an ample budget must not change any verdict"
+            );
+        }
+        assert_eq!(budgeted.fault_stats(), FaultStats::default());
     }
 
     #[test]

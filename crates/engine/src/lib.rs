@@ -92,7 +92,9 @@ pub mod workload;
 pub use cache::{CacheHit, CacheStats, DecisionCache};
 pub use canon::{canonicalize, canonicalize_pair, fnv1a, CanonicalPair, CanonicalQuery};
 pub use corpus::{parse_corpus, render_case, CorpusCase, CorpusError, ExpectedVerdict};
-pub use engine::{BatchResult, Engine, EngineOptions, Provenance, SnapshotLoad, SnapshotSaved};
+pub use engine::{
+    BatchResult, Engine, EngineOptions, FaultStats, Provenance, SnapshotLoad, SnapshotSaved,
+};
 pub use persist::{
     decode_snapshot, encode_snapshot, load_or_quarantine, read_snapshot_file, write_snapshot_file,
     LoadOutcome, Snapshot, SnapshotEntry, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,

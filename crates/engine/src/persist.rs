@@ -24,7 +24,10 @@
 //!            u8        verdict tag: 0 = Contained, 1 = NotContained,
 //!                      2 = Unknown
 //!            u8        payload: witness_verified (tag 1) or obstruction
-//!                      (tag 2: 0 = NotChordal, 1 = JunctionTreeNotSimple);
+//!                      (tag 2: 0 = NotChordal, 1 = JunctionTreeNotSimple,
+//!                      2–5 = ResourceExhausted for deadline / pivots /
+//!                      separation-rounds / hom-steps — encoded for codec
+//!                      totality, though the engine never caches one);
 //!                      0 for tag 0
 //! checksum   u64       FNV-1a over every preceding byte (magic included)
 //! ```
@@ -53,7 +56,7 @@
 //!   engines holding the same decisions produce byte-identical snapshots.
 
 use crate::canon::fnv1a;
-use bqc_core::{AnswerSummary, Obstruction};
+use bqc_core::{AnswerSummary, BudgetResource, Obstruction};
 use std::fmt;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -131,6 +134,15 @@ fn summary_tag(summary: &AnswerSummary) -> (u8, u8) {
             match obstruction {
                 Obstruction::NotChordal => 0,
                 Obstruction::JunctionTreeNotSimple => 1,
+                // Encoded for codec totality only: the engine never caches a
+                // budget-exhausted summary (see `Engine::decide`), so these
+                // payloads should not appear in a snapshot it wrote.
+                Obstruction::ResourceExhausted { resource } => match resource {
+                    BudgetResource::Deadline => 2,
+                    BudgetResource::Pivots => 3,
+                    BudgetResource::SeparationRounds => 4,
+                    BudgetResource::HomSteps => 5,
+                },
             },
         ),
     }
@@ -147,6 +159,16 @@ fn summary_from_tag(tag: u8, payload: u8) -> Result<AnswerSummary, SnapshotError
         }),
         (2, 1) => Ok(AnswerSummary::Unknown {
             obstruction: Obstruction::JunctionTreeNotSimple,
+        }),
+        (2, payload @ 2..=5) => Ok(AnswerSummary::Unknown {
+            obstruction: Obstruction::ResourceExhausted {
+                resource: match payload {
+                    2 => BudgetResource::Deadline,
+                    3 => BudgetResource::Pivots,
+                    4 => BudgetResource::SeparationRounds,
+                    _ => BudgetResource::HomSteps,
+                },
+            },
         }),
         _ => Err(SnapshotError::Corrupt(format!(
             "unknown verdict encoding (tag {tag}, payload {payload})"
@@ -291,9 +313,18 @@ pub fn write_snapshot_file(path: &Path, snapshot: &Snapshot) -> std::io::Result<
     let tmp = sibling(path, ".tmp");
     {
         let mut file = std::fs::File::create(&tmp)?;
-        file.write_all(&bytes)?;
+        // The chaos suite kills the process at each of these failpoints to
+        // prove the atomicity claim above; `persist::mid-write` sits between
+        // two halves of the payload so a kill there leaves a torn temp file,
+        // the worst case quarantine must absorb.
+        let (head, tail) = bytes.split_at(bytes.len() / 2);
+        file.write_all(head)?;
+        bqc_obs::failpoint("persist::mid-write");
+        file.write_all(tail)?;
+        bqc_obs::failpoint("persist::pre-fsync");
         file.sync_all()?;
     }
+    bqc_obs::failpoint("persist::pre-rename");
     match std::fs::rename(&tmp, path) {
         Ok(()) => Ok(bytes.len()),
         Err(error) => {

@@ -74,6 +74,11 @@ impl ShortCircuitStats {
 /// Thread-safe accumulator of [`StageStats`], ordered by first appearance
 /// (which, for the standard pipeline, is the stage execution order), plus
 /// the short-circuited bucket for cache-served and deduped decisions.
+///
+/// The stage lock recovers from poisoning deliberately: a contained panic
+/// mid-[`record`](PipelineTelemetry::record) loses at most one trace's rows,
+/// which skews an aggregate but carries no correctness weight — telemetry
+/// must never take the serving engine down with it.
 #[derive(Debug, Default)]
 pub struct PipelineTelemetry {
     stages: Mutex<Vec<StageStats>>,
@@ -90,7 +95,10 @@ impl PipelineTelemetry {
 
     /// Folds one decision trace into the counters.
     pub fn record(&self, trace: &DecisionTrace) {
-        let mut stages = self.stages.lock().expect("telemetry poisoned");
+        let mut stages = self
+            .stages
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
         for report in trace.reports() {
             let entry = match stages.iter_mut().find(|s| s.stage == report.stage) {
                 Some(entry) => entry,
@@ -110,7 +118,10 @@ impl PipelineTelemetry {
 
     /// Point-in-time snapshot of every stage's counters.
     pub fn snapshot(&self) -> Vec<StageStats> {
-        self.stages.lock().expect("telemetry poisoned").clone()
+        self.stages
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .clone()
     }
 
     /// Counts one decision answered from the cache.
@@ -142,7 +153,10 @@ impl PipelineTelemetry {
     /// after reporting an interval so stage fractions describe recent
     /// traffic rather than since-boot totals.
     pub fn reset(&self) {
-        self.stages.lock().expect("telemetry poisoned").clear();
+        self.stages
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .clear();
         self.cached.store(0, Ordering::Relaxed);
         self.restored.store(0, Ordering::Relaxed);
         self.deduped.store(0, Ordering::Relaxed);
@@ -153,7 +167,7 @@ impl PipelineTelemetry {
     pub fn decisions(&self) -> u64 {
         self.stages
             .lock()
-            .expect("telemetry poisoned")
+            .unwrap_or_else(|poison| poison.into_inner())
             .iter()
             .map(|s| s.decided)
             .sum()

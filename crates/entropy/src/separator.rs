@@ -23,7 +23,7 @@
 use crate::setfn::{all_masks, Mask};
 use crate::shannon::elemental_count;
 use bqc_arith::Rational;
-use bqc_obs::LazyCounter;
+use bqc_obs::{Budget, Exhausted, LazyCounter};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -205,11 +205,30 @@ impl ShannonSeparator {
     /// of the separation loop.  The scan is `O(n²·2^n)` exact arithmetic and
     /// never materializes the constraint list.
     pub fn most_violated(&self, h: &[Rational], limit: usize) -> Vec<ElementalId> {
+        self.most_violated_budgeted(h, limit, &Budget::unlimited())
+            .expect("unlimited budget cannot exhaust")
+    }
+
+    /// [`ShannonSeparator::most_violated`] under a decision [`Budget`]: the
+    /// wall clock is checked between variable pairs, and an exhausted budget
+    /// aborts the scan with `Err`.
+    ///
+    /// The distinction between `Err` and `Ok(vec![])` is load-bearing: an
+    /// empty *completed* scan certifies `h ∈ Γ_n`, while an aborted scan
+    /// certifies nothing — a caller must never treat exhaustion as "no
+    /// violated rows".
+    pub fn most_violated_budgeted(
+        &self,
+        h: &[Rational],
+        limit: usize,
+        budget: &Budget,
+    ) -> Result<Vec<ElementalId>, Exhausted> {
         let n = self.skeleton.n;
         debug_assert_eq!(h.len(), 1 << n, "need one candidate value per subset");
         debug_assert!(limit > 0, "a separation round must be able to add a row");
         let mut violated: Vec<(Rational, ElementalId)> = Vec::new();
         let full: Mask = ((1u64 << n) - 1) as Mask;
+        budget.check_deadline()?;
         for i in 0..n {
             let value = &h[full as usize] - &h[(full & !(1 << i)) as usize];
             if value.is_negative() {
@@ -217,6 +236,9 @@ impl ShannonSeparator {
             }
         }
         for &(i, j) in &self.skeleton.pairs {
+            // One wall-clock sample per pair bounds deadline overshoot to a
+            // single 2^n context sweep.
+            budget.check_deadline()?;
             let bits: Mask = (1 << i) | (1 << j);
             for context in all_masks(n) {
                 if context & bits != 0 {
@@ -238,7 +260,7 @@ impl ShannonSeparator {
         violated.sort_by(|a, b| a.0.cmp(&b.0));
         violated.truncate(limit);
         VIOLATED_ROWS.add(violated.len() as u64);
-        violated.into_iter().map(|(_, id)| id).collect()
+        Ok(violated.into_iter().map(|(_, id)| id).collect())
     }
 }
 

@@ -45,6 +45,7 @@ pub use convex::{certificate_or_refutation, find_convex_certificate, ConvexCerti
 pub use inequality::{LinearInequality, MaxInequality};
 pub use prover::{
     check_linear_inequality, check_linear_inequality_eager, check_max_inequality,
-    check_max_inequality_eager, minimize_over_gamma, GammaProver, GammaValidity,
+    check_max_inequality_eager, check_max_inequality_eager_budgeted, minimize_over_gamma,
+    GammaProver, GammaValidity,
 };
 pub use uniform::{uniformize, UniformExpression, UniformMaxIip, UniformityError};

@@ -56,7 +56,7 @@ use bqc_entropy::{
     all_masks, ElementalId, EntropyExpr, Mask, SetFunction, ShannonSeparator, SkeletonCache,
 };
 use bqc_lp::{ConstraintOp, LpBasis, LpProblem, LpStatus, Sense, VarBound, VarId};
-use bqc_obs::{LazyCounter, LazyHistogram};
+use bqc_obs::{Budget, Exhausted, LazyCounter, LazyHistogram};
 use std::collections::HashMap;
 
 static PROBES: LazyCounter = LazyCounter::new("bqc_iip_probes_total");
@@ -67,6 +67,7 @@ static WARM_SHAPE_HITS: LazyCounter = LazyCounter::new("bqc_iip_warm_shape_hits_
 static FARKAS_SUPPORTS_HARVESTED: LazyCounter =
     LazyCounter::new("bqc_iip_farkas_supports_harvested_total");
 static FARKAS_SUPPORT_HITS: LazyCounter = LazyCounter::new("bqc_iip_farkas_support_hits_total");
+static BUDGET_EXHAUSTED: LazyCounter = LazyCounter::new("bqc_iip_budget_exhausted_total");
 
 /// Outcome of a validity check over the polymatroid cone.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -286,7 +287,11 @@ impl GammaProver {
     /// The small-universe path: the full cone is tiny, so materialize it and
     /// solve once, warm-starting from the last same-shaped optimal basis
     /// exactly as the pre-separation prover did.
-    fn check_small(&mut self, inequality: &MaxInequality) -> GammaValidity {
+    fn check_small(
+        &mut self,
+        inequality: &MaxInequality,
+        budget: &Budget,
+    ) -> Result<GammaValidity, Exhausted> {
         let variables = &inequality.variables;
         let (mut lp, columns) = shannon_cone_lp(variables);
         for disjunct in &inequality.disjuncts {
@@ -295,11 +300,13 @@ impl GammaProver {
             lp.add_constraint(coeffs, ConstraintOp::Le, -Rational::one());
         }
         let shape = (variables.len(), inequality.disjuncts.len());
-        let (solution, basis) = lp.solve_from(self.warm_eager.get(&shape));
+        // `?` on exhaustion happens before any warm-state insertion: an
+        // aborted solve must leave the prover exactly as it found it.
+        let (solution, basis) = lp.solve_from_budgeted(self.warm_eager.get(&shape), budget)?;
         if let Some(basis) = basis {
             self.warm_eager.insert(shape, basis);
         }
-        match solution.status {
+        Ok(match solution.status {
             LpStatus::Infeasible => GammaValidity::ValidShannon,
             LpStatus::Optimal | LpStatus::Unbounded => GammaValidity::NotShannonProvable {
                 counterexample: SetFunction::from_values(
@@ -307,19 +314,48 @@ impl GammaProver {
                     mask_values(&solution.values, &columns),
                 ),
             },
-        }
+        })
     }
 
     /// Decides whether `0 ≤ max_ℓ E_ℓ(h)` holds for every polymatroid over
     /// the inequality's universe, using the lazy separation loop and reusing
     /// the cached active rows and basis when the shape matches.
     pub fn check_max_inequality(&mut self, inequality: &MaxInequality) -> GammaValidity {
+        self.check_max_inequality_budgeted(inequality, &Budget::unlimited())
+            .expect("unlimited budget cannot exhaust")
+    }
+
+    /// [`GammaProver::check_max_inequality`] under a decision [`Budget`]:
+    /// pivots are charged inside the LP solves, each separation round charges
+    /// the round cap, and the separator scan checks the deadline.
+    ///
+    /// `Err` means the budget ran out before the probe finished.  On that
+    /// path the prover's warm-start caches are **left untouched** — no
+    /// active-row set or basis derived from the aborted probe is remembered,
+    /// so later probes (budgeted or not) answer exactly as if the aborted
+    /// probe had never run.
+    pub fn check_max_inequality_budgeted(
+        &mut self,
+        inequality: &MaxInequality,
+        budget: &Budget,
+    ) -> Result<GammaValidity, Exhausted> {
+        self.check_max_inner(inequality, budget).inspect_err(|_| {
+            BUDGET_EXHAUSTED.inc();
+            bqc_obs::instant("budget-exhausted");
+        })
+    }
+
+    fn check_max_inner(
+        &mut self,
+        inequality: &MaxInequality,
+        budget: &Budget,
+    ) -> Result<GammaValidity, Exhausted> {
         PROBES.inc();
         let _probe_span = bqc_obs::span("gamma-check");
         let variables = &inequality.variables;
         let n = variables.len();
         if n <= eager_cutoff() {
-            return self.check_small(inequality);
+            return self.check_small(inequality, budget);
         }
         let skeleton = self.skeletons.get(n);
         let shape = (n, inequality.disjuncts.len());
@@ -353,7 +389,7 @@ impl GammaProver {
             .warm
             .get(&shape)
             .and_then(|cached| cached.basis.clone());
-        let mut solution = inc.solve_from(warm_basis.as_ref());
+        let mut solution = inc.solve_from_budgeted(warm_basis.as_ref(), budget)?;
         let separator = ShannonSeparator::new(skeleton.clone());
         let batch = separation_batch(n);
         let mut rounds = 0usize;
@@ -368,7 +404,7 @@ impl GammaProver {
                     // objective; treat it like Optimal for uniformity, as
                     // the eager checker did.)
                     let h = mask_values(&solution.values, &columns);
-                    let violated = separator.most_violated(&h, batch);
+                    let violated = separator.most_violated_budgeted(&h, batch, budget)?;
                     if violated.is_empty() {
                         // The separator scanned every elemental inequality:
                         // h is a genuine polymatroid violating all disjuncts.
@@ -378,6 +414,7 @@ impl GammaProver {
                     }
                     rounds += 1;
                     SEPARATION_ROUNDS.inc();
+                    budget.charge_separation_round()?;
                     bqc_obs::instant("separation-round");
                     if rounds > escalation_rounds(n) {
                         // A deep probe: separation at relaxation vertices
@@ -399,8 +436,12 @@ impl GammaProver {
                         ESCALATIONS.inc();
                         bqc_obs::instant("escalation");
                         ROUNDS_PER_PROBE.observe(rounds as u64);
-                        let verdict = check_max_inequality_eager(inequality);
-                        if verdict.is_valid() {
+                        let verdict = check_max_inequality_eager_budgeted(inequality, budget)?;
+                        // The Farkas harvest is a warm-start optimization
+                        // whose certificate LP is not budget-instrumented;
+                        // under a limited budget it is skipped rather than
+                        // allowed to overrun the deadline unchecked.
+                        if verdict.is_valid() && budget.is_unlimited() {
                             if let crate::convex::CertificateOutcome::Certificate {
                                 support, ..
                             } = crate::convex::certificate_decision(inequality)
@@ -421,7 +462,7 @@ impl GammaProver {
                                 basis: None,
                             },
                         );
-                        return verdict;
+                        return Ok(verdict);
                     }
                     for id in &violated {
                         let (terms, len) = id.terms(n);
@@ -434,7 +475,7 @@ impl GammaProver {
                         );
                         active.push(*id);
                     }
-                    solution = inc.solve();
+                    solution = inc.solve_budgeted(budget)?;
                 }
             }
         };
@@ -446,13 +487,23 @@ impl GammaProver {
                 basis: inc.basis(),
             },
         );
-        verdict
+        Ok(verdict)
     }
 
     /// Decides whether a linear information inequality is a Shannon
     /// inequality, reusing cached separation state when the shape matches.
     pub fn check_linear_inequality(&mut self, inequality: &LinearInequality) -> GammaValidity {
         self.check_max_inequality(&inequality.to_max())
+    }
+
+    /// [`GammaProver::check_linear_inequality`] under a decision [`Budget`];
+    /// see [`GammaProver::check_max_inequality_budgeted`].
+    pub fn check_linear_inequality_budgeted(
+        &mut self,
+        inequality: &LinearInequality,
+        budget: &Budget,
+    ) -> Result<GammaValidity, Exhausted> {
+        self.check_max_inequality_budgeted(&inequality.to_max(), budget)
     }
 }
 
@@ -480,6 +531,16 @@ pub fn check_linear_inequality(inequality: &LinearInequality) -> GammaValidity {
 /// the baseline of the `lp/gamma_validity` regression benchmarks.  Use
 /// [`check_max_inequality`] in production code.
 pub fn check_max_inequality_eager(inequality: &MaxInequality) -> GammaValidity {
+    check_max_inequality_eager_budgeted(inequality, &Budget::unlimited())
+        .expect("unlimited budget cannot exhaust")
+}
+
+/// [`check_max_inequality_eager`] under a decision [`Budget`] (pivots charged
+/// inside the single full-cone solve).
+pub fn check_max_inequality_eager_budgeted(
+    inequality: &MaxInequality,
+    budget: &Budget,
+) -> Result<GammaValidity, Exhausted> {
     let variables = &inequality.variables;
     let (mut lp, columns) = shannon_cone_lp(variables);
     for disjunct in &inequality.disjuncts {
@@ -487,8 +548,8 @@ pub fn check_max_inequality_eager(inequality: &MaxInequality) -> GammaValidity {
         // E_ℓ(h) ≤ −1.
         lp.add_constraint(coeffs, ConstraintOp::Le, -Rational::one());
     }
-    let solution = lp.solve();
-    match solution.status {
+    let (solution, _) = lp.solve_from_budgeted(None, budget)?;
+    Ok(match solution.status {
         LpStatus::Infeasible => GammaValidity::ValidShannon,
         LpStatus::Optimal | LpStatus::Unbounded => {
             let h = mask_values(&solution.values, &columns);
@@ -496,7 +557,7 @@ pub fn check_max_inequality_eager(inequality: &MaxInequality) -> GammaValidity {
                 counterexample: SetFunction::from_values(variables.clone(), h),
             }
         }
-    }
+    })
 }
 
 /// Eager-cone form of [`check_linear_inequality`]; see
@@ -795,6 +856,59 @@ mod tests {
         );
         assert!(a.check_linear_inequality(&small).is_valid());
         assert_eq!(skeletons.len(), 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_leaves_the_prover_untouched() {
+        use bqc_obs::{BudgetResource, BudgetSpec};
+        // Five variables forces the separation loop.  The inequality is
+        // invalid, so the relaxation must pivot through phase 1 (its
+        // disjunct row is violated at h = 0) — a zero-pivot cap always
+        // aborts before a verdict.
+        let ineq = LinearInequality::new(
+            vars(&["V", "W", "X", "Y", "Z"]),
+            expr(&[(1, &["X"]), (-1, &["Y"])]),
+        );
+        let mut prover = GammaProver::new();
+        let spec = BudgetSpec {
+            max_pivots: Some(0),
+            ..BudgetSpec::UNLIMITED
+        };
+        let err = prover
+            .check_linear_inequality_budgeted(&ineq, &spec.start())
+            .expect_err("zero pivots cannot refute a Γ_5 probe");
+        assert_eq!(err.resource, BudgetResource::Pivots);
+        // No warm state was absorbed from the aborted probe...
+        assert_eq!(prover.cached_bases(), 0);
+        // ...and the verdict afterwards matches a stateless check.
+        assert_eq!(
+            prover.check_linear_inequality(&ineq).is_valid(),
+            check_linear_inequality(&ineq).is_valid()
+        );
+
+        // A tiny separation-round cap aborts mid-loop on an invalid probe
+        // (validity certificates can land before any round is charged).
+        let deep = LinearInequality::new(
+            vars(&["V", "W", "X", "Y", "Z"]),
+            expr(&[(1, &["X"]), (-1, &["Y"])]),
+        );
+        let mut fresh = GammaProver::new();
+        let spec = BudgetSpec {
+            max_separation_rounds: Some(1),
+            max_pivots: Some(10_000),
+            ..BudgetSpec::UNLIMITED
+        };
+        match fresh.check_linear_inequality_budgeted(&deep, &spec.start()) {
+            // Either the round cap or the pivot cap fires first; both are
+            // acceptable as long as nothing partial was kept on error.
+            Err(_) => assert_eq!(fresh.cached_bases(), 0),
+            Ok(verdict) => {
+                assert_eq!(
+                    verdict.is_valid(),
+                    check_linear_inequality(&deep).is_valid()
+                )
+            }
+        }
     }
 
     #[test]

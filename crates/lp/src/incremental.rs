@@ -25,11 +25,11 @@
 //! an answer.
 
 use crate::problem::{ConstraintOp, LpBasis, LpProblem, LpSolution, LpStatus, Sense, VarId};
-use crate::revised::{solve_sparse, solve_sparse_resume, SimplexOutcome, SparseSolve};
+use crate::revised::{solve_sparse_full, solve_sparse_resume_full, SimplexOutcome, SparseSolve};
 use crate::scalar::Scalar;
 use crate::sparse::SparseMatrix;
 use bqc_arith::Rational;
-use bqc_obs::LazyCounter;
+use bqc_obs::{Budget, Exhausted, LazyCounter};
 use std::collections::BTreeMap;
 
 static ROWS_APPENDED: LazyCounter = LazyCounter::new("bqc_lp_rows_appended_total");
@@ -218,14 +218,34 @@ impl IncrementalSolver {
         self.solve_from(None)
     }
 
+    /// [`IncrementalSolver::solve`] under a decision [`Budget`].  `Err`
+    /// means the budget ran out mid-solve; the solver's stored basis and
+    /// primal point are **left untouched** (nothing partial is absorbed), so
+    /// a later solve — budgeted or not — picks up exactly where the last
+    /// *completed* solve left off.
+    pub fn solve_budgeted(&mut self, budget: &Budget) -> Result<LpSolution, Exhausted> {
+        self.solve_from_budgeted(None, budget)
+    }
+
     /// Solves the current program, optionally seeding the *first* solve with
     /// a basis cached from another same-shaped program (the cross-probe
     /// warm-start of [`LpProblem::solve_from`]).  The solver's own stored
     /// basis, when present, takes precedence; an unusable basis of either
     /// kind falls back to a cold solve and never affects the answer.
     pub fn solve_from(&mut self, warm: Option<&LpBasis>) -> LpSolution {
+        self.solve_from_budgeted(warm, &Budget::unlimited())
+            .expect("unlimited budget cannot exhaust")
+    }
+
+    /// [`IncrementalSolver::solve_from`] under a decision [`Budget`]; see
+    /// [`IncrementalSolver::solve_budgeted`] for the exhaustion contract.
+    pub fn solve_from_budgeted(
+        &mut self,
+        warm: Option<&LpBasis>,
+        budget: &Budget,
+    ) -> Result<LpSolution, Exhausted> {
         if self.decided_infeasible {
-            return self.solution_without_point(LpStatus::Infeasible);
+            return Ok(self.solution_without_point(LpStatus::Infeasible));
         }
         let n = self.a.num_cols();
         let resume_cols: Option<Vec<usize>> = if !self.basis.is_empty() {
@@ -244,16 +264,21 @@ impl IncrementalSolver {
                     .then(|| basis.cols.clone())
             })
         };
-        let had_resume_basis = resume_cols.is_some();
-        let result = resume_cols
-            .and_then(|cols| solve_sparse_resume(&self.a, &self.b, &self.c, &cols))
-            .unwrap_or_else(|| {
-                if had_resume_basis {
-                    RESUME_FALLBACKS.inc();
-                }
-                self.cold_solve()
-            });
-        self.absorb(result)
+        let resumed = match resume_cols {
+            Some(cols) => solve_sparse_resume_full(
+                &self.a, &self.b, &self.c, &cols, false, budget,
+            )?
+            .or_else(|| {
+                RESUME_FALLBACKS.inc();
+                None
+            }),
+            None => None,
+        };
+        let result = match resumed {
+            Some(result) => result,
+            None => self.cold_solve(budget)?,
+        };
+        Ok(self.absorb(result))
     }
 
     /// The stored optimal basis in the cacheable [`LpBasis`] form, when the
@@ -281,9 +306,9 @@ impl IncrementalSolver {
     /// Cold solve.  The crash-basis path requires `b ≥ 0`; rows appended
     /// after a solve are oriented for basis feasibility instead, so re-sign
     /// a copy when needed.
-    fn cold_solve(&self) -> SparseSolve {
+    fn cold_solve(&self, budget: &Budget) -> Result<SparseSolve, Exhausted> {
         if self.b.iter().all(|v| !v.is_negative()) {
-            return solve_sparse(&self.a, &self.b, &self.c, None);
+            return solve_sparse_full(&self.a, &self.b, &self.c, None, false, budget);
         }
         let negate: Vec<bool> = self.b.iter().map(Scalar::is_negative).collect();
         let mut a = SparseMatrix::new(self.a.num_rows());
@@ -307,7 +332,7 @@ impl IncrementalSolver {
             .collect();
         // Row re-signing changes neither the solution set nor which column
         // sets form a basis, so the outcome carries over verbatim.
-        solve_sparse(&a, &b, &self.c, None)
+        solve_sparse_full(&a, &b, &self.c, None, false, budget)
     }
 
     /// Stores the solver state from `result` and maps it back to the
@@ -475,6 +500,31 @@ mod tests {
         assert_eq!(sol.values, vec![int(7)]);
         assert_eq!(inc.num_constraints(), 2);
         assert_eq!(inc.num_variables(), 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_leaves_stored_state_reusable() {
+        use bqc_obs::{BudgetResource, BudgetSpec};
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_variable("x", VarBound::NonNegative);
+        let y = lp.add_variable("y", VarBound::NonNegative);
+        lp.set_objective(vec![(x, int(1)), (y, int(1))]);
+        let mut inc = lp.to_incremental();
+        assert_eq!(inc.solve().objective, Some(int(0)));
+        // A violated append forces a bounded phase-1 that needs pivots.
+        inc.add_constraint_small(vec![(x, 1), (y, 2)], ConstraintOp::Ge, 4);
+        let spec = BudgetSpec {
+            max_pivots: Some(0),
+            ..BudgetSpec::UNLIMITED
+        };
+        let err = inc
+            .solve_budgeted(&spec.start())
+            .expect_err("a zero-pivot budget cannot clear the violation");
+        assert_eq!(err.resource, BudgetResource::Pivots);
+        // Nothing partial was absorbed: the next unbudgeted solve answers
+        // exactly what a from-scratch solve would.
+        let sol = inc.solve();
+        assert_eq!(sol.objective, Some(int(2)));
     }
 
     #[test]

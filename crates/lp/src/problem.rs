@@ -15,6 +15,7 @@ use crate::revised::{solve_sparse_full, SimplexOutcome};
 use crate::scalar::Scalar;
 use crate::sparse::SparseMatrix;
 use bqc_arith::Rational;
+use bqc_obs::{Budget, Exhausted};
 use std::borrow::Cow;
 use std::fmt;
 use std::ops::Index;
@@ -374,18 +375,40 @@ impl LpProblem {
         self.solve_from_full(None, true).0
     }
 
+    /// [`LpProblem::solve_from`] under a decision [`Budget`]: each simplex
+    /// pivot charges the budget, and an exhausted budget aborts the solve
+    /// with `Err` before any result is produced — a budget-aborted solve
+    /// never returns a partial solution or basis.
+    pub fn solve_from_budgeted(
+        &self,
+        warm: Option<&LpBasis>,
+        budget: &Budget,
+    ) -> Result<(LpSolution, Option<LpBasis>), Exhausted> {
+        self.solve_from_budgeted_full(warm, false, budget)
+    }
+
     fn solve_from_full(
         &self,
         warm: Option<&LpBasis>,
         want_duals: bool,
     ) -> (LpSolution, Option<LpBasis>) {
+        self.solve_from_budgeted_full(warm, want_duals, &Budget::unlimited())
+            .expect("unlimited budget cannot exhaust")
+    }
+
+    fn solve_from_budgeted_full(
+        &self,
+        warm: Option<&LpBasis>,
+        want_duals: bool,
+        budget: &Budget,
+    ) -> Result<(LpSolution, Option<LpBasis>), Exhausted> {
         let sf = self.standard_form(true);
         let m = sf.a.num_rows();
         let n = sf.a.num_cols();
         let warm_cols = warm.and_then(|basis| {
             (basis.rows == m && basis.cols_total == n).then_some(basis.cols.as_slice())
         });
-        let result = solve_sparse_full(&sf.a, &sf.b, &sf.c, warm_cols, want_duals);
+        let result = solve_sparse_full(&sf.a, &sf.b, &sf.c, warm_cols, want_duals, budget)?;
         let basis = result.basis.map(|cols| LpBasis {
             cols,
             rows: m,
@@ -443,7 +466,7 @@ impl LpProblem {
                 }
             }
         };
-        (solution, basis)
+        Ok((solution, basis))
     }
 
     /// Convenience: checks whether the constraint system admits any solution
@@ -453,11 +476,18 @@ impl LpProblem {
     /// does **not** clone the problem, so probing feasibility of a large
     /// Shannon-cone program costs exactly one phase-1 solve.
     pub fn is_feasible(&self) -> bool {
+        self.is_feasible_budgeted(&Budget::unlimited())
+            .expect("unlimited budget cannot exhaust")
+    }
+
+    /// [`LpProblem::is_feasible`] under a decision [`Budget`]; `Err` means
+    /// the budget ran out before feasibility was decided.
+    pub fn is_feasible_budgeted(&self, budget: &Budget) -> Result<bool, Exhausted> {
         let sf = self.standard_form(false);
-        matches!(
-            solve_sparse_full(&sf.a, &sf.b, &sf.c, None, false).outcome,
+        Ok(matches!(
+            solve_sparse_full(&sf.a, &sf.b, &sf.c, None, false, budget)?.outcome,
             SimplexOutcome::Optimal { .. }
-        )
+        ))
     }
 }
 
@@ -672,6 +702,39 @@ mod tests {
         let (sol, _) = other.solve_from(Some(&basis));
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_eq!(sol.objective, Some(int(36)));
+    }
+
+    #[test]
+    fn budget_exhaustion_aborts_without_an_answer() {
+        use bqc_obs::{BudgetResource, BudgetSpec};
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_variable("x", VarBound::NonNegative);
+        let y = lp.add_variable("y", VarBound::NonNegative);
+        lp.set_objective(vec![(x, int(3)), (y, int(5))]);
+        lp.add_constraint(vec![(x, int(1))], ConstraintOp::Le, int(4));
+        lp.add_constraint(vec![(y, int(2))], ConstraintOp::Le, int(12));
+        lp.add_constraint(vec![(x, int(3)), (y, int(2))], ConstraintOp::Le, int(18));
+        let spec = BudgetSpec {
+            max_pivots: Some(1),
+            ..BudgetSpec::UNLIMITED
+        };
+        let err = lp
+            .solve_from_budgeted(None, &spec.start())
+            .expect_err("one pivot cannot finish this program");
+        assert_eq!(err.resource, BudgetResource::Pivots);
+        // The same program still solves fine without a budget, and under a
+        // generous one the answer is identical.
+        let unbudgeted = lp.solve();
+        assert_eq!(unbudgeted.objective, Some(int(36)));
+        let generous = BudgetSpec {
+            max_pivots: Some(1_000_000),
+            ..BudgetSpec::UNLIMITED
+        };
+        let (budgeted, _) = lp
+            .solve_from_budgeted(None, &generous.start())
+            .expect("generous budget suffices");
+        assert_eq!(budgeted.objective, unbudgeted.objective);
+        assert_eq!(budgeted.values, unbudgeted.values);
     }
 
     #[test]

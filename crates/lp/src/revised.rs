@@ -31,7 +31,7 @@
 use crate::scalar::Scalar;
 use crate::sparse::SparseMatrix;
 use bqc_arith::Rational;
-use bqc_obs::{LazyCounter, LazyHistogram};
+use bqc_obs::{Budget, Exhausted, LazyCounter, LazyHistogram};
 
 static PIVOTS: LazyCounter = LazyCounter::new("bqc_lp_pivots_total");
 static DEGENERATE_PIVOTS: LazyCounter = LazyCounter::new("bqc_lp_degenerate_pivots_total");
@@ -42,6 +42,7 @@ static RESUME_SOLVES: LazyCounter = LazyCounter::new("bqc_lp_resume_solves_total
 static WARM_START_HITS: LazyCounter = LazyCounter::new("bqc_lp_warm_start_hits_total");
 static WARM_START_REJECTS: LazyCounter = LazyCounter::new("bqc_lp_warm_start_rejects_total");
 static PIVOTS_PER_SOLVE: LazyHistogram = LazyHistogram::new("bqc_lp_pivots_per_solve");
+static BUDGET_EXHAUSTED: LazyCounter = LazyCounter::new("bqc_lp_budget_exhausted_total");
 
 /// Result of running the simplex method on a standard-form program.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -162,6 +163,10 @@ struct Solver<'a> {
     bland: bool,
     /// Pivots executed by this solve, observed into the per-solve histogram.
     pivots: u64,
+    /// The decision's resource budget, charged one pivot at a time.  The
+    /// unlimited budget makes every charge a single pointer test, so the
+    /// unbudgeted hot path is unchanged.
+    budget: &'a Budget,
 }
 
 impl<'a> Solver<'a> {
@@ -387,7 +392,14 @@ impl<'a> Solver<'a> {
     }
 
     /// Executes the pivot `(p, q)` with FTRANed entering column `alpha`.
-    fn pivot(&mut self, p: usize, q: usize, alpha: &[Scalar]) {
+    ///
+    /// Charges the decision budget first: an exhausted budget aborts the
+    /// solve *before* the basis mutates, so the pivot cap is strict.
+    fn pivot(&mut self, p: usize, q: usize, alpha: &[Scalar]) -> Result<(), Exhausted> {
+        if let Err(e) = self.budget.charge_pivots(1) {
+            BUDGET_EXHAUSTED.inc();
+            return Err(e);
+        }
         self.pivots += 1;
         PIVOTS.inc();
         bqc_obs::instant("pivot");
@@ -417,25 +429,27 @@ impl<'a> Solver<'a> {
         if self.etas.len() >= REFACTOR_EVERY {
             self.refactorize();
         }
+        Ok(())
     }
 
     /// Runs simplex iterations for `phase` until optimality or unboundedness.
-    /// Returns `false` on unboundedness (impossible in phase 1).
-    fn optimize(&mut self, phase: Phase) -> bool {
+    /// Returns `Ok(false)` on unboundedness (impossible in phase 1) and
+    /// `Err` when the decision budget runs out mid-solve.
+    fn optimize(&mut self, phase: Phase) -> Result<bool, Exhausted> {
         let mut work = vec![Scalar::ZERO; self.m];
         loop {
             let y = self.duals(phase);
             let Some(q) = self.price(phase, y.as_deref()) else {
-                return true;
+                return Ok(true);
             };
             work.iter_mut().for_each(|v| *v = Scalar::ZERO);
             self.scatter(q, &mut work);
             ftran(&self.etas, &mut work);
             let Some(p) = self.leaving_row(phase, &work) else {
                 debug_assert!(phase == Phase::Two, "phase 1 is bounded below by 0");
-                return false;
+                return Ok(false);
             };
-            self.pivot(p, q, &work);
+            self.pivot(p, q, &work)?;
         }
     }
 
@@ -460,7 +474,7 @@ impl<'a> Solver<'a> {
     /// -processed artificial to a row the pass already visited.  Each pivot
     /// removes one artificial for good (they are never priced back in), so
     /// the outer loop terminates after at most `m + 1` passes.
-    fn drive_out_artificials(&mut self) {
+    fn drive_out_artificials(&mut self) -> Result<(), Exhausted> {
         let mut work = vec![Scalar::ZERO; self.m];
         loop {
             let mut pivoted = false;
@@ -492,12 +506,13 @@ impl<'a> Solver<'a> {
                 self.scatter(q, &mut work);
                 ftran(&self.etas, &mut work);
                 debug_assert!(!work[p].is_zero());
-                self.pivot(p, q, &work);
+                self.pivot(p, q, &work)?;
             }
             if !pivoted {
                 break;
             }
         }
+        Ok(())
     }
 
     /// Extracts the optimal outcome after a phase-2 optimum.  Dual
@@ -551,26 +566,21 @@ impl<'a> Solver<'a> {
 /// negative entries here: no crash basis is built, so the `b ≥ 0`
 /// normalization of the cold path is not needed.
 ///
-/// Returns `None` when the basis is unusable (wrong length, repeated or
+/// Returns `Ok(None)` when the basis is unusable (wrong length, repeated or
 /// out-of-range columns, singular, or primal-infeasible after
 /// factorization); the caller falls back to a cold solve.
-pub(crate) fn solve_sparse_resume(
-    a: &SparseMatrix,
-    b: &[Scalar],
-    c: &[Scalar],
-    basis: &[usize],
-) -> Option<SparseSolve> {
-    solve_sparse_resume_full(a, b, c, basis, false)
-}
-
-/// [`solve_sparse_resume`] with optional dual extraction.
+///
+/// `Err` means the decision `budget` ran out mid-solve; the partial basis is
+/// discarded (never returned), so a budget-aborted solve can't poison a
+/// warm-start cache with a half-optimized basis.
 pub(crate) fn solve_sparse_resume_full(
     a: &SparseMatrix,
     b: &[Scalar],
     c: &[Scalar],
     basis: &[usize],
     want_duals: bool,
-) -> Option<SparseSolve> {
+    budget: &Budget,
+) -> Result<Option<SparseSolve>, Exhausted> {
     let m = a.num_rows();
     let n = a.num_cols();
     assert_eq!(b.len(), m, "rhs length must equal the number of rows");
@@ -581,14 +591,14 @@ pub(crate) fn solve_sparse_resume_full(
     let _solve_span = bqc_obs::span("lp-solve");
 
     if basis.len() != m || basis.iter().any(|&j| j >= n + m) {
-        return None;
+        return Ok(None);
     }
     let mut seen = vec![false; n + m];
     if !basis
         .iter()
         .all(|&j| !std::mem::replace(&mut seen[j], true))
     {
-        return None;
+        return Ok(None);
     }
 
     let mut solver = Solver {
@@ -605,15 +615,18 @@ pub(crate) fn solve_sparse_resume_full(
         stalls: 0,
         bland: false,
         pivots: 0,
+        budget,
     };
-    let (etas, row_of_slot) = solver.reinvert(basis)?;
+    let Some((etas, row_of_slot)) = solver.reinvert(basis) else {
+        return Ok(None);
+    };
     solver.etas = etas;
     for (slot, &row) in row_of_slot.iter().enumerate() {
         solver.basis[row] = basis[slot];
     }
     solver.recompute_x();
     if solver.x.iter().any(Scalar::is_negative) {
-        return None;
+        return Ok(None);
     }
     for &j in basis {
         solver.in_basis[j] = true;
@@ -622,30 +635,30 @@ pub(crate) fn solve_sparse_resume_full(
     // Bounded phase 1: only the artificials still carrying a positive value
     // (the violated appended rows) have to be driven to zero.
     if !solver.infeasibility().is_zero() {
-        let bounded = solver.optimize(Phase::One);
+        let bounded = solver.optimize(Phase::One)?;
         debug_assert!(bounded, "phase 1 objective is bounded below by 0");
         if solver.infeasibility().is_positive() {
             PIVOTS_PER_SOLVE.observe(solver.pivots);
-            return Some(SparseSolve {
+            return Ok(Some(SparseSolve {
                 outcome: SimplexOutcome::Infeasible,
                 basis: None,
                 duals: None,
-            });
+            }));
         }
         solver.stalls = 0;
         solver.bland = false;
     }
-    solver.drive_out_artificials();
+    solver.drive_out_artificials()?;
 
-    if !solver.optimize(Phase::Two) {
+    if !solver.optimize(Phase::Two)? {
         PIVOTS_PER_SOLVE.observe(solver.pivots);
-        return Some(SparseSolve {
+        return Ok(Some(SparseSolve {
             outcome: SimplexOutcome::Unbounded,
             basis: None,
             duals: None,
-        });
+        }));
     }
-    Some(solver.extract(want_duals))
+    Ok(Some(solver.extract(want_duals)))
 }
 
 /// Solves `minimize c·x  s.t.  A x = b, x ≥ 0` with `A` sparse and `b ≥ 0`.
@@ -660,17 +673,20 @@ pub(crate) fn solve_sparse(
     c: &[Scalar],
     warm: Option<&[usize]>,
 ) -> SparseSolve {
-    solve_sparse_full(a, b, c, warm, false)
+    solve_sparse_full(a, b, c, warm, false, &Budget::unlimited())
+        .expect("unlimited budget cannot exhaust")
 }
 
-/// [`solve_sparse`] with optional dual extraction.
+/// [`solve_sparse`] with optional dual extraction and a decision budget.
+/// `Err` means the budget ran out mid-solve; no partial result escapes.
 pub(crate) fn solve_sparse_full(
     a: &SparseMatrix,
     b: &[Scalar],
     c: &[Scalar],
     warm: Option<&[usize]>,
     want_duals: bool,
-) -> SparseSolve {
+    budget: &Budget,
+) -> Result<SparseSolve, Exhausted> {
     let m = a.num_rows();
     let n = a.num_cols();
     assert_eq!(b.len(), m, "rhs length must equal the number of rows");
@@ -694,6 +710,7 @@ pub(crate) fn solve_sparse_full(
         stalls: 0,
         bland: false,
         pivots: 0,
+        budget,
     };
 
     // Warm start: adopt the supplied basis if it factorizes and is feasible.
@@ -764,31 +781,31 @@ pub(crate) fn solve_sparse_full(
 
         // Phase 1, skipped when the crash start is already feasible.
         if !solver.infeasibility().is_zero() {
-            let bounded = solver.optimize(Phase::One);
+            let bounded = solver.optimize(Phase::One)?;
             debug_assert!(bounded, "phase 1 objective is bounded below by 0");
             if solver.infeasibility().is_positive() {
                 PIVOTS_PER_SOLVE.observe(solver.pivots);
-                return SparseSolve {
+                return Ok(SparseSolve {
                     outcome: SimplexOutcome::Infeasible,
                     basis: None,
                     duals: None,
-                };
+                });
             }
         }
-        solver.drive_out_artificials();
+        solver.drive_out_artificials()?;
         solver.stalls = 0;
         solver.bland = false;
     }
 
-    if !solver.optimize(Phase::Two) {
+    if !solver.optimize(Phase::Two)? {
         PIVOTS_PER_SOLVE.observe(solver.pivots);
-        return SparseSolve {
+        return Ok(SparseSolve {
             outcome: SimplexOutcome::Unbounded,
             basis: None,
             duals: None,
-        };
+        });
     }
-    solver.extract(want_duals)
+    Ok(solver.extract(want_duals))
 }
 
 /// Solves the standard-form program `minimize c·x subject to A x = b, x ≥ 0`.

@@ -1,0 +1,276 @@
+//! A std-only failpoint facility for chaos testing, compiled out by default.
+//!
+//! A *failpoint* is a named hook placed on an interesting failure boundary —
+//! `persist::pre-fsync`, `serve::batch`, `pipeline::stage` — that normally
+//! does nothing, but can be armed to panic, sleep, or kill the process, so
+//! tests can exercise the exact crash and fault interleavings the design
+//! claims to survive (torn snapshot writes, worker panics, wedged batchers).
+//!
+//! Like the metrics kill switch, the facility has a **compile-time** off
+//! state: without the `failpoints` cargo feature, [`failpoint`] is an empty
+//! inline function the optimizer deletes, so production builds carry no
+//! lookup, no lock, and no branch.  With the feature on, each call consults
+//! a process-global table configured either programmatically ([`set`] /
+//! [`clear_all`]) or — for spawned-subprocess chaos tests — from the
+//! `BQC_FAILPOINTS` environment variable, read once on first use:
+//!
+//! ```text
+//! BQC_FAILPOINTS="persist::pre-fsync=sleep(2000);pipeline::stage=panic(1)"
+//! ```
+//!
+//! Grammar: `name=action` pairs separated by `;`.  Actions:
+//!
+//! * `off` — disarm;
+//! * `panic` / `panic(N)` — panic with a recognizable message, every time /
+//!   only the first N times it is reached;
+//! * `sleep(MS)` — block the calling thread for MS milliseconds (the hook a
+//!   kill-at-this-moment torture test uses to hold a process at a chosen
+//!   point);
+//! * `abort` — `std::process::abort()`, the in-process stand-in for kill -9;
+//! * `exit(CODE)` — `std::process::exit(CODE)`.
+
+/// What an armed failpoint does when reached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailAction {
+    /// Do nothing (disarmed).
+    Off,
+    /// Panic with `failpoint <name> hit`.  `remaining = None` panics every
+    /// time; `Some(n)` panics only the next `n` times, then disarms.
+    Panic {
+        /// How many more times to fire, `None` for always.
+        remaining: Option<u32>,
+    },
+    /// Sleep for this many milliseconds, then continue.
+    Sleep(u64),
+    /// Abort the process (no unwinding, no cleanup — a kill -9 stand-in).
+    Abort,
+    /// Exit the process with this status code.
+    Exit(i32),
+}
+
+#[cfg(feature = "failpoints")]
+mod active {
+    use super::FailAction;
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+
+    fn table() -> &'static Mutex<HashMap<String, FailAction>> {
+        static TABLE: OnceLock<Mutex<HashMap<String, FailAction>>> = OnceLock::new();
+        TABLE.get_or_init(|| {
+            let mut map = HashMap::new();
+            if let Ok(spec) = std::env::var("BQC_FAILPOINTS") {
+                for (name, action) in super::parse_spec(&spec) {
+                    map.insert(name, action);
+                }
+            }
+            Mutex::new(map)
+        })
+    }
+
+    pub fn set(name: &str, action: FailAction) {
+        let mut map = table().lock().unwrap_or_else(|poison| poison.into_inner());
+        match action {
+            FailAction::Off => {
+                map.remove(name);
+            }
+            other => {
+                map.insert(name.to_string(), other);
+            }
+        }
+    }
+
+    pub fn clear_all() {
+        table()
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .clear();
+    }
+
+    pub fn failpoint(name: &str) {
+        // Fast path: an unarmed table is one lock + lookup.  Armed actions
+        // that fire a bounded number of times are decremented under the
+        // lock, then acted on outside it.
+        let action = {
+            let mut map = table().lock().unwrap_or_else(|poison| poison.into_inner());
+            match map.get_mut(name) {
+                None => return,
+                Some(FailAction::Panic { remaining: Some(n) }) => {
+                    let fire = *n > 0;
+                    if fire {
+                        *n -= 1;
+                    }
+                    if *n == 0 {
+                        map.remove(name);
+                    }
+                    if fire {
+                        FailAction::Panic { remaining: None }
+                    } else {
+                        FailAction::Off
+                    }
+                }
+                Some(action) => *action,
+            }
+        };
+        match action {
+            FailAction::Off => {}
+            FailAction::Panic { .. } => panic!("failpoint {name} hit"),
+            FailAction::Sleep(ms) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+            FailAction::Abort => std::process::abort(),
+            FailAction::Exit(code) => std::process::exit(code),
+        }
+    }
+}
+
+/// Parses a `BQC_FAILPOINTS`-style spec: `name=action` pairs separated by
+/// `;`.  Malformed pairs are skipped — a chaos harness must never turn a
+/// typo into silently different production behavior.
+pub fn parse_spec(spec: &str) -> Vec<(String, FailAction)> {
+    let mut out = Vec::new();
+    for pair in spec.split(';') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let Some((name, action)) = pair.split_once('=') else {
+            continue;
+        };
+        if name.trim().is_empty() {
+            continue;
+        }
+        let Some(action) = parse_action(action.trim()) else {
+            continue;
+        };
+        out.push((name.trim().to_string(), action));
+    }
+    out
+}
+
+fn parse_action(text: &str) -> Option<FailAction> {
+    if text == "off" {
+        return Some(FailAction::Off);
+    }
+    if text == "panic" {
+        return Some(FailAction::Panic { remaining: None });
+    }
+    if text == "abort" {
+        return Some(FailAction::Abort);
+    }
+    if let Some(arg) = text
+        .strip_prefix("panic(")
+        .and_then(|s| s.strip_suffix(')'))
+    {
+        return Some(FailAction::Panic {
+            remaining: Some(arg.trim().parse().ok()?),
+        });
+    }
+    if let Some(arg) = text
+        .strip_prefix("sleep(")
+        .and_then(|s| s.strip_suffix(')'))
+    {
+        return Some(FailAction::Sleep(arg.trim().parse().ok()?));
+    }
+    if let Some(arg) = text.strip_prefix("exit(").and_then(|s| s.strip_suffix(')')) {
+        return Some(FailAction::Exit(arg.trim().parse().ok()?));
+    }
+    None
+}
+
+/// Evaluates the failpoint `name`.  A no-op (deleted by the optimizer)
+/// unless the crate is built with the `failpoints` feature.
+#[cfg(feature = "failpoints")]
+pub fn failpoint(name: &str) {
+    active::failpoint(name);
+}
+
+/// Evaluates the failpoint `name`.  A no-op (deleted by the optimizer)
+/// unless the crate is built with the `failpoints` feature.
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub fn failpoint(_name: &str) {}
+
+/// Arms (or with [`FailAction::Off`] disarms) the failpoint `name`.  A no-op
+/// without the `failpoints` feature.
+#[cfg(feature = "failpoints")]
+pub fn set(name: &str, action: FailAction) {
+    active::set(name, action);
+}
+
+/// Arms (or with [`FailAction::Off`] disarms) the failpoint `name`.  A no-op
+/// without the `failpoints` feature.
+#[cfg(not(feature = "failpoints"))]
+pub fn set(_name: &str, _action: FailAction) {}
+
+/// Disarms every failpoint.  A no-op without the `failpoints` feature.
+#[cfg(feature = "failpoints")]
+pub fn clear_all() {
+    active::clear_all();
+}
+
+/// Disarms every failpoint.  A no-op without the `failpoints` feature.
+#[cfg(not(feature = "failpoints"))]
+pub fn clear_all() {}
+
+/// `true` when the facility is compiled in (the `failpoints` feature is on).
+pub const fn compiled_in() -> bool {
+    cfg!(feature = "failpoints")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parsing_accepts_the_documented_grammar() {
+        let parsed = parse_spec(
+            "persist::pre-fsync=sleep(2000); pipeline::stage=panic(1) ;x=abort;y=exit(9);z=panic",
+        );
+        assert_eq!(
+            parsed,
+            vec![
+                ("persist::pre-fsync".into(), FailAction::Sleep(2000)),
+                (
+                    "pipeline::stage".into(),
+                    FailAction::Panic { remaining: Some(1) }
+                ),
+                ("x".into(), FailAction::Abort),
+                ("y".into(), FailAction::Exit(9)),
+                ("z".into(), FailAction::Panic { remaining: None }),
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_pairs_are_skipped() {
+        assert!(parse_spec("nonsense;a=;=panic;b=sleep(x);c=panic(-1)").is_empty());
+        assert_eq!(
+            parse_spec("good=off;;bad").as_slice(),
+            &[("good".to_string(), FailAction::Off)]
+        );
+    }
+
+    // The firing behavior itself is covered by the chaos suite (root
+    // `tests/chaos.rs`, compiled with `--features failpoints`); in a default
+    // build the functions below must all be inert.
+    #[test]
+    fn disarmed_or_compiled_out_failpoints_are_inert() {
+        failpoint("never::armed");
+        if !compiled_in() {
+            set("anything", FailAction::Abort);
+            failpoint("anything"); // still inert: compiled out
+        }
+        clear_all();
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn bounded_panic_fires_then_disarms() {
+        set("test::bounded", FailAction::Panic { remaining: Some(1) });
+        let hit =
+            std::panic::catch_unwind(|| failpoint("test::bounded")).expect_err("must panic once");
+        let message = hit.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(message.contains("failpoint test::bounded hit"), "{message}");
+        // Second reach: disarmed.
+        failpoint("test::bounded");
+        clear_all();
+    }
+}

@@ -22,6 +22,12 @@
 //! * [`export`] — three exporters over the snapshots: Chrome trace-event
 //!   JSON (loadable in `chrome://tracing` / Perfetto), Prometheus-style text
 //!   exposition, and a compact JSON metrics snapshot.
+//! * [`budget`] — cooperative **resource budgets** (deadline + work caps)
+//!   charged from the LP pivot loop, the separator scan and the
+//!   homomorphism search; lives here so the crates below `bqc-core` in the
+//!   DAG can charge it (re-exported as `bqc_core::Budget`).
+//! * [`failpoints`] — chaos-testing **failpoints**, compiled out by default
+//!   (`failpoints` cargo feature), driving the crash/fault suite.
 //!
 //! ## Overhead policy
 //!
@@ -40,11 +46,15 @@
 //! ([`spans::TraceSnapshot::signature`]) of a single-threaded run is
 //! deterministic — the same invariant shape as `DecisionTrace::signature()`.
 
+pub mod budget;
 pub mod export;
+pub mod failpoints;
 pub mod metrics;
 pub mod spans;
 
+pub use budget::{Budget, BudgetResource, BudgetSpec, Exhausted};
 pub use export::{chrome_trace_json, json_snapshot, prometheus_text};
+pub use failpoints::{failpoint, FailAction};
 pub use metrics::{
     bucket_index, bucket_upper_edge, counter, histogram, reset_metrics, snapshot, Counter,
     Histogram, HistogramSnapshot, LazyCounter, LazyHistogram, MetricsSnapshot, BUCKETS,

@@ -17,6 +17,7 @@
 use crate::query::{Atom, ConjunctiveQuery, Var};
 use crate::structure::Structure;
 use crate::value::{Tuple, Value};
+use bqc_obs::{Budget, Exhausted};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// An assignment of query variables to domain values.
@@ -24,16 +25,43 @@ pub type Assignment = BTreeMap<Var, Value>;
 
 /// Enumerates all homomorphisms from `query` to `data`.
 pub fn enumerate_homomorphisms(query: &ConjunctiveQuery, data: &Structure) -> Vec<Assignment> {
+    enumerate_homomorphisms_budgeted(query, data, &Budget::unlimited())
+        .expect("unlimited budget cannot exhaust")
+}
+
+/// [`enumerate_homomorphisms`] under a cooperative work budget: the search
+/// charges one hom-step per candidate value tried and aborts with
+/// `Err(Exhausted)` when the budget runs out.  An aborted enumeration
+/// certifies nothing — in particular it must not be confused with an empty
+/// (completed) one.
+pub fn enumerate_homomorphisms_budgeted(
+    query: &ConjunctiveQuery,
+    data: &Structure,
+    budget: &Budget,
+) -> Result<Vec<Assignment>, Exhausted> {
     let mut result = Vec::new();
-    for_each_homomorphism(query, data, |assignment| result.push(assignment.clone()));
-    result
+    for_each_homomorphism_budgeted(query, data, budget, |assignment| {
+        result.push(assignment.clone())
+    })?;
+    Ok(result)
 }
 
 /// Counts the homomorphisms from `query` to `data`.
 pub fn count_homomorphisms(query: &ConjunctiveQuery, data: &Structure) -> u128 {
+    count_homomorphisms_budgeted(query, data, &Budget::unlimited())
+        .expect("unlimited budget cannot exhaust")
+}
+
+/// [`count_homomorphisms`] under a cooperative work budget; see
+/// [`enumerate_homomorphisms_budgeted`] for the abort semantics.
+pub fn count_homomorphisms_budgeted(
+    query: &ConjunctiveQuery,
+    data: &Structure,
+    budget: &Budget,
+) -> Result<u128, Exhausted> {
     let mut count: u128 = 0;
-    for_each_homomorphism(query, data, |_| count += 1);
-    count
+    for_each_homomorphism_budgeted(query, data, budget, |_| count += 1)?;
+    Ok(count)
 }
 
 /// Evaluates a (possibly non-Boolean) query under bag-set semantics: the
@@ -53,14 +81,28 @@ pub fn bag_set_answer(query: &ConjunctiveQuery, data: &Structure) -> BTreeMap<Tu
 pub fn for_each_homomorphism<F: FnMut(&Assignment)>(
     query: &ConjunctiveQuery,
     data: &Structure,
-    mut callback: F,
+    callback: F,
 ) {
+    for_each_homomorphism_budgeted(query, data, &Budget::unlimited(), callback)
+        .expect("unlimited budget cannot exhaust")
+}
+
+/// [`for_each_homomorphism`] under a cooperative work budget: one hom-step
+/// is charged per candidate value the backtracking search tries (i.e. per
+/// search-tree node), so the abort latency is bounded by a single atom
+/// check.  With an unlimited budget the charge is one pointer test per node.
+pub fn for_each_homomorphism_budgeted<F: FnMut(&Assignment)>(
+    query: &ConjunctiveQuery,
+    data: &Structure,
+    budget: &Budget,
+    mut callback: F,
+) -> Result<(), Exhausted> {
     let search = match SearchPlan::build(query, data) {
         Some(search) => search,
-        None => return, // some variable has no candidate value
+        None => return Ok(()), // some variable has no candidate value
     };
     let mut assignment = Assignment::new();
-    search.run(0, &mut assignment, &mut callback);
+    search.run(0, &mut assignment, budget, &mut callback)
 }
 
 struct SearchPlan<'a> {
@@ -193,14 +235,16 @@ impl<'a> SearchPlan<'a> {
         &self,
         depth: usize,
         assignment: &mut Assignment,
+        budget: &Budget,
         callback: &mut F,
-    ) {
+    ) -> Result<(), Exhausted> {
         if depth == self.order.len() {
             callback(assignment);
-            return;
+            return Ok(());
         }
         let var = &self.order[depth];
         for value in &self.candidates[depth] {
+            budget.charge_hom_steps(1)?;
             assignment.insert(var.clone(), value.clone());
             if self.checks[depth]
                 .iter()
@@ -209,10 +253,11 @@ impl<'a> SearchPlan<'a> {
                     .iter()
                     .all(|atom| self.atom_partially_satisfiable(atom, assignment))
             {
-                self.run(depth + 1, assignment, callback);
+                self.run(depth + 1, assignment, budget, callback)?;
             }
         }
         assignment.remove(var);
+        Ok(())
     }
 
     fn atom_satisfied(&self, atom: &Atom, assignment: &Assignment) -> bool {
@@ -350,6 +395,32 @@ mod tests {
             assert!(s.contains_fact("R", &vec![h["x"].clone(), h["y"].clone()]));
             assert!(s.contains_fact("R", &vec![h["y"].clone(), h["z"].clone()]));
         }
+    }
+
+    #[test]
+    fn budgeted_search_aborts_without_an_answer() {
+        use bqc_obs::{BudgetResource, BudgetSpec};
+        let q = path_query();
+        let s = cycle_structure(5);
+        // One hom-step cannot finish the search over a 5-cycle.
+        let tight = BudgetSpec {
+            max_hom_steps: Some(1),
+            ..BudgetSpec::UNLIMITED
+        }
+        .start();
+        let err = count_homomorphisms_budgeted(&q, &s, &tight).unwrap_err();
+        assert_eq!(err.resource, BudgetResource::HomSteps);
+        // A generous budget reproduces the unbudgeted result exactly.
+        let generous = BudgetSpec {
+            max_hom_steps: Some(1 << 20),
+            ..BudgetSpec::UNLIMITED
+        }
+        .start();
+        assert_eq!(
+            count_homomorphisms_budgeted(&q, &s, &generous).unwrap(),
+            count_homomorphisms(&q, &s)
+        );
+        assert!(generous.hom_steps_spent() > 0);
     }
 
     #[test]

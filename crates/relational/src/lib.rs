@@ -46,8 +46,9 @@ pub mod value;
 pub mod vrelation;
 
 pub use hom::{
-    bag_set_answer, count_homomorphisms, count_structure_homomorphisms, enumerate_homomorphisms,
-    for_each_homomorphism, structure_to_query, Assignment,
+    bag_set_answer, count_homomorphisms, count_homomorphisms_budgeted,
+    count_structure_homomorphisms, enumerate_homomorphisms, enumerate_homomorphisms_budgeted,
+    for_each_homomorphism, for_each_homomorphism_budgeted, structure_to_query, Assignment,
 };
 pub use parser::{parse_query, parse_structure, ParseError};
 pub use query::{Atom, ConjunctiveQuery, QueryError, Var};

@@ -131,8 +131,14 @@ pub fn provenance_token(provenance: Provenance) -> &'static str {
 /// ok verdict=contained provenance=fresh micros=412 pair=91f0c4e2a7b3d516
 /// ok verdict=not-contained witness=verified provenance=cached micros=0 pair=…
 /// ok verdict=unknown obstruction=not-chordal provenance=fresh micros=87 pair=…
+/// ok verdict=unknown obstruction=resource-exhausted resource=deadline provenance=fresh micros=… pair=…
 /// error decide <message>
 /// ```
+///
+/// A `resource-exhausted` answer is degraded, not wrong: the decision ran
+/// out of its configured budget (`--request-deadline-ms`, `--max-pivots`)
+/// and soundly reports `unknown`.  It is never cached, so retrying — or
+/// re-asking without a budget — re-runs the procedure.
 pub fn render_result(result: &BatchResult) -> String {
     match &result.answer {
         Ok(summary) => {
@@ -146,14 +152,16 @@ pub fn render_result(result: &BatchResult) -> String {
                         " witness=unverified"
                     });
                 }
-                AnswerSummary::Unknown { obstruction } => {
-                    line.push_str(match obstruction {
-                        Obstruction::NotChordal => " obstruction=not-chordal",
-                        Obstruction::JunctionTreeNotSimple => {
-                            " obstruction=junction-tree-not-simple"
-                        }
-                    });
-                }
+                AnswerSummary::Unknown { obstruction } => match obstruction {
+                    Obstruction::NotChordal => line.push_str(" obstruction=not-chordal"),
+                    Obstruction::JunctionTreeNotSimple => {
+                        line.push_str(" obstruction=junction-tree-not-simple")
+                    }
+                    Obstruction::ResourceExhausted { resource } => line.push_str(&format!(
+                        " obstruction=resource-exhausted resource={}",
+                        resource.token()
+                    )),
+                },
             }
             line.push_str(&format!(
                 " provenance={} micros={} pair={:016x}",
@@ -216,5 +224,25 @@ mod tests {
     #[test]
     fn messages_are_collapsed_to_one_line() {
         assert_eq!(single_line("a\nb\r\n\nc"), "a; b; c");
+    }
+
+    #[test]
+    fn resource_exhausted_answers_render_the_degraded_wire_form() {
+        let result = BatchResult {
+            answer: Ok(AnswerSummary::Unknown {
+                obstruction: Obstruction::ResourceExhausted {
+                    resource: bqc_core::BudgetResource::Deadline,
+                },
+            }),
+            provenance: Provenance::Fresh,
+            micros: 7,
+            pair_hash: 0xabc,
+            trace: None,
+        };
+        assert_eq!(
+            render_result(&result),
+            "ok verdict=unknown obstruction=resource-exhausted resource=deadline \
+             provenance=fresh micros=7 pair=0000000000000abc"
+        );
     }
 }

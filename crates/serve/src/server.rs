@@ -52,6 +52,8 @@ static QUEUE_BUSY: LazyCounter = LazyCounter::new("bqc_serve_busy_total");
 static BATCHES: LazyCounter = LazyCounter::new("bqc_serve_batches_total");
 static BATCH_SIZE: LazyHistogram = LazyHistogram::new("bqc_serve_batch_size");
 static REQUEST_MICROS: LazyHistogram = LazyHistogram::new("bqc_serve_request_micros");
+static IDLE_TIMEOUTS: LazyCounter = LazyCounter::new("bqc_serve_idle_timeouts_total");
+static BATCH_PANICS: LazyCounter = LazyCounter::new("bqc_serve_batch_panics_total");
 
 /// How often blocked threads (reads, condvar waits, the accept poll) wake
 /// to re-check the shutdown flag.  Bounds shutdown latency.
@@ -80,6 +82,14 @@ pub struct ServeOptions {
     /// Install a SIGTERM handler that triggers graceful shutdown (Unix
     /// only; ignored elsewhere).
     pub handle_sigterm: bool,
+    /// Close a connection that has not completed a request line for this
+    /// long, answering `error timeout …` first.  Without it, idle (or
+    /// deliberately dribbling) clients pin connection slots forever and a
+    /// slowloris swarm starves [`ServeOptions::max_conns`].  `None`
+    /// disables the timeout.  Partial input does **not** reset the clock —
+    /// only a completed request does — so byte-at-a-time dribbling cannot
+    /// hold a slot past the deadline.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServeOptions {
@@ -92,6 +102,7 @@ impl Default for ServeOptions {
             snapshot: None,
             snapshot_interval: None,
             handle_sigterm: false,
+            idle_timeout: Some(Duration::from_secs(300)),
         }
     }
 }
@@ -135,7 +146,10 @@ struct Shared {
 impl Shared {
     fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        let mut state = self.state.lock().expect("serve queue poisoned");
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
         state.open = false;
         drop(state);
         self.work_ready.notify_all();
@@ -285,11 +299,18 @@ impl Server {
                     let shared = Arc::clone(&self.shared);
                     let snapshot = self.options.snapshot.clone();
                     let queue_depth = self.options.queue_depth.max(1);
+                    let idle_timeout = self.options.idle_timeout;
                     let handle = std::thread::Builder::new()
                         .name("bqc-serve-conn".to_string())
                         .spawn(move || {
-                            let _ =
-                                serve_connection(stream, &engine, &shared, &snapshot, queue_depth);
+                            let _ = serve_connection(
+                                stream,
+                                &engine,
+                                &shared,
+                                &snapshot,
+                                queue_depth,
+                                idle_timeout,
+                            );
                             shared.active_conns.fetch_sub(1, Ordering::SeqCst);
                         })?;
                     conn_threads.push(handle);
@@ -339,7 +360,10 @@ fn reject_connection(mut stream: TcpStream, max_conns: usize) {
 fn batcher_loop(engine: &Engine, shared: &Shared, batch_max: usize) {
     loop {
         let jobs: Vec<Job> = {
-            let mut state = shared.state.lock().expect("serve queue poisoned");
+            let mut state = shared
+                .state
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner());
             loop {
                 if !state.queue.is_empty() {
                     let take = state.queue.len().min(batch_max);
@@ -351,7 +375,7 @@ fn batcher_loop(engine: &Engine, shared: &Shared, batch_max: usize) {
                 state = shared
                     .work_ready
                     .wait_timeout(state, POLL_TICK)
-                    .expect("serve queue poisoned")
+                    .unwrap_or_else(|poison| poison.into_inner())
                     .0;
             }
         };
@@ -361,11 +385,31 @@ fn batcher_loop(engine: &Engine, shared: &Shared, batch_max: usize) {
             .iter()
             .map(|job| (job.q1.clone(), job.q2.clone()))
             .collect();
-        let results = engine.decide_batch(&requests);
-        for (job, result) in jobs.into_iter().zip(results) {
-            // A send fails only if the connection died while waiting; the
-            // answer is already in the cache, so nothing is lost.
-            let _ = job.respond.send(proto::render_result(&result));
+        // The engine already contains per-decision panics
+        // (`DecideError::Panicked`); this catch covers the batch machinery
+        // around it (and the `serve::batch` chaos injection point), so a
+        // panicking batch answers its own jobs with an error instead of
+        // killing the batcher thread and starving every later request.
+        let results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            bqc_obs::failpoint("serve::batch");
+            engine.decide_batch(&requests)
+        }));
+        match results {
+            Ok(results) => {
+                for (job, result) in jobs.into_iter().zip(results) {
+                    // A send fails only if the connection died while waiting;
+                    // the answer is already in the cache, so nothing is lost.
+                    let _ = job.respond.send(proto::render_result(&result));
+                }
+            }
+            Err(_) => {
+                BATCH_PANICS.inc();
+                for job in jobs {
+                    let _ = job
+                        .respond
+                        .send("error decide batch panicked; request not decided".to_string());
+                }
+            }
         }
     }
 }
@@ -378,6 +422,7 @@ fn serve_connection(
     shared: &Shared,
     snapshot: &Option<PathBuf>,
     queue_depth: usize,
+    idle_timeout: Option<Duration>,
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(POLL_TICK))?;
     stream.set_nodelay(true).ok();
@@ -386,6 +431,10 @@ fn serve_connection(
     writeln!(writer, "{}", proto::banner())?;
 
     let mut line_buf: Vec<u8> = Vec::new();
+    // Restarted after every *completed* request line, never by partial
+    // bytes: a slowloris client dribbling one byte per tick gets exactly
+    // one idle window, not one per byte.
+    let mut last_request = Instant::now();
     loop {
         // read_until appends whatever arrived before a timeout, so a
         // partial line survives across shutdown-flag polls.
@@ -410,6 +459,17 @@ fn serve_connection(
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return Ok(());
                 }
+                if let Some(limit) = idle_timeout {
+                    if last_request.elapsed() >= limit {
+                        IDLE_TIMEOUTS.inc();
+                        writeln!(
+                            writer,
+                            "error timeout idle for {}ms, closing",
+                            limit.as_millis()
+                        )?;
+                        return Ok(());
+                    }
+                }
                 continue;
             }
             Err(error) if error.kind() == io::ErrorKind::Interrupted => continue,
@@ -418,6 +478,7 @@ fn serve_connection(
         let at_eof = !line_buf.ends_with(b"\n");
         let line = String::from_utf8_lossy(&line_buf).into_owned();
         line_buf.clear();
+        last_request = Instant::now();
         REQUESTS.inc();
         shared.requests.fetch_add(1, Ordering::Relaxed);
 
@@ -491,7 +552,10 @@ fn enqueue_and_wait(
 ) -> Option<String> {
     let (respond, receive) = std::sync::mpsc::sync_channel(1);
     {
-        let mut state = shared.state.lock().expect("serve queue poisoned");
+        let mut state = shared
+            .state
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
         if !state.open {
             return None;
         }
@@ -514,22 +578,27 @@ fn enqueue_and_wait(
 }
 
 /// The one-line `!stats` reply: total traffic and where it was served
-/// from, plus current cache residency.
+/// from, current cache residency, and the fault-isolation counters
+/// (contained decision panics and cache-excluded budget-exhausted answers).
 ///
 /// ```text
-/// ok stats traffic=12 fresh=5 cached=4 restored=2 deduped=1 entries=7
+/// ok stats traffic=12 fresh=5 cached=4 restored=2 deduped=1 entries=7 panics=0 budget-exhausted=0
 /// ```
 fn stats_line(engine: &Engine) -> String {
     let short = engine.short_circuit_stats();
     let fresh: u64 = engine.pipeline_stats().iter().map(|s| s.decided).sum();
     let cache = engine.cache_stats();
+    let faults = engine.fault_stats();
     format!(
-        "ok stats traffic={} fresh={} cached={} restored={} deduped={} entries={}",
+        "ok stats traffic={} fresh={} cached={} restored={} deduped={} entries={} \
+         panics={} budget-exhausted={}",
         fresh + short.total(),
         fresh,
         short.cached,
         short.restored,
         short.deduped,
-        cache.entries
+        cache.entries,
+        faults.panics,
+        faults.budget_exhausted
     )
 }

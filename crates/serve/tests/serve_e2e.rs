@@ -136,7 +136,8 @@ fn protocol_round_trip_with_admin_commands() {
     assert_eq!(client.request("!ping"), "ok pong proto=1");
     assert_eq!(
         client.request("!stats"),
-        "ok stats traffic=3 fresh=2 cached=1 restored=0 deduped=0 entries=2"
+        "ok stats traffic=3 fresh=2 cached=1 restored=0 deduped=0 entries=2 \
+         panics=0 budget-exhausted=0"
     );
     let parse_error = client.request("Q1() :- R(x,y)");
     assert!(parse_error.starts_with("error parse "), "{parse_error}");
@@ -248,7 +249,8 @@ fn restart_from_snapshot_answers_previous_traffic_cached() {
     );
     assert_eq!(
         client.request("!stats"),
-        "ok stats traffic=2 fresh=0 cached=0 restored=2 deduped=0 entries=2"
+        "ok stats traffic=2 fresh=0 cached=0 restored=2 deduped=0 entries=2 \
+         panics=0 budget-exhausted=0"
     );
     daemon.stop();
     let _ = std::fs::remove_file(&snapshot);
@@ -304,6 +306,89 @@ fn corrupt_snapshot_degrades_to_cold_start() {
         bqc_engine::SnapshotLoad::Restored { entries: 1, .. }
     ));
     let _ = std::fs::remove_file(&snapshot);
+}
+
+#[test]
+fn idle_connections_are_timed_out_freeing_their_slot() {
+    let daemon = start_daemon(ServeOptions {
+        max_conns: 1,
+        idle_timeout: Some(Duration::from_millis(150)),
+        ..ServeOptions::default()
+    });
+    let mut idler = Client::connect(daemon.addr);
+    // A slowloris client: dribble a partial line and go quiet.  The partial
+    // bytes must not reset the idle clock.
+    write!(idler.writer, "Q1() :- ").expect("dribble");
+    assert_eq!(idler.read_line(), "error timeout idle for 150ms, closing");
+    let mut rest = String::new();
+    idler
+        .reader
+        .read_to_string(&mut rest)
+        .expect("server closed the connection");
+    assert!(rest.is_empty(), "nothing after the timeout line: {rest:?}");
+
+    // The evicted slot is free again: with max_conns=1, a new client is
+    // admitted rather than turned away with `busy`.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let mut next = loop {
+        // The slot count is decremented just after the handler thread
+        // closes the socket; briefly retry the races where we connect
+        // in between.
+        let stream = TcpStream::connect(daemon.addr).expect("connect");
+        let writer = stream.try_clone().expect("clone stream");
+        let mut reader = BufReader::new(stream);
+        let mut banner = String::new();
+        reader.read_line(&mut banner).expect("first line");
+        if banner.trim_end() == "ok bqc-serve proto=1" {
+            break Client { writer, reader };
+        }
+        assert!(
+            banner.starts_with("busy connections"),
+            "unexpected first line: {banner:?}"
+        );
+        assert!(
+            std::time::Instant::now() < deadline,
+            "slot never freed after idle timeout"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(next.request("!ping"), "ok pong proto=1");
+    daemon.stop();
+}
+
+#[test]
+fn deadline_exceeded_requests_answer_resource_exhausted_and_are_not_cached() {
+    let mut engine_options = EngineOptions {
+        cache_shards: 2,
+        shard_capacity: 64,
+        ..EngineOptions::default()
+    };
+    // An already-expired per-request deadline: every decision degrades
+    // before its first pipeline stage.
+    engine_options.decide.budget.deadline = Some(Duration::ZERO);
+    let daemon = start_daemon_with(
+        Arc::new(Engine::new(engine_options)),
+        ServeOptions::default(),
+    );
+    let mut client = Client::connect(daemon.addr);
+    let degraded = client.request(TRIANGLE_VS_STAR);
+    assert!(
+        degraded.starts_with(
+            "ok verdict=unknown obstruction=resource-exhausted resource=deadline \
+             provenance=fresh"
+        ),
+        "{degraded}"
+    );
+    // Degraded answers are never cached: the same question is decided
+    // fresh again (and the fault counter has moved).
+    let again = client.request(TRIANGLE_VS_STAR);
+    assert!(again.contains("provenance=fresh"), "{again}");
+    let stats = client.request("!stats");
+    assert!(
+        stats.ends_with("entries=0 panics=0 budget-exhausted=2"),
+        "{stats}"
+    );
+    daemon.stop();
 }
 
 #[test]

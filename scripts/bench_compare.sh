@@ -21,6 +21,9 @@
 #   * live bqc-obs metric probes within 5% of the same run with the runtime
 #     kill switch off, on the cold-engine stage-mix batch
 #     (disabled/enabled >= 0.952, i.e. enabled <= 1.05x disabled);
+#   * resource budgets armed-but-never-exhausted within 5% of the unlimited
+#     run on the LP-bound k=6 cycle-in-path scenario
+#     (off/on >= 0.952, i.e. on <= 1.05x off);
 #   * a snapshot-restored engine >= 5x a cold engine on the LP-bound restart
 #     workload (experiment E19: restart warmth — a restored decision cache
 #     answers repeat traffic without re-solving any LP).
@@ -65,4 +68,5 @@ cargo run --release -p bqc-bench --bin bench_compare -- compare "$BASELINE" "$NE
     --min-speedup pipeline/refutable/lp_only/3 pipeline/refutable/refuter/3 5 \
     --min-speedup pipeline/overhead/legacy/6 pipeline/overhead/pipeline/6 0.909 \
     --min-speedup pipeline/obs/disabled/4 pipeline/obs/enabled/4 0.952 \
+    --min-speedup pipeline/budget/off/6 pipeline/budget/on/6 0.952 \
     --min-speedup serve/restart/cold/4 serve/restart/restored/4 5

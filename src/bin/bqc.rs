@@ -10,15 +10,22 @@
 //!
 //! ```text
 //! bqc [--json] [--explain] [--fail-on CLASS] [--workers N] [--shards N]
-//!     [--capacity N] [--no-witness] [--repeat N]
-//!     [--trace-out FILE] [--metrics-out FILE] [--metrics] FILE
+//!     [--capacity N] [--no-witness] [--deadline-ms N] [--max-pivots N]
+//!     [--repeat N] [--trace-out FILE] [--metrics-out FILE] [--metrics] FILE
 //! bqc serve [--addr HOST:PORT] [--workers N] [--shards N] [--capacity N]
 //!           [--no-witness] [--max-conns N] [--queue N] [--batch N]
+//!           [--request-deadline-ms N] [--idle-timeout SECS]
 //!           [--snapshot FILE] [--snapshot-interval SECS]
 //!           [--metrics-out FILE] [--metrics]
-//! bqc fuzz [--pairs N] [--seed N] [--self-test] [--out DIR]
-//!          [--metrics-out FILE] [--json]
+//! bqc fuzz [--pairs N] [--seed N] [--self-test] [--deadline-ms N]
+//!          [--out DIR] [--metrics-out FILE] [--json]
 //! ```
+//!
+//! Resource governance (`--deadline-ms`, `--max-pivots`,
+//! `--request-deadline-ms`): a decision that exhausts its budget soundly
+//! answers `unknown` with a resource-exhausted obstruction — never a wrong
+//! verdict — and is excluded from the decision cache; see
+//! docs/OPERATIONS.md § Budgets and degraded answers.
 //!
 //! Observability (`bqc-obs`): `--trace-out` records the span tree of the run
 //! (pipeline stages, LP solves, separation rounds, pivots) as Chrome
@@ -70,6 +77,8 @@ struct Cli {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     metrics: bool,
+    deadline_ms: Option<u64>,
+    max_pivots: Option<u64>,
 }
 
 const USAGE: &str = "\
@@ -89,6 +98,12 @@ options:
   --shards N      decision-cache shards (default 8)
   --capacity N    LRU capacity per cache shard (default 1024)
   --no-witness    skip materializing non-containment witnesses
+  --deadline-ms N per-decision wall-clock budget: a question still undecided
+                  after N ms soundly answers `unknown` with a
+                  resource-exhausted obstruction (never a wrong verdict;
+                  never cached)
+  --max-pivots N  per-decision simplex pivot budget, same degraded-answer
+                  contract as --deadline-ms
   --repeat N      run the workload N times back to back (cache warm-up demo)
   --trace-out F   record spans (pipeline stages, LP solves, pivots) during
                   the run and write Chrome trace-event JSON to F — open it
@@ -139,6 +154,16 @@ options:
   --queue N       bound on admitted-but-undecided requests; a full queue
                   answers `busy queue …` (default 1024)
   --batch N       largest micro-batch handed to the engine (default 64)
+  --request-deadline-ms N
+                  per-request decision budget: a question still undecided
+                  after N ms of decision work answers
+                  `ok verdict=unknown obstruction=resource-exhausted …`
+                  (sound, never cached); queue wait does not count
+  --idle-timeout SECS
+                  close connections idle for SECS seconds with
+                  `error timeout …`, freeing their --max-conns slot; partial
+                  request lines do not reset the clock (default 300;
+                  0 disables)
   --snapshot F    durable decision-cache snapshot file: restored (or
                   quarantined if corrupt) at start, written atomically at
                   shutdown and on the !snapshot admin command
@@ -171,6 +196,11 @@ options:
   --self-test   flip one family-separable refutation to `contained` before
                 checking: the oracle must catch and minimize the injected
                 bug (exit 0 if caught, 4 if missed)
+  --deadline-ms N
+                replay the campaign under a per-decision deadline of N ms:
+                budget-exhausted answers must degrade to `unknown` (never a
+                flipped verdict) and re-deciding each one without the budget
+                must satisfy the oracle
   --out DIR     write each minimized repro to DIR/fuzz-<seed>-<pair>.bqc
                 instead of printing it
   --metrics-out F  write the campaign's metrics registry (LP pivots, cache
@@ -223,6 +253,8 @@ fn parse_args(args: &[String]) -> Result<Cli, CliExit> {
         trace_out: None,
         metrics_out: None,
         metrics: false,
+        deadline_ms: None,
+        max_pivots: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -235,6 +267,8 @@ fn parse_args(args: &[String]) -> Result<Cli, CliExit> {
         match arg.as_str() {
             "--json" => cli.json = true,
             "--explain" => cli.explain = true,
+            "--deadline-ms" => cli.deadline_ms = Some(numeric("--deadline-ms")? as u64),
+            "--max-pivots" => cli.max_pivots = Some(numeric("--max-pivots")? as u64),
             "--fail-on" => {
                 let value = it
                     .next()
@@ -292,6 +326,8 @@ struct ServeCli {
     snapshot_interval: Option<u64>,
     metrics_out: Option<String>,
     metrics: bool,
+    request_deadline_ms: Option<u64>,
+    idle_timeout_secs: u64,
 }
 
 fn parse_serve_args(args: &[String]) -> Result<ServeCli, CliExit> {
@@ -308,6 +344,8 @@ fn parse_serve_args(args: &[String]) -> Result<ServeCli, CliExit> {
         snapshot_interval: None,
         metrics_out: None,
         metrics: false,
+        request_deadline_ms: None,
+        idle_timeout_secs: 300,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -331,6 +369,10 @@ fn parse_serve_args(args: &[String]) -> Result<ServeCli, CliExit> {
             "--max-conns" => cli.max_conns = numeric("--max-conns")?.max(1),
             "--queue" => cli.queue_depth = numeric("--queue")?.max(1),
             "--batch" => cli.batch_max = numeric("--batch")?.max(1),
+            "--request-deadline-ms" => {
+                cli.request_deadline_ms = Some(numeric("--request-deadline-ms")? as u64);
+            }
+            "--idle-timeout" => cli.idle_timeout_secs = numeric("--idle-timeout")? as u64,
             "--snapshot" => {
                 cli.snapshot = Some(
                     it.next()
@@ -373,14 +415,19 @@ fn serve_main(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // --request-deadline-ms is pure engine configuration: each decision's
+    // budget clock starts when the pipeline picks the request up, so queue
+    // wait under load does not eat into the deadline.
+    let mut decide = DecideOptions {
+        extract_witness: cli.extract_witness,
+        ..DecideOptions::default()
+    };
+    decide.budget.deadline = cli.request_deadline_ms.map(Duration::from_millis);
     let engine = Arc::new(Engine::new(EngineOptions {
         cache_shards: cli.shards,
         shard_capacity: cli.capacity,
         workers: cli.workers,
-        decide: DecideOptions {
-            extract_witness: cli.extract_witness,
-            ..DecideOptions::default()
-        },
+        decide,
     }));
     if let Some(path) = &cli.snapshot {
         match engine.load_snapshot(std::path::Path::new(path)) {
@@ -413,6 +460,10 @@ fn serve_main(args: &[String]) -> ExitCode {
             batch_max: cli.batch_max,
             snapshot: cli.snapshot.as_ref().map(std::path::PathBuf::from),
             snapshot_interval: cli.snapshot_interval.map(Duration::from_secs),
+            idle_timeout: match cli.idle_timeout_secs {
+                0 => None,
+                secs => Some(Duration::from_secs(secs)),
+            },
             handle_sigterm: true,
         },
     ) {
@@ -481,6 +532,7 @@ struct FuzzCli {
     pairs: usize,
     seed: u64,
     self_test: bool,
+    deadline_ms: Option<u64>,
     out: Option<String>,
     metrics_out: Option<String>,
     json: bool,
@@ -491,6 +543,7 @@ fn parse_fuzz_args(args: &[String]) -> Result<FuzzCli, CliExit> {
         pairs: 10_000,
         seed: 0x0bac_5eed,
         self_test: false,
+        deadline_ms: None,
         out: None,
         metrics_out: None,
         json: false,
@@ -519,6 +572,16 @@ fn parse_fuzz_args(args: &[String]) -> Result<FuzzCli, CliExit> {
                     .map_err(|_| CliExit::Usage("--seed requires an integer (or 0x-hex)".into()))?;
             }
             "--self-test" => cli.self_test = true,
+            "--deadline-ms" => {
+                cli.deadline_ms = Some(
+                    it.next()
+                        .ok_or_else(|| CliExit::Usage("--deadline-ms requires a value".into()))?
+                        .parse::<u64>()
+                        .map_err(|_| {
+                            CliExit::Usage("--deadline-ms requires a non-negative integer".into())
+                        })?,
+                );
+            }
             "--out" => {
                 cli.out = Some(
                     it.next()
@@ -557,6 +620,7 @@ fn fuzz_main(args: &[String]) -> ExitCode {
         pairs: cli.pairs,
         seed: cli.seed,
         self_test: cli.self_test,
+        deadline: cli.deadline_ms.map(Duration::from_millis),
         ..FuzzConfig::default()
     };
     let start = Instant::now();
@@ -600,8 +664,12 @@ fn fuzz_main(args: &[String]) -> ExitCode {
         ));
         out.push_str(&format!(
             "  \"verdicts\": {{\"contained\": {}, \"not_contained\": {}, \"unknown\": {}, \
-             \"errors\": {}}},\n",
-            report.contained, report.not_contained, report.unknown, report.errors
+             \"budget_exhausted\": {}, \"errors\": {}}},\n",
+            report.contained,
+            report.not_contained,
+            report.unknown,
+            report.budget_exhausted,
+            report.errors
         ));
         out.push_str(&format!(
             "  \"refutations\": {{\"confirmed\": {}, \"unconfirmed\": {}}},\n",
@@ -642,6 +710,13 @@ fn fuzz_main(args: &[String]) -> ExitCode {
             report.unknown,
             report.errors
         );
+        if cli.deadline_ms.is_some() {
+            println!(
+                "budget: {} of {} answers degraded to resource-exhausted unknown; \
+                 each was re-decided without a budget and held to the oracle",
+                report.budget_exhausted, report.pairs
+            );
+        }
         let count = |name: &str| metrics.counter(name).unwrap_or(0);
         println!(
             "engine: {} LP solves ({} pivots, {} reinversions), {} separation rounds, \
@@ -737,14 +812,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let mut decide = DecideOptions {
+        extract_witness: cli.extract_witness,
+        ..DecideOptions::default()
+    };
+    decide.budget.deadline = cli.deadline_ms.map(Duration::from_millis);
+    decide.budget.max_pivots = cli.max_pivots;
     let engine = Engine::new(EngineOptions {
         cache_shards: cli.shards,
         shard_capacity: cli.capacity,
         workers: cli.workers,
-        decide: DecideOptions {
-            extract_witness: cli.extract_witness,
-            ..DecideOptions::default()
-        },
+        decide,
     });
     let requests: Vec<_> = entries
         .iter()
